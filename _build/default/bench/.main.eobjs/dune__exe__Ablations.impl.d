@@ -1,0 +1,1 @@
+bench/ablations.ml: Attack Classification Context Cost_model Float Int64 List Mvee Policy Printf Profile Remon_core Remon_sim Remon_util Remon_workloads Runner String Table Vtime

@@ -1,0 +1,1 @@
+bench/dense.ml: Classification List Mvee Parsec Phoronix Printf Profile Remon_core Remon_sim Remon_util Remon_workloads Runner Splash Table

@@ -1,0 +1,1 @@
+bench/fig3.ml: Classification List Parsec Printf Profile Remon_core Remon_util Remon_workloads Runner Splash Stats Table

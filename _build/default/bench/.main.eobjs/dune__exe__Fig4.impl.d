@@ -1,0 +1,1 @@
+bench/fig4.ml: Array List Phoronix Printf Remon_util Remon_workloads Runner Stats Table

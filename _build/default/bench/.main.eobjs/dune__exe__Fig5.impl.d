@@ -1,0 +1,1 @@
+bench/fig5.ml: Classification Clients List Printf Remon_core Remon_sim Remon_util Remon_workloads Runner Servers Table Vtime

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Dense Fig3 Fig4 Fig5 List Micro Printf String Sys Table1 Table2 Unix

@@ -1,0 +1,1 @@
+bench/table1.ml: Classification List Printf Remon_core Remon_kernel Remon_util String Sysno Table

@@ -1,0 +1,1 @@
+bench/table2.ml: Classification Clients List Remon_core Remon_sim Remon_util Remon_workloads Runner Servers Spec Stats Table Vtime

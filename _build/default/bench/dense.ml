@@ -1,0 +1,63 @@
+(* Deep dive on the three syscall-densest benchmarks the paper singles out
+   (Section 5.1): dedup, water_spatial and network-loopback, all with
+   >60k syscall invocations per second. *)
+
+open Remon_core
+open Remon_util
+open Remon_workloads
+
+let run () =
+  print_endline "=== Dense-benchmark deep dive (Section 5.1) ===\n";
+  let cases =
+    [
+      ( "dedup",
+        (List.find (fun (e : Parsec.entry) -> e.bench = "dedup") Parsec.all).profile,
+        (3.53, 1.69) );
+      ( "water_spatial",
+        (List.find (fun (e : Splash.entry) -> e.bench = "water_spatial") Splash.all)
+          .profile,
+        (4.20, 1.21) );
+      ( "network-loopback",
+        (List.find (fun (e : Phoronix.entry) -> e.bench = "network-loopback")
+           Phoronix.all)
+          .profile,
+        (25.46, 3.00) );
+    ]
+  in
+  let t =
+    Table.create ~title:"per-route syscall accounting (2 replicas)"
+      ~header:
+        [ "benchmark"; "density/thr"; "paper CP"; "sim CP"; "paper IP"; "sim IP";
+          "ipmon calls"; "monitored"; "rb resets"; "wakes skipped" ]
+      ()
+  in
+  List.iter
+    (fun (name, (profile : Profile.t), (paper_cp, paper_ip)) ->
+      let cp = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
+      let level =
+        if name = "network-loopback" then Classification.Socket_rw_level
+        else Classification.Nonsocket_rw_level
+      in
+      let native = Runner.run_profile profile (Runner.cfg_native ()) in
+      let under = Runner.run_profile profile (Runner.cfg_remon level) in
+      let ip =
+        Remon_sim.Vtime.to_float_ns under.Runner.duration
+        /. Remon_sim.Vtime.to_float_ns native.Runner.duration
+      in
+      let o = under.Runner.outcome in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f Hz" profile.Profile.density_hz;
+          Table.fmt_ratio paper_cp;
+          Table.fmt_ratio cp;
+          Table.fmt_ratio paper_ip;
+          Table.fmt_ratio ip;
+          string_of_int o.Mvee.ipmon_fastpath;
+          string_of_int o.Mvee.monitored;
+          string_of_int o.Mvee.rb_resets;
+          "-";
+        ])
+    cases;
+  Table.print t;
+  print_newline ()

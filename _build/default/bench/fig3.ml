@@ -1,0 +1,75 @@
+(* Figure 3: PARSEC 2.1 and SPLASH-2x normalized execution times for two
+   replicas, GHUMVEE alone ("no IP-MON") vs ReMon with IP-MON at
+   NONSOCKET_RW_LEVEL. *)
+
+open Remon_core
+open Remon_util
+open Remon_workloads
+
+let run_suite title (entries : (string * float * float * Profile.t) list) =
+  let t =
+    Table.create ~title
+      ~header:
+        [ "benchmark"; "paper no-IPMON"; "sim no-IPMON"; "paper IP-MON"; "sim IP-MON" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let sims_no = ref [] and sims_ip = ref [] in
+  let papers_no = ref [] and papers_ip = ref [] in
+  List.iter
+    (fun (name, paper_no, paper_ip, profile) ->
+      let sim_no = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
+      let sim_ip =
+        Runner.normalized_time profile
+          (Runner.cfg_remon Classification.Nonsocket_rw_level)
+      in
+      sims_no := sim_no :: !sims_no;
+      sims_ip := sim_ip :: !sims_ip;
+      papers_no := paper_no :: !papers_no;
+      papers_ip := paper_ip :: !papers_ip;
+      Table.add_row t
+        [
+          name;
+          Table.fmt_ratio paper_no;
+          Table.fmt_ratio sim_no;
+          Table.fmt_ratio paper_ip;
+          Table.fmt_ratio sim_ip;
+        ])
+    entries;
+  Table.add_separator t;
+  Table.add_row t
+    [
+      "GEOMEAN";
+      Table.fmt_ratio (Stats.geomean !papers_no);
+      Table.fmt_ratio (Stats.geomean !sims_no);
+      Table.fmt_ratio (Stats.geomean !papers_ip);
+      Table.fmt_ratio (Stats.geomean !sims_ip);
+    ];
+  Table.print t;
+  print_newline ();
+  (Stats.geomean !sims_no, Stats.geomean !sims_ip)
+
+let run () =
+  print_endline
+    "=== Figure 3: PARSEC 2.1 + SPLASH-2x, 2 replicas, 4 worker threads ===\n";
+  let parsec =
+    List.map
+      (fun (e : Parsec.entry) ->
+        (e.bench, e.paper_no_ipmon, e.paper_ipmon, e.profile))
+      Parsec.all
+  in
+  let gp_no, gp_ip = run_suite "PARSEC 2.1" parsec in
+  let splash =
+    List.map
+      (fun (e : Splash.entry) ->
+        (e.bench, e.paper_no_ipmon, e.paper_ipmon, e.profile))
+      Splash.all
+  in
+  let gs_no, gs_ip = run_suite "SPLASH-2x" splash in
+  Printf.printf
+    "Paper: PARSEC overhead 21.9%% -> 11.2%% with IP-MON; SPLASH 29.2%% -> 10.4%%.\n";
+  Printf.printf "Sim:   PARSEC overhead %s -> %s with IP-MON; SPLASH %s -> %s.\n\n"
+    (Table.fmt_pct (gp_no -. 1.))
+    (Table.fmt_pct (gp_ip -. 1.))
+    (Table.fmt_pct (gs_no -. 1.))
+    (Table.fmt_pct (gs_ip -. 1.))

@@ -1,0 +1,71 @@
+(* Figure 5: server benchmarks in two network scenarios for 2-7 replicas
+   with IP-MON (SOCKET_RW) and 2 replicas without IP-MON. *)
+
+open Remon_core
+open Remon_sim
+open Remon_util
+open Remon_workloads
+
+let benches =
+  [
+    (Servers.beanstalkd, Clients.wrk ~concurrency:32 ~total_requests:640 ());
+    (Servers.lighttpd_wrk, Clients.wrk ~concurrency:32 ~total_requests:640 ());
+    (Servers.memcached, Clients.wrk ~concurrency:32 ~total_requests:640 ());
+    (Servers.nginx_wrk, Clients.wrk ~concurrency:32 ~total_requests:640 ());
+    (Servers.redis, Clients.wrk ~concurrency:32 ~total_requests:640 ());
+    (Servers.apache_ab, Clients.ab ~concurrency:8 ~total_requests:240 ());
+    (Servers.thttpd_ab, Clients.ab ~concurrency:8 ~total_requests:240 ());
+    (Servers.lighttpd_ab, Clients.ab ~concurrency:8 ~total_requests:240 ());
+    (Servers.lighttpd_http_load, Clients.http_load ~concurrency:16 ~total_requests:320 ());
+  ]
+
+let scenarios =
+  [ ("worst-case gigabit (~0.1ms)", Vtime.us 100); ("realistic (2ms)", Vtime.ms 2) ]
+
+let replica_counts = [ 2; 3; 4; 5; 6; 7 ]
+
+let run ?(quick = false) () =
+  print_endline
+    "=== Figure 5: server benchmarks, 2 latency scenarios, 2-7 replicas ===\n";
+  let replica_counts = if quick then [ 2; 4; 7 ] else replica_counts in
+  List.iter
+    (fun (scenario, latency) ->
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "normalized runtime overhead, %s" scenario)
+          ~header:
+            ("benchmark" :: "2 (no IP-MON)"
+            :: List.map (fun n -> Printf.sprintf "%d repl" n) replica_counts)
+          ~aligns:
+            (Table.Left :: Table.Right
+            :: List.map (fun _ -> Table.Right) replica_counts)
+          ()
+      in
+      List.iter
+        (fun (server, client) ->
+          let native =
+            Runner.run_server_bench ~latency ~server ~client (Runner.cfg_native ())
+          in
+          let base = Vtime.to_float_ns native.Runner.client_duration in
+          let overhead config =
+            let r = Runner.run_server_bench ~latency ~server ~client config in
+            (Vtime.to_float_ns r.Runner.client_duration /. base) -. 1.
+          in
+          let no_ipmon = overhead (Runner.cfg_ghumvee ()) in
+          let with_ipmon =
+            List.map
+              (fun n ->
+                overhead (Runner.cfg_remon ~nreplicas:n Classification.Socket_rw_level))
+              replica_counts
+          in
+          Table.add_row t
+            (server.Servers.name :: Table.fmt_pct no_ipmon
+            :: List.map Table.fmt_pct with_ipmon))
+        benches;
+      Table.print t;
+      print_newline ())
+    scenarios;
+  print_endline
+    "Paper: with IP-MON at SOCKET_RW, overheads are near-zero in the realistic\n\
+     scenario (0-3.5%) and far below the no-IP-MON configuration at gigabit\n\
+     latencies; overhead grows slowly with the replica count.\n"

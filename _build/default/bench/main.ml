@@ -1,0 +1,44 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation, plus design-choice ablations and microbenchmarks.
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig3     # one experiment
+     dune exec bench/main.exe -- quick    # everything, smaller fig5 sweep
+
+   Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro *)
+
+let experiments =
+  [
+    ("table1", fun ~quick:_ () -> Table1.run ());
+    ("fig3", fun ~quick:_ () -> Fig3.run ());
+    ("fig4", fun ~quick:_ () -> Fig4.run ());
+    ("fig5", fun ~quick () -> Fig5.run ~quick ());
+    ("table2", fun ~quick:_ () -> Table2.run ());
+    ("dense", fun ~quick:_ () -> Dense.run ());
+    ("ablations", fun ~quick:_ () -> Ablations.run ());
+    ("micro", fun ~quick:_ () -> Micro.run ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick") args in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        selected
+  in
+  print_endline "ReMon reproduction benchmark harness";
+  print_endline "paper: Secure and Efficient Application Monitoring and Replication";
+  print_endline "       (Volckaert et al., USENIX ATC 2016)\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ~quick ()) to_run;
+  Printf.printf "total harness wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

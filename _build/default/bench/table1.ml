@@ -1,0 +1,48 @@
+(* Table 1: the spatial exemption levels, regenerated from the
+   classification code itself. *)
+
+open Remon_kernel
+open Remon_core
+open Remon_util
+
+let wrap width names =
+  let rec go line acc = function
+    | [] -> List.rev (if line = "" then acc else line :: acc)
+    | name :: rest ->
+      let candidate = if line = "" then name else line ^ ", " ^ name in
+      if String.length candidate > width then go name (line :: acc) rest
+      else go candidate acc rest
+  in
+  go "" [] names
+
+let run () =
+  print_endline "=== Table 1: monitor levels for spatial system call exemption ===";
+  print_endline "(regenerated from Classification.classify)\n";
+  List.iter
+    (fun (lvl, uncond, cond) ->
+      Printf.printf "%s\n" (Classification.level_to_string lvl);
+      let show label calls =
+        if calls <> [] then begin
+          Printf.printf "  %s:\n" label;
+          List.iter
+            (fun line -> Printf.printf "    %s\n" line)
+            (wrap 68 (List.map Sysno.to_string calls))
+        end
+      in
+      show "unconditionally allowed" uncond;
+      show "conditionally allowed (file type / op type)" cond;
+      print_newline ())
+    (Classification.table1 ());
+  let monitored =
+    List.filter
+      (fun no -> Classification.classify no = Classification.Always_monitored)
+      Sysno.all
+  in
+  Printf.printf "Always monitored by GHUMVEE (%d calls):\n" (List.length monitored);
+  List.iter
+    (fun line -> Printf.printf "  %s\n" line)
+    (wrap 70 (List.map Sysno.to_string monitored));
+  Printf.printf "\nIP-MON fast path covers %d of %d supported system calls.\n\n"
+    (List.length Classification.ipmon_supported)
+    (List.length Sysno.all);
+  ignore (Table.create ~title:"" ~header:[ "" ] ())

@@ -1,0 +1,204 @@
+(* remon: command-line front end to the ReMon reproduction.
+
+     remon list                          enumerate registered workloads
+     remon run -w parsec.dedup           run a workload under an MVEE config
+     remon attack [-b varan]             stage the Section 4 attack scenarios
+     remon policy                        print the Table 1 classification *)
+
+open Cmdliner
+open Remon_core
+open Remon_sim
+open Remon_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let backend_conv =
+  let parse = function
+    | "native" -> Ok Mvee.Native
+    | "ghumvee" -> Ok Mvee.Ghumvee_only
+    | "varan" -> Ok Mvee.Varan
+    | "remon" -> Ok Mvee.Remon
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Mvee.backend_to_string b) in
+  Arg.conv (parse, print)
+
+let level_conv =
+  let parse s =
+    match Classification.level_of_string s with
+    | Some l -> Ok (Some l)
+    | None ->
+      if s = "all" || s = "monitor-all" then Ok None
+      else Error (`Msg (Printf.sprintf "unknown level %S" s))
+  in
+  let print fmt = function
+    | Some l -> Format.pp_print_string fmt (Classification.level_to_string l)
+    | None -> Format.pp_print_string fmt "monitor-all"
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Mvee.Remon
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:"MVEE backend: native, ghumvee, varan or remon.")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv (Some Classification.Socket_rw_level)
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:
+          "Spatial exemption level: base, nonsocket_ro, nonsocket_rw, \
+           socket_ro, socket_rw, or monitor-all.")
+
+let latency_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "latency" ] ~docv:"MS" ~doc:"One-way network latency in ms.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let config_of backend nreplicas level seed =
+  {
+    Mvee.default_config with
+    Mvee.backend;
+    nreplicas;
+    seed;
+    policy =
+      (match level with
+      | Some l -> Policy.spatial l
+      | None -> Policy.monitor_everything);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, w) -> Printf.printf "%-28s %s\n" name (Registry.describe w))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List registered workloads.") Term.(const run $ const ())
+
+let run_workload name backend nreplicas level latency seed trace_lines =
+  match Registry.find name with
+  | None ->
+    Printf.eprintf "unknown workload %S; try `remon list`\n" name;
+    exit 2
+  | Some workload -> (
+    let config = config_of backend nreplicas level seed in
+    let latency = Vtime.of_float_ns (latency *. 1e6) in
+    let dump_trace kernel =
+      if trace_lines > 0 then begin
+        Printf.printf "\nsyscall trace (first %d lines):\n" trace_lines;
+        List.iteri
+          (fun i line -> if i < trace_lines then Printf.printf "  %s\n" line)
+          (Remon_kernel.Kernel.trace kernel)
+      end
+    in
+    Printf.printf "workload : %s\n" (Registry.describe workload);
+    Printf.printf "backend  : %s, %d replica(s), policy %s\n\n"
+      (Mvee.backend_to_string backend)
+      nreplicas
+      (Policy.to_string config.Mvee.policy);
+    match workload with
+    | Registry.Profile_workload profile ->
+      let native = Runner.run_profile profile { config with Mvee.backend = Mvee.Native } in
+      let under =
+        if trace_lines > 0 then begin
+          let kernel = Remon_kernel.Kernel.create ~seed:config.Mvee.seed () in
+          Remon_kernel.Kernel.enable_tracing kernel;
+          let h = Mvee.launch kernel config ~name ~body:(Profile.body profile) in
+          Remon_kernel.Kernel.run kernel;
+          let outcome = Mvee.finish h in
+          dump_trace kernel;
+          { Runner.duration = outcome.Mvee.duration; outcome }
+        end
+        else Runner.run_profile profile config
+      in
+      let o = under.Runner.outcome in
+      Printf.printf "native runtime     : %s\n" (Vtime.to_string native.Runner.duration);
+      Printf.printf "mvee runtime       : %s (normalized %.2f)\n"
+        (Vtime.to_string under.Runner.duration)
+        (Vtime.to_float_ns under.Runner.duration
+        /. Vtime.to_float_ns native.Runner.duration);
+      Printf.printf "syscalls           : %d (monitored %d, fast-path %d)\n"
+        o.Mvee.syscalls o.Mvee.monitored o.Mvee.ipmon_fastpath;
+      Printf.printf "ptrace stops       : %d, rendezvous %d\n" o.Mvee.ptrace_stops
+        o.Mvee.rendezvous;
+      Printf.printf "rb records/resets  : %d/%d\n" o.Mvee.rb_records o.Mvee.rb_resets
+    | Registry.Server_workload (server, client) ->
+      let native =
+        Runner.run_server_bench ~latency ~server ~client
+          { config with Mvee.backend = Mvee.Native }
+      in
+      let under = Runner.run_server_bench ~latency ~server ~client config in
+      Printf.printf "native client time : %s\n"
+        (Vtime.to_string native.Runner.client_duration);
+      Printf.printf "mvee client time   : %s (overhead %s)\n"
+        (Vtime.to_string under.Runner.client_duration)
+        (Remon_util.Table.fmt_pct
+           (Vtime.to_float_ns under.Runner.client_duration
+            /. Vtime.to_float_ns native.Runner.client_duration
+           -. 1.));
+      Printf.printf "responses          : %d\n" under.Runner.responses)
+
+let run_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload name (see `remon list`).")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N" ~doc:"Print the first N syscall-trace lines.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload under an MVEE configuration.")
+    Term.(
+      const run_workload $ name_arg $ backend_arg $ replicas_arg $ level_arg
+      $ latency_arg $ seed_arg $ trace_arg)
+
+let attack_cmd =
+  let run backend nreplicas level seed =
+    let config = config_of backend nreplicas level seed in
+    List.iter
+      (fun r -> Format.printf "%a@." Attack.pp_report r)
+      (Attack.all_scenarios ~config ())
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Stage the Section 4 attack scenarios.")
+    Term.(const run $ backend_arg $ replicas_arg $ level_arg $ seed_arg)
+
+let policy_cmd =
+  let run () =
+    List.iter
+      (fun (lvl, uncond, cond) ->
+        Printf.printf "%s\n" (Classification.level_to_string lvl);
+        Printf.printf "  unconditional: %s\n"
+          (String.concat ", " (List.map Remon_kernel.Sysno.to_string uncond));
+        if cond <> [] then
+          Printf.printf "  conditional  : %s\n"
+            (String.concat ", " (List.map Remon_kernel.Sysno.to_string cond)))
+      (Classification.table1 ())
+  in
+  Cmd.v
+    (Cmd.info "policy" ~doc:"Print the Table 1 syscall classification.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "ReMon MVEE reproduction: secure and efficient application monitoring" in
+  let info = Cmd.info "remon" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; policy_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_detection.ml: Attack Divergence Diversity List Mvee Printf Remon_core Remon_util Table

@@ -1,0 +1,1 @@
+examples/policy_explorer.ml: Classification List Mvee Policy Printf Profile Remon_core Remon_sim Remon_util Remon_workloads Runner Table

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Classification Divergence Kernel List Mvee Policy Printf Remon_core Remon_kernel Remon_sim Remon_workloads String Vfs

@@ -1,0 +1,47 @@
+(* Server replication: an epoll web server behind an MVEE, driven by a
+   keep-alive client over links of different latency.
+
+     dune exec examples/server_replication.exe
+
+   Reproduces the paper's core server result in miniature: cross-process
+   monitoring of every call is expensive at datacenter latencies, but the
+   hybrid design's overhead vanishes once realistic network latency hides
+   the server-side cost. *)
+
+open Remon_core
+open Remon_sim
+open Remon_util
+open Remon_workloads
+
+let () =
+  print_endline "-- replicated web server under client load --\n";
+  let server = Servers.nginx_wrk in
+  let client = Clients.wrk ~concurrency:24 ~total_requests:480 () in
+  let t =
+    Table.create ~title:"client-observed overhead vs native (nginx-like, wrk-like load)"
+      ~header:[ "configuration"; "0.1 ms link"; "2 ms link"; "5 ms link" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let measure config =
+    List.map
+      (fun latency ->
+        Table.fmt_pct (Runner.server_overhead ~latency ~server ~client config))
+      [ Vtime.us 100; Vtime.ms 2; Vtime.ms 5 ]
+  in
+  Table.add_row t ("GHUMVEE only (2 replicas)" :: measure (Runner.cfg_ghumvee ()));
+  List.iter
+    (fun n ->
+      Table.add_row t
+        (Printf.sprintf "ReMon SOCKET_RW (%d replicas)" n
+        :: measure (Runner.cfg_remon ~nreplicas:n Classification.Socket_rw_level)))
+    [ 2; 4; 7 ];
+  Table.add_row t ("ReMon NONSOCKET_RW (2 replicas)"
+    :: measure (Runner.cfg_remon Classification.Nonsocket_rw_level));
+  Table.add_row t ("VARAN baseline (2 replicas)" :: measure (Runner.cfg_varan ()));
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Note how socket-heavy servers need the SOCKET levels to benefit, how\n\
+     every configuration converges to ~0% once the link latency dominates,\n\
+     and how overhead grows only mildly from 2 to 7 replicas."

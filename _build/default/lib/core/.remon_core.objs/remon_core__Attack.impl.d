@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Context Divergence Diversity Format Ikb Int64 Kernel Kstate Mvee Printf Proc Remon_kernel Remon_sim Remon_util Rng Sched Sigdefs String Syscall Vfs Vm Vtime

@@ -1,0 +1,1 @@
+lib/core/attack.mli: Divergence Format Mvee

@@ -1,0 +1,1 @@
+lib/core/callinfo.ml: File_map Remon_kernel Syscall

@@ -1,0 +1,1 @@
+lib/core/callinfo.mli: File_map Remon_kernel Syscall

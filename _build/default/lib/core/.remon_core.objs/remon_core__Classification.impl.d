@@ -1,0 +1,1 @@
+lib/core/classification.ml: List Remon_kernel Sysno

@@ -1,0 +1,1 @@
+lib/core/context.ml: Divergence Epoll_map File_map Ikb Kernel Policy Proc Remon_kernel Replication_buffer

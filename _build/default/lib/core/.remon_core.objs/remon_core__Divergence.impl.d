@@ -1,0 +1,1 @@
+lib/core/divergence.ml: Format List Printf Remon_kernel Sigdefs String Syscall

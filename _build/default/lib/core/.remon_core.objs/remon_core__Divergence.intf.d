@@ -1,0 +1,1 @@
+lib/core/divergence.mli: Remon_kernel Syscall

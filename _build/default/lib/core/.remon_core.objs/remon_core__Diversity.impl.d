@@ -1,0 +1,1 @@
+lib/core/diversity.ml: Int64 List Proc Remon_kernel Syscall Vm

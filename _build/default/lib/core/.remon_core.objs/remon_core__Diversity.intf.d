@@ -1,0 +1,1 @@
+lib/core/diversity.mli: Errno Proc Remon_kernel

@@ -1,0 +1,1 @@
+lib/core/epoll_map.ml: Array Hashtbl Int64 List

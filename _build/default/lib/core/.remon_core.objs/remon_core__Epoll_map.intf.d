@@ -1,0 +1,1 @@
+lib/core/epoll_map.mli: Remon_kernel

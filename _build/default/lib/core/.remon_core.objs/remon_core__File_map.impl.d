@@ -1,0 +1,1 @@
+lib/core/file_map.ml: Array Hashtbl Proc Remon_kernel Shm

@@ -1,0 +1,1 @@
+lib/core/file_map.mli: Proc Remon_kernel Shm

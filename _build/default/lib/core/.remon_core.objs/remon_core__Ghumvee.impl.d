@@ -1,0 +1,1 @@
+lib/core/ghumvee.ml: Array Callinfo Context Cost_model Divergence Epoll_map Errno File_map Hashtbl Ikb Kernel Kstate List Proc Queue Remon_kernel Remon_sim Replication_buffer Sigdefs Syscall Vm Vtime

@@ -1,0 +1,1 @@
+lib/core/ghumvee.mli: Context Divergence Hashtbl Kernel Proc Queue Remon_kernel Remon_sim Syscall Vtime

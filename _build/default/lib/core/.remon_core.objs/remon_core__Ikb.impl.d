@@ -1,0 +1,1 @@
+lib/core/ikb.ml: Callinfo Divergence Hashtbl Int64 Kernel Kstate Policy Proc Remon_kernel Remon_sim Remon_util Replication_buffer Rng Syscall Sysno

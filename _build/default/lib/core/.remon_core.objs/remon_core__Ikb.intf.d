@@ -1,0 +1,1 @@
+lib/core/ikb.mli: Divergence Hashtbl Kernel Kstate Policy Proc Remon_kernel Remon_util Replication_buffer Rng Syscall Sysno

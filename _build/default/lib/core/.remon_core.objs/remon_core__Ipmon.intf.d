@@ -1,0 +1,1 @@
+lib/core/ipmon.mli: Context Proc Remon_kernel Syscall Sysno

@@ -1,0 +1,1 @@
+lib/core/mvee.mli: Context Cost_model Divergence Diversity Ghumvee Kernel Policy Record_replay Remon_kernel Remon_sim Vtime

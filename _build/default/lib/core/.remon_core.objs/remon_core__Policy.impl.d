@@ -1,0 +1,1 @@
+lib/core/policy.ml: Classification Hashtbl Int64 Remon_kernel Remon_sim Remon_util Rng Syscall Sysno

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Classification Hashtbl Remon_kernel Remon_util Rng Syscall Sysno

@@ -1,0 +1,1 @@
+lib/core/record_replay.ml: Kernel Record_log Remon_kernel Sched

@@ -1,0 +1,1 @@
+lib/core/record_replay.mli: Kernel Record_log Remon_kernel

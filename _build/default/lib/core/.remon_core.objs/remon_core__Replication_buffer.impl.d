@@ -1,0 +1,1 @@
+lib/core/replication_buffer.ml: Array Hashtbl Record_log Remon_kernel Shm Syscall

@@ -1,0 +1,1 @@
+lib/core/replication_buffer.mli: Hashtbl Record_log Remon_kernel Shm Syscall

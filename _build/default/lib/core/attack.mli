@@ -1,0 +1,29 @@
+(** Attack scenarios from the paper's security analysis (Section 4), each
+    reporting whether the malicious action took effect on the host and how
+    (or whether) the MVEE detected it. *)
+
+type report = {
+  scenario : string;
+  attack_effect : bool; (** malicious externally-visible effect occurred *)
+  detected : Divergence.t option;
+  notes : string;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val divergent_syscall : ?config:Mvee.config -> ?compromised:int -> unit -> report
+(** A compromised replica issues a syscall the others do not. *)
+
+val forged_token : ?config:Mvee.config -> unit -> report
+(** Unmonitored execution attempted with a guessed IK-B token. *)
+
+val rb_discovery : ?config:Mvee.config -> unit -> report
+(** Attacker greps /proc/self/maps for the RB / IP-MON regions. *)
+
+val rb_guessing : ?config:Mvee.config -> ?probes:int -> unit -> report
+(** Blind probes for the RB's base address. *)
+
+val payload_spray : ?config:Mvee.config -> unit -> report
+(** Address-dependent payload vs. (possibly disabled) diversity. *)
+
+val all_scenarios : ?config:Mvee.config -> unit -> report list

@@ -1,0 +1,30 @@
+(** Per-call metadata shared by IK-B, IP-MON and GHUMVEE. *)
+
+open Remon_kernel
+
+val fd_of : Syscall.call -> int option
+(** The primary descriptor a call operates on, if any. *)
+
+val may_block : File_map.t -> Syscall.call -> bool
+(** Blocking prediction from the file map (Listing 1's MAYBE_BLOCKING). *)
+
+(** How the monitors execute a call across replicas. *)
+type disposition =
+  | Master_call (** master executes; slaves receive replicated results *)
+  | All_call (** every replica executes its own instance (local state) *)
+
+val disposition : Syscall.call -> disposition
+
+val fds_created : Syscall.call -> Syscall.result -> int list
+(** New descriptor numbers a successful call produced; slaves install
+    stub descriptors at the same numbers to stay aligned. *)
+
+val fds_closed : Syscall.call -> Syscall.result -> int list
+
+val normalize : Syscall.call -> Syscall.call
+(** Blanks fields that legitimately differ between diversified replicas
+    (pointer-valued epoll user data, futex/mapping addresses) before
+    cross-replica comparison. *)
+
+val equal_normalized : Syscall.call -> Syscall.call -> bool
+(** GHUMVEE's deep argument comparison. *)

@@ -1,0 +1,156 @@
+(* System-call classification: Table 1 of the paper.
+
+   Five cumulative spatial-exemption levels. Choosing a level exempts every
+   unconditional call at that level and below from cross-process monitoring,
+   plus the conditional calls whose runtime arguments satisfy the level's
+   criteria (e.g. [read] is exempt at NONSOCKET_RO only when the descriptor
+   is not a socket, and at SOCKET_RO regardless).
+
+   Calls that allocate or manage process resources — fd lifecycle, memory
+   mappings, thread/process control, signal handling, System V IPC — are
+   always monitored by GHUMVEE, at every level. *)
+
+open Remon_kernel
+
+type level =
+  | Base_level
+  | Nonsocket_ro_level
+  | Nonsocket_rw_level
+  | Socket_ro_level
+  | Socket_rw_level
+
+let all_levels =
+  [ Base_level; Nonsocket_ro_level; Nonsocket_rw_level; Socket_ro_level; Socket_rw_level ]
+
+let level_rank = function
+  | Base_level -> 0
+  | Nonsocket_ro_level -> 1
+  | Nonsocket_rw_level -> 2
+  | Socket_ro_level -> 3
+  | Socket_rw_level -> 4
+
+let level_geq a b = level_rank a >= level_rank b
+
+let level_to_string = function
+  | Base_level -> "BASE_LEVEL"
+  | Nonsocket_ro_level -> "NONSOCKET_RO_LEVEL"
+  | Nonsocket_rw_level -> "NONSOCKET_RW_LEVEL"
+  | Socket_ro_level -> "SOCKET_RO_LEVEL"
+  | Socket_rw_level -> "SOCKET_RW_LEVEL"
+
+let level_of_string = function
+  | "BASE_LEVEL" | "base" -> Some Base_level
+  | "NONSOCKET_RO_LEVEL" | "nonsocket_ro" -> Some Nonsocket_ro_level
+  | "NONSOCKET_RW_LEVEL" | "nonsocket_rw" -> Some Nonsocket_rw_level
+  | "SOCKET_RO_LEVEL" | "socket_ro" -> Some Socket_ro_level
+  | "SOCKET_RW_LEVEL" | "socket_rw" -> Some Socket_rw_level
+  | _ -> None
+
+(* How a call is classified, before looking at its runtime arguments. *)
+type entry =
+  | Always_monitored
+  | Unconditional of level
+  | Conditional of level
+      (* exempt at [level] subject to a runtime check; the read/write
+         families additionally escalate to the socket levels when the
+         descriptor is a socket *)
+
+let classify : Sysno.t -> entry = function
+  (* BASE_LEVEL: read-only calls that do not touch fds or the filesystem *)
+  | Sysno.Gettimeofday | Sysno.Clock_gettime | Sysno.Time | Sysno.Getpid
+  | Sysno.Gettid | Sysno.Getpgrp | Sysno.Getppid | Sysno.Getgid
+  | Sysno.Getegid | Sysno.Getuid | Sysno.Geteuid | Sysno.Getcwd
+  | Sysno.Getpriority | Sysno.Getrusage | Sysno.Times | Sysno.Capget
+  | Sysno.Getitimer | Sysno.Sysinfo | Sysno.Uname | Sysno.Sched_yield
+  | Sysno.Nanosleep | Sysno.Getpgid | Sysno.Getsid | Sysno.Getrlimit
+  | Sysno.Sched_getaffinity | Sysno.Clock_getres | Sysno.Getrandom ->
+    Unconditional Base_level
+  | Sysno.Futex | Sysno.Ioctl | Sysno.Fcntl -> Conditional Base_level
+  (* NONSOCKET_RO_LEVEL: read-only fd / filesystem queries *)
+  | Sysno.Access | Sysno.Faccessat | Sysno.Lseek | Sysno.Stat | Sysno.Lstat
+  | Sysno.Fstat | Sysno.Fstatat | Sysno.Getdents | Sysno.Readlink
+  | Sysno.Readlinkat | Sysno.Getxattr | Sysno.Lgetxattr | Sysno.Fgetxattr
+  | Sysno.Alarm | Sysno.Setitimer | Sysno.Timerfd_gettime | Sysno.Madvise
+  | Sysno.Fadvise64 | Sysno.Statfs | Sysno.Fstatfs | Sysno.Getdents64
+  | Sysno.Readahead | Sysno.Mincore ->
+    Unconditional Nonsocket_ro_level
+  | Sysno.Read | Sysno.Readv | Sysno.Pread64 | Sysno.Preadv | Sysno.Select
+  | Sysno.Poll | Sysno.Pselect6 | Sysno.Ppoll ->
+    Conditional Nonsocket_ro_level
+  (* NONSOCKET_RW_LEVEL *)
+  | Sysno.Sync | Sysno.Syncfs | Sysno.Fsync | Sysno.Fdatasync
+  | Sysno.Timerfd_settime | Sysno.Msync | Sysno.Flock | Sysno.Chmod
+  | Sysno.Fchmod | Sysno.Chown | Sysno.Utimensat ->
+    Unconditional Nonsocket_rw_level
+  | Sysno.Write | Sysno.Writev | Sysno.Pwrite64 | Sysno.Pwritev ->
+    Conditional Nonsocket_rw_level
+  (* SOCKET_RO_LEVEL *)
+  | Sysno.Epoll_wait | Sysno.Recvfrom | Sysno.Recvmsg | Sysno.Recvmmsg
+  | Sysno.Getsockname | Sysno.Getpeername | Sysno.Getsockopt ->
+    Unconditional Socket_ro_level
+  (* SOCKET_RW_LEVEL *)
+  | Sysno.Sendto | Sysno.Sendmsg | Sysno.Sendmmsg | Sysno.Sendfile
+  | Sysno.Epoll_ctl | Sysno.Setsockopt | Sysno.Shutdown ->
+    Unconditional Socket_rw_level
+  (* always monitored: fd lifecycle, memory, processes, signals, SysV IPC *)
+  | Sysno.Open | Sysno.Openat | Sysno.Creat | Sysno.Close | Sysno.Dup
+  | Sysno.Dup2 | Sysno.Dup3 | Sysno.Pipe | Sysno.Pipe2 | Sysno.Eventfd
+  | Sysno.Mkdirat | Sysno.Unlinkat | Sysno.Renameat | Sysno.Link
+  | Sysno.Linkat | Sysno.Symlink | Sysno.Symlinkat | Sysno.Umask
+  | Sysno.Mlock | Sysno.Munlock | Sysno.Setrlimit | Sysno.Prlimit64
+  | Sysno.Sched_setaffinity | Sysno.Setsid
+  | Sysno.Socket | Sysno.Socketpair | Sysno.Bind
+  | Sysno.Listen | Sysno.Accept | Sysno.Accept4 | Sysno.Connect
+  | Sysno.Epoll_create | Sysno.Timerfd_create | Sysno.Unlink | Sysno.Rename
+  | Sysno.Mkdir | Sysno.Rmdir | Sysno.Truncate | Sysno.Ftruncate | Sysno.Mmap
+  | Sysno.Munmap | Sysno.Mprotect | Sysno.Mremap | Sysno.Brk | Sysno.Clone
+  | Sysno.Fork | Sysno.Execve | Sysno.Exit | Sysno.Exit_group | Sysno.Wait4
+  | Sysno.Kill | Sysno.Tgkill | Sysno.Rt_sigaction | Sysno.Rt_sigprocmask
+  | Sysno.Rt_sigreturn | Sysno.Sigaltstack | Sysno.Pause | Sysno.Shmget
+  | Sysno.Shmat | Sysno.Shmdt | Sysno.Shmctl | Sysno.Ipmon_register ->
+    Always_monitored
+
+(* The fd-sensitive calls: the level needed depends on whether the
+   descriptor being operated on is a socket. *)
+type fd_sensitivity = Read_family | Write_family | Not_fd_sensitive
+
+let fd_sensitivity = function
+  | Sysno.Read | Sysno.Readv | Sysno.Pread64 | Sysno.Preadv | Sysno.Select
+  | Sysno.Poll | Sysno.Pselect6 | Sysno.Ppoll ->
+    Read_family
+  | Sysno.Write | Sysno.Writev | Sysno.Pwrite64 | Sysno.Pwritev -> Write_family
+  | _ -> Not_fd_sensitive
+
+(* The minimum spatial level at which [no] may run unmonitored, given
+   whether the descriptor it operates on (if any) is a socket. [None] means
+   the call is always monitored. *)
+let required_level (no : Sysno.t) ~(on_socket : bool) : level option =
+  match classify no with
+  | Always_monitored -> None
+  | Unconditional l -> Some l
+  | Conditional l -> (
+    match fd_sensitivity no with
+    | Not_fd_sensitive -> Some l (* futex/ioctl/fcntl: op-type checked elsewhere *)
+    | Read_family -> Some (if on_socket then Socket_ro_level else Nonsocket_ro_level)
+    | Write_family -> Some (if on_socket then Socket_rw_level else Nonsocket_rw_level))
+
+(* The set IP-MON can replicate at all (the paper's 67-call fast path):
+   everything that is not Always_monitored. *)
+let ipmon_supported =
+  List.filter
+    (fun no -> classify no <> Always_monitored)
+    Sysno.all
+
+(* Rows of Table 1, regenerated from the classification itself: for each
+   level, the unconditional and conditional calls introduced at that level. *)
+let table1 () =
+  List.map
+    (fun lvl ->
+      let uncond =
+        List.filter (fun no -> classify no = Unconditional lvl) Sysno.all
+      in
+      let cond =
+        List.filter (fun no -> classify no = Conditional lvl) Sysno.all
+      in
+      (lvl, uncond, cond))
+    all_levels

@@ -1,0 +1,65 @@
+(* Shared state of one replica set ("group"): the monitors, the replication
+   machinery, and the divergence verdict. Wired up by [Mvee]. *)
+
+open Remon_kernel
+
+type slave_wait = Wait_auto | Wait_spin_only | Wait_futex_only
+
+type mode = {
+  use_token : bool; (* IK-B authorization (off in the VARAN baseline) *)
+  lockstep : bool; (* CP monitor enforces lockstep for monitored calls *)
+  crash_on_mismatch : bool; (* IP-MON slaves crash intentionally on divergence *)
+  per_call_condvar : bool;
+      (* Section 3.7 optimization: one condition variable per RB record.
+         When off (ablation), every publish pays a FUTEX_WAKE. *)
+  slave_wait : slave_wait;
+      (* Section 3.7: spin for calls predicted non-blocking, condvar
+         otherwise. The ablations force one strategy. *)
+  runahead_window : int option;
+      (* how many unconsumed records the master may be ahead of the
+         slowest slave. [None] = unbounded (VARAN's default); the paper
+         wonders aloud what shrinking this window costs - the ablation
+         bench answers it. *)
+}
+
+let remon_mode =
+  {
+    use_token = true;
+    lockstep = true;
+    crash_on_mismatch = true;
+    per_call_condvar = true;
+    slave_wait = Wait_auto;
+    runahead_window = None;
+  }
+
+(* VARAN-like: everything replicated in-process, no lockstep, no tokens. *)
+let varan_mode =
+  { remon_mode with use_token = false; lockstep = false }
+
+type group = {
+  kernel : Kernel.t;
+  nreplicas : int;
+  policy : Policy.t;
+  mode : mode;
+  rb : Replication_buffer.t;
+  file_map : File_map.t;
+  epoll_map : Epoll_map.t;
+  ikb : Ikb.t;
+  shm_key : int; (* SysV key GHUMVEE recognizes as the RB segment *)
+  mutable replicas : Proc.process array; (* index = variant *)
+  mutable divergence : Divergence.t option;
+  mutable shutdown : bool;
+  mutable ipmon_calls : int;
+  mutable ipmon_fallbacks : int;
+}
+
+(* SysV keys at or above this value are treated as MVEE-internal (RB / file
+   map) and exempt from GHUMVEE's shared-memory rejection policy. *)
+let mvee_shm_key_base = 0x5EC0DE00
+
+let set_divergence g v = if g.divergence = None then g.divergence <- Some v
+
+let replica_variant (p : Proc.process) =
+  match p.Proc.replica_info with
+  | Some { Proc.variant_index; _ } -> Some variant_index
+  | None -> None

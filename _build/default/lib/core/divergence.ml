@@ -1,0 +1,61 @@
+(* Divergence verdicts: why an MVEE run was terminated (or how an attack
+   was detected). *)
+
+open Remon_kernel
+
+type detector = By_ghumvee | By_ipmon | By_ikb
+
+type t =
+  | Args_mismatch of {
+      rank : int; (* thread rank at which the divergence appeared *)
+      index : int; (* syscall index on that rank *)
+      expected : string; (* rendering of the majority/master call *)
+      got : string;
+      variant : int;
+      detector : detector;
+    }
+  | Sequence_mismatch of {
+      rank : int;
+      index : int;
+      calls : string list; (* what each variant issued *)
+    }
+  | Rendezvous_timeout of { rank : int; index : int; missing : int list }
+  | Replica_crash of { variant : int; signal : int }
+  | Exit_mismatch of { codes : (int * int) list (* variant, code *) }
+  | Token_violation of { variant : int; call : string }
+  | Shared_memory_rejected of { variant : int }
+
+let detector_to_string = function
+  | By_ghumvee -> "GHUMVEE"
+  | By_ipmon -> "IP-MON"
+  | By_ikb -> "IK-B"
+
+let to_string = function
+  | Args_mismatch { rank; index; expected; got; variant; detector } ->
+    Printf.sprintf
+      "argument divergence on thread rank %d at syscall %d (variant %d): expected %s, got %s [detected by %s]"
+      rank index variant expected got
+      (detector_to_string detector)
+  | Sequence_mismatch { rank; index; calls } ->
+    Printf.sprintf "syscall sequence divergence on rank %d at index %d: [%s]"
+      rank index (String.concat "; " calls)
+  | Rendezvous_timeout { rank; index; missing } ->
+    Printf.sprintf
+      "rendezvous timeout on rank %d at syscall %d: variants [%s] never arrived"
+      rank index
+      (String.concat ", " (List.map string_of_int missing))
+  | Replica_crash { variant; signal } ->
+    Printf.sprintf "replica %d crashed with %s" variant (Sigdefs.to_string signal)
+  | Exit_mismatch { codes } ->
+    Printf.sprintf "replicas exited with different codes: %s"
+      (String.concat ", "
+         (List.map (fun (v, c) -> Printf.sprintf "v%d=%d" v c) codes))
+  | Token_violation { variant; call } ->
+    Printf.sprintf
+      "authorization-token violation by variant %d on %s (unmonitored execution denied)"
+      variant call
+  | Shared_memory_rejected { variant } ->
+    Printf.sprintf "bi-directional shared memory request rejected (variant %d)" variant
+
+(* Pretty-printer for syscalls in verdicts. *)
+let render_call (c : Syscall.call) = Format.asprintf "%a" Syscall.pp_call c

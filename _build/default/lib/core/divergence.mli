@@ -1,0 +1,28 @@
+(** Divergence verdicts: why an MVEE run was terminated, and which
+    component detected it. *)
+
+open Remon_kernel
+
+type detector = By_ghumvee | By_ipmon | By_ikb
+
+type t =
+  | Args_mismatch of {
+      rank : int;
+      index : int;
+      expected : string;
+      got : string;
+      variant : int;
+      detector : detector;
+    }
+  | Sequence_mismatch of { rank : int; index : int; calls : string list }
+  | Rendezvous_timeout of { rank : int; index : int; missing : int list }
+  | Replica_crash of { variant : int; signal : int }
+  | Exit_mismatch of { codes : (int * int) list }
+  | Token_violation of { variant : int; call : string }
+  | Shared_memory_rejected of { variant : int }
+
+val detector_to_string : detector -> string
+val to_string : t -> string
+
+val render_call : Syscall.call -> string
+(** Rendering used inside verdicts. *)

@@ -1,0 +1,103 @@
+(* Automated software diversity for the replicas (Section 4, "Diversified
+   Replicas"): ASLR plus Disjoint Code Layouts [40].
+
+   Each replica's address space draws placements from an independent RNG
+   stream (ASLR). Under DCL, code regions are additionally placed in
+   per-variant reserved windows that never overlap across replicas, so no
+   code address is valid in more than one replica — a ROP payload that
+   works in one replica faults in every other. *)
+
+open Remon_kernel
+
+type config = {
+  aslr : bool; (* randomize placements per replica *)
+  dcl : bool; (* disjoint code layouts across replicas *)
+  code_bytes : int;
+  stack_bytes : int;
+  heap_bytes : int;
+}
+
+let default = {
+  aslr = true;
+  dcl = true;
+  code_bytes = 4 * 1024 * 1024;
+  stack_bytes = 8 * 1024 * 1024;
+  heap_bytes = 64 * 1024 * 1024;
+}
+
+let rx = { Syscall.pr = true; pw = false; px = true }
+let rw = { Syscall.pr = true; pw = true; px = false }
+
+(* Per-variant disjoint code windows: 256 MiB apart. *)
+let dcl_code_base variant =
+  Int64.add 0x0000_4000_0000_0000L (Int64.mul (Int64.of_int variant) 0x1000_0000L)
+
+let fixed_code_base = 0x0000_0000_0040_0000L (* no-ASLR default text base *)
+
+(* Lays out code, heap and stack for one replica. Returns the heap base,
+   which programs use as their diversified "pointer" seed. *)
+let apply cfg (p : Proc.process) ~variant =
+  let vm = p.Proc.vm in
+  let code_result =
+    if cfg.dcl then
+      Vm.map_fixed vm ~start:(dcl_code_base variant) ~len:cfg.code_bytes
+        ~prot:rx ~backing:Vm.Code ~tag:"text"
+    else if cfg.aslr then Vm.map vm ~len:cfg.code_bytes ~prot:rx ~backing:Vm.Code ~tag:"text"
+    else
+      Vm.map_fixed vm ~start:fixed_code_base ~len:cfg.code_bytes ~prot:rx
+        ~backing:Vm.Code ~tag:"text"
+  in
+  let heap_result =
+    if cfg.aslr then Vm.map vm ~len:cfg.heap_bytes ~prot:rw ~backing:Vm.Heap ~tag:"heap"
+    else
+      Vm.map_fixed vm ~start:0x0000_5555_1000_0000L ~len:cfg.heap_bytes
+        ~prot:rw ~backing:Vm.Heap ~tag:"heap"
+  in
+  let stack_result =
+    if cfg.aslr then
+      Vm.map vm ~len:cfg.stack_bytes ~prot:rw ~backing:Vm.Stack ~tag:"stack"
+    else
+      Vm.map_fixed vm ~start:0x0000_7FFE_0000_0000L ~len:cfg.stack_bytes
+        ~prot:rw ~backing:Vm.Stack ~tag:"stack"
+  in
+  match (code_result, heap_result, stack_result) with
+  | Ok code, Ok heap, Ok _ -> Ok (code.Vm.start, heap.Vm.start)
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let find_region_base (p : Proc.process) tag =
+  List.find_map
+    (fun (r : Vm.region) -> if r.tag = tag then Some r.start else None)
+    p.Proc.vm.Vm.regions
+
+let code_base p = find_region_base p "text"
+let heap_base p = find_region_base p "heap"
+
+(* Does [addr] fall inside [p]'s code region? An attack payload built from
+   one replica's layout "works" only in replicas where this holds. *)
+let addr_in_code (p : Proc.process) addr =
+  match Vm.find_region p.Proc.vm addr with
+  | Some { backing = Vm.Code; _ } -> true
+  | _ -> false
+
+(* DCL guarantee, checked by tests: no code address valid in two replicas. *)
+let code_ranges_disjoint (procs : Proc.process list) =
+  let ranges =
+    List.filter_map
+      (fun (p : Proc.process) ->
+        List.find_map
+          (fun (r : Vm.region) ->
+            match r.backing with
+            | Vm.Code -> Some (r.Vm.start, Int64.add r.Vm.start (Int64.of_int r.Vm.len))
+            | _ -> None)
+          p.Proc.vm.Vm.regions)
+      procs
+  in
+  let rec pairwise = function
+    | [] -> true
+    | (s1, e1) :: rest ->
+      List.for_all
+        (fun (s2, e2) -> Int64.compare e1 s2 <= 0 || Int64.compare e2 s1 <= 0)
+        rest
+      && pairwise rest
+  in
+  pairwise ranges

@@ -1,0 +1,56 @@
+(* Shadow mapping between fds and epoll user data (Section 3.9).
+
+   Diversified replicas register different pointer values for the same
+   logical descriptor. The monitors therefore replicate epoll results in
+   terms of fds: the master's (user_data, events) pairs are mapped back to
+   fds using the master's registrations, and each slave maps those fds
+   forward to its own user data. *)
+
+type t = {
+  fwd : (int, int64) Hashtbl.t array; (* variant -> (fd -> user_data) *)
+  rev : (int64, int) Hashtbl.t array; (* variant -> (user_data -> fd) *)
+}
+
+let create ~nreplicas =
+  {
+    fwd = Array.init nreplicas (fun _ -> Hashtbl.create 32);
+    rev = Array.init nreplicas (fun _ -> Hashtbl.create 32);
+  }
+
+let register t ~variant ~fd ~user_data =
+  (* drop any stale reverse binding for this fd *)
+  (match Hashtbl.find_opt t.fwd.(variant) fd with
+  | Some old -> Hashtbl.remove t.rev.(variant) old
+  | None -> ());
+  Hashtbl.replace t.fwd.(variant) fd user_data;
+  Hashtbl.replace t.rev.(variant) user_data fd
+
+let unregister t ~variant ~fd =
+  match Hashtbl.find_opt t.fwd.(variant) fd with
+  | Some ud ->
+    Hashtbl.remove t.fwd.(variant) fd;
+    Hashtbl.remove t.rev.(variant) ud
+  | None -> ()
+
+let user_data_of t ~variant ~fd = Hashtbl.find_opt t.fwd.(variant) fd
+let fd_of t ~variant ~user_data = Hashtbl.find_opt t.rev.(variant) user_data
+
+(* Master's epoll_wait result -> logical (fd, events) list. Events whose
+   user data was never registered pass through with fd = -1 (they cannot be
+   translated; replicas registered them identically or not at all). *)
+let to_logical t events =
+  List.map
+    (fun (user_data, ev) ->
+      match fd_of t ~variant:0 ~user_data with
+      | Some fd -> (fd, ev)
+      | None -> (-1, ev))
+    events
+
+(* Logical (fd, events) list -> [variant]'s (user_data, events) list. *)
+let to_variant t ~variant logical =
+  List.map
+    (fun (fd, ev) ->
+      match user_data_of t ~variant ~fd with
+      | Some ud -> (ud, ev)
+      | None -> (Int64.of_int fd, ev))
+    logical

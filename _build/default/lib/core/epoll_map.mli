@@ -1,0 +1,26 @@
+(** Shadow mapping between fds and epoll user data (Section 3.9).
+    Diversified replicas register different pointer cookies for the same
+    logical descriptor; results are replicated in terms of fds and mapped
+    back to each variant's own pointers. *)
+
+type t
+
+val create : nreplicas:int -> t
+val register : t -> variant:int -> fd:int -> user_data:int64 -> unit
+val unregister : t -> variant:int -> fd:int -> unit
+val user_data_of : t -> variant:int -> fd:int -> int64 option
+val fd_of : t -> variant:int -> user_data:int64 -> int option
+
+val to_logical :
+  t ->
+  (int64 * Remon_kernel.Syscall.poll_events) list ->
+  (int * Remon_kernel.Syscall.poll_events) list
+(** Master's (user_data, events) results -> logical (fd, events), using
+    variant 0's registrations. Unregistered cookies map to fd [-1]. *)
+
+val to_variant :
+  t ->
+  variant:int ->
+  (int * Remon_kernel.Syscall.poll_events) list ->
+  (int64 * Remon_kernel.Syscall.poll_events) list
+(** Logical (fd, events) -> the given variant's (user_data, events). *)

@@ -1,0 +1,421 @@
+(* GHUMVEE: the security-oriented cross-process monitor.
+
+   Attached to every replica through the (simulated) ptrace API. All
+   monitored calls execute in lockstep:
+
+     1. every replica's matching thread (same rank) must arrive at the
+        syscall-entry stop — the rendezvous;
+     2. the deep-compared arguments must be equivalent (divergence kills
+        the MVEE);
+     3. for I/O calls only the master executes; results are copied into the
+        slaves (transparent I/O replication, Section 2.1);
+     4. deferred asynchronous signals are injected while all replicas sit
+        at the equivalent rendezvous point (Sections 2.2 and 3.8).
+
+   The monitor is a separate "process": its per-stop work is serialized
+   through [busy_until], so heavy multi-threaded syscall traffic queues up
+   behind the monitor exactly as it does behind a real ptrace-based MVEE. *)
+
+open Remon_kernel
+open Remon_sim
+
+type arrival = { variant : int; th : Proc.thread; call : Syscall.call }
+
+type rstate =
+  | Idle
+  | Collecting of arrival list
+  | Master_running of { arrivals : arrival list }
+  | Await_slave_exits of { mutable remaining : int }
+  | All_running of { mutable remaining : int }
+
+type t = {
+  g : Context.group;
+  kernel : Kernel.t;
+  rendezvous : (int, rstate) Hashtbl.t; (* thread rank -> state *)
+  seqs : (int, int) Hashtbl.t; (* rank -> state generation, for the watchdog *)
+  mutable busy_until : Vtime.t;
+  deferred_signals : int Queue.t;
+  watchdog_ns : Vtime.t;
+  mutable exits_seen : (int * int) list; (* variant, exit code *)
+  mutable shutting_down : bool;
+  (* statistics *)
+  mutable rendezvous_count : int;
+  mutable results_copied : int;
+  mutable signals_deferred : int;
+  mutable signals_injected : int;
+  mutable maps_filtered : int;
+  mutable shm_rejected : int;
+}
+
+let create (g : Context.group) ?(watchdog_ns = Vtime.s 10) () =
+  {
+    g;
+    kernel = g.Context.kernel;
+    rendezvous = Hashtbl.create 8;
+    seqs = Hashtbl.create 8;
+    busy_until = Vtime.zero;
+    deferred_signals = Queue.create ();
+    watchdog_ns;
+    exits_seen = [];
+    shutting_down = false;
+    rendezvous_count = 0;
+    results_copied = 0;
+    signals_deferred = 0;
+    signals_injected = 0;
+    maps_filtered = 0;
+    shm_rejected = 0;
+  }
+
+let rank_state t rank =
+  match Hashtbl.find_opt t.rendezvous rank with Some s -> s | None -> Idle
+
+let bump_seq t rank =
+  let s = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
+  Hashtbl.replace t.seqs rank (s + 1);
+  s + 1
+
+let set_state t rank st =
+  Hashtbl.replace t.rendezvous rank st;
+  ignore (bump_seq t rank)
+
+let variant_of (p : Proc.process) =
+  match p.Proc.replica_info with
+  | Some { Proc.variant_index; _ } -> variant_index
+  | None -> -1
+
+(* Charges the monitor's serialized processing time starting no earlier
+   than [earliest], and returns the completion instant. *)
+let monitor_work t ~earliest ~work_ns =
+  let t0 = Vtime.max earliest (Vtime.max t.busy_until (Kernel.now t.kernel)) in
+  let done_at = Vtime.add t0 (Vtime.ns work_ns) in
+  t.busy_until <- done_at;
+  done_at
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown *)
+
+let shutdown t verdict =
+  if not t.shutting_down then begin
+    t.shutting_down <- true;
+    t.g.Context.shutdown <- true;
+    Context.set_divergence t.g verdict;
+    Array.iter
+      (fun p -> Kernel.kill_process t.kernel p ~code:134)
+      t.g.Context.replicas
+  end
+
+(* Called via process-exit waiters when a replica dies abnormally (e.g. the
+   intentional crash IP-MON uses to signal divergence). *)
+let replica_died t ~variant ~code =
+  if (not t.shutting_down) && code >= 128 then
+    shutdown t (Divergence.Replica_crash { variant; signal = code - 128 })
+
+(* ------------------------------------------------------------------ *)
+(* Monitored-call handling *)
+
+(* Shared-memory policy (Section 2.1): reject writable segments that could
+   form unmonitored bi-directional channels between replicas, except the
+   MVEE's own RB / file-map segments. *)
+let shm_verdict (call : Syscall.call) =
+  match call with
+  | Syscall.Shmget { key; _ } when key < Context.mvee_shm_key_base ->
+    Some (Syscall.Error Errno.EACCES)
+  | Syscall.Shmat _ -> None (* shmat of an approved segment is fine *)
+  | _ -> None
+
+(* Translates the master's result for one slave variant and installs any
+   descriptor stubs so fd numbering stays aligned. *)
+let translate_for_slave t ~(arrival : arrival) ~(call : Syscall.call)
+    (result : Syscall.result) =
+  let slave_proc = arrival.th.Proc.proc in
+  List.iter
+    (fun fd ->
+      Hashtbl.replace slave_proc.Proc.fds fd
+        (Proc.make_desc (Proc.Replicated_handle fd)))
+    (Callinfo.fds_created call result);
+  List.iter
+    (fun fd -> Hashtbl.remove slave_proc.Proc.fds fd)
+    (Callinfo.fds_closed call result);
+  match result with
+  | Syscall.Ok_epoll events ->
+    let logical = Epoll_map.to_logical t.g.Context.epoll_map events in
+    Syscall.Ok_epoll
+      (Epoll_map.to_variant t.g.Context.epoll_map ~variant:arrival.variant logical)
+  | r -> r
+
+(* Post-execution bookkeeping on the master's side. *)
+let master_side_effects t ~(call : Syscall.call) (result : Syscall.result) =
+  let master = t.g.Context.replicas.(0) in
+  (* keep the IP-MON file map in sync with fd lifecycle changes *)
+  (match call with
+  | Syscall.Open _ | Syscall.Openat _ | Syscall.Creat _ | Syscall.Close _
+  | Syscall.Dup _ | Syscall.Dup2 _ | Syscall.Pipe | Syscall.Socket _
+  | Syscall.Socketpair _ | Syscall.Accept _ | Syscall.Accept4 _
+  | Syscall.Connect _ | Syscall.Listen _ | Syscall.Epoll_create
+  | Syscall.Timerfd_create | Syscall.Fcntl _ | Syscall.Ioctl _ ->
+    File_map.sync_from_process t.g.Context.file_map master
+  | _ -> ());
+  (* filter the maps file: hide IP-MON and RB regions (Section 3.6) *)
+  match (call, result) with
+  | (Syscall.Open ("/proc/self/maps", _) | Syscall.Openat ("/proc/self/maps", _)),
+    Syscall.Ok_int fd -> (
+    match Proc.desc_of_fd master fd with
+    | Some ({ kind = Proc.Proc_maps pm; _ } as _d) ->
+      let hide (r : Vm.region) =
+        match r.Vm.backing with
+        | Vm.Ipmon_code | Vm.Shm_seg _ -> true
+        | _ -> false
+      in
+      pm.content <- Vm.maps_text ~hide master.Proc.vm;
+      t.maps_filtered <- t.maps_filtered + 1
+    | _ -> ())
+  | _ -> ()
+
+(* Injects deferred asynchronous signals now that every replica sits at an
+   equivalent rendezvous point. *)
+let inject_deferred t (arrivals : arrival list) =
+  while not (Queue.is_empty t.deferred_signals) do
+    let sg = Queue.pop t.deferred_signals in
+    t.signals_injected <- t.signals_injected + 1;
+    List.iter (fun a -> Kernel.inject_signal_now t.kernel a.th sg) arrivals
+  done;
+  t.g.Context.rb.Replication_buffer.signals_pending <- false
+
+(* The rendezvous is complete: compare, decide, resume. *)
+let process_rendezvous t rank (arrivals : arrival list) =
+  t.rendezvous_count <- t.rendezvous_count + 1;
+  let arrivals =
+    List.sort (fun a b -> compare a.variant b.variant) arrivals
+  in
+  let master_arrival = List.hd arrivals in
+  let call = master_arrival.call in
+  let cost = Kernel.cost t.kernel in
+  (* serialize through the monitor and charge comparison work *)
+  let latest_arrival =
+    List.fold_left (fun acc a -> Vtime.max acc a.th.Proc.clock) Vtime.zero arrivals
+  in
+  let work =
+    cost.Cost_model.monitor_work_ns
+    + Cost_model.compare_ns cost
+        ~bytes:(Syscall.arg_bytes call * List.length arrivals)
+  in
+  let done_at = monitor_work t ~earliest:latest_arrival ~work_ns:work in
+  List.iter
+    (fun a -> a.th.Proc.clock <- Vtime.max a.th.Proc.clock done_at)
+    arrivals;
+  (* deep argument comparison *)
+  let mismatch =
+    List.find_opt
+      (fun a -> not (Callinfo.equal_normalized a.call call))
+      (List.tl arrivals)
+  in
+  match mismatch with
+  | Some bad ->
+    shutdown t
+      (Divergence.Args_mismatch
+         {
+           rank;
+           index = bad.th.Proc.syscall_index;
+           expected = Divergence.render_call call;
+           got = Divergence.render_call bad.call;
+           variant = bad.variant;
+           detector = Divergence.By_ghumvee;
+         })
+  | None -> (
+    (* equivalent states: temporal-policy feedback + deferred signals *)
+    Ikb.note_approval t.g.Context.ikb (Syscall.number call);
+    if not (Queue.is_empty t.deferred_signals) then inject_deferred t arrivals;
+    (* epoll registrations carry per-variant pointers: record them *)
+    List.iter
+      (fun a ->
+        match a.call with
+        | Syscall.Epoll_ctl { op = Syscall.Epoll_add | Syscall.Epoll_mod; fd; user_data; _ } ->
+          Epoll_map.register t.g.Context.epoll_map ~variant:a.variant ~fd ~user_data
+        | Syscall.Epoll_ctl { op = Syscall.Epoll_del; fd; _ } ->
+          Epoll_map.unregister t.g.Context.epoll_map ~variant:a.variant ~fd
+        | _ -> ())
+      arrivals;
+    (* shared-memory policy *)
+    match shm_verdict call with
+    | Some denial ->
+      (* rejection is a policy action, not a divergence: deny in all *)
+      t.shm_rejected <- t.shm_rejected + 1;
+      set_state t rank Idle;
+      List.iter
+        (fun a -> Kernel.resume t.kernel a.th (Proc.Resume_skip denial))
+        arrivals
+    | None -> (
+      match Callinfo.disposition call with
+      | Callinfo.All_call ->
+        set_state t rank (All_running { remaining = List.length arrivals });
+        List.iter
+          (fun a -> Kernel.resume t.kernel a.th Proc.Resume_continue)
+          arrivals
+      | Callinfo.Master_call ->
+        set_state t rank (Master_running { arrivals });
+        Kernel.resume t.kernel master_arrival.th Proc.Resume_continue))
+
+(* ------------------------------------------------------------------ *)
+(* Stop-event handlers *)
+
+let arm_watchdog t rank =
+  let seq = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
+  Kernel.schedule t.kernel
+    ~time:(Vtime.add (Kernel.now t.kernel) t.watchdog_ns)
+    (fun () ->
+      let cur = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
+      if (not t.shutting_down) && cur = seq then begin
+        match rank_state t rank with
+        | Collecting arrivals ->
+          let present = List.map (fun a -> a.variant) arrivals in
+          let missing =
+            List.filter
+              (fun v -> not (List.mem v present))
+              (List.init t.g.Context.nreplicas (fun i -> i))
+          in
+          let a = List.hd arrivals in
+          shutdown t
+            (Divergence.Rendezvous_timeout
+               { rank; index = a.th.Proc.syscall_index; missing })
+        | _ -> ()
+      end)
+
+let handle_entry t (th : Proc.thread) (call : Syscall.call) =
+  if t.shutting_down then () (* replicas are being killed; leave it stopped *)
+  else begin
+    let rank = th.Proc.rank in
+    let variant = variant_of th.Proc.proc in
+    let arrival = { variant; th; call } in
+    match rank_state t rank with
+    | Idle ->
+      set_state t rank (Collecting [ arrival ]);
+      if t.g.Context.nreplicas = 1 then
+        process_rendezvous t rank [ arrival ]
+      else arm_watchdog t rank
+    | Collecting arrivals ->
+      let arrivals = arrival :: arrivals in
+      if List.length arrivals = t.g.Context.nreplicas then begin
+        set_state t rank Idle;
+        process_rendezvous t rank arrivals
+      end
+      else set_state t rank (Collecting arrivals)
+    | Master_running _ | Await_slave_exits _ | All_running _ ->
+      (* a thread re-entered the kernel while its rank's previous call is
+         still being processed: possible under attack; treat as sequence
+         divergence *)
+      shutdown t
+        (Divergence.Sequence_mismatch
+           {
+             rank;
+             index = th.Proc.syscall_index;
+             calls = [ Divergence.render_call call ];
+           })
+  end
+
+let handle_exit t (th : Proc.thread) (call : Syscall.call)
+    (result : Syscall.result) =
+  if t.shutting_down then ()
+  else begin
+    let rank = th.Proc.rank in
+    let cost = Kernel.cost t.kernel in
+    match rank_state t rank with
+    | Master_running { arrivals } when variant_of th.Proc.proc = 0 ->
+      (* master finished: replicate results to the waiting slaves *)
+      master_side_effects t ~call result;
+      let slaves = List.filter (fun a -> a.variant <> 0) arrivals in
+      let bytes = Syscall.result_bytes result in
+      let done_at =
+        monitor_work t ~earliest:th.Proc.clock
+          ~work_ns:(cost.Cost_model.monitor_work_ns + Cost_model.copy_ns cost ~bytes)
+      in
+      th.Proc.clock <- Vtime.max th.Proc.clock done_at;
+      (* transition the rank state *before* resuming anyone: the slaves'
+         skip-exit stops arrive synchronously and must find it *)
+      (match slaves with
+      | [] -> set_state t rank Idle
+      | _ -> set_state t rank (Await_slave_exits { remaining = List.length slaves }));
+      List.iter
+        (fun a ->
+          let r = translate_for_slave t ~arrival:a ~call:a.call result in
+          a.th.Proc.clock <-
+            Vtime.add
+              (Vtime.max a.th.Proc.clock done_at)
+              (Vtime.ns (Cost_model.copy_ns cost ~bytes));
+          (Kernel.stats t.kernel).Kstate.bytes_copied_xproc <-
+            (Kernel.stats t.kernel).Kstate.bytes_copied_xproc + bytes;
+          t.results_copied <- t.results_copied + 1;
+          Kernel.resume t.kernel a.th (Proc.Resume_skip r))
+        slaves;
+      Kernel.resume t.kernel th Proc.Resume_continue
+    | Await_slave_exits st ->
+      st.remaining <- st.remaining - 1;
+      if st.remaining = 0 then set_state t rank Idle;
+      Kernel.resume t.kernel th Proc.Resume_continue
+    | All_running st ->
+      st.remaining <- st.remaining - 1;
+      if st.remaining = 0 then set_state t rank Idle;
+      Kernel.resume t.kernel th Proc.Resume_continue
+    | Idle | Collecting _ | Master_running _ ->
+      (* exit stop with no rendezvous in flight (e.g. after a skip/fallback
+         path): just let it through *)
+      Kernel.resume t.kernel th Proc.Resume_continue
+  end
+
+let handle_signal t (th : Proc.thread) sg =
+  if t.shutting_down then ()
+  else if Sigdefs.synchronous sg then Kernel.resume t.kernel th Proc.Resume_deliver
+  else begin
+    (* defer: take ownership and set the RB flag so replicas restart calls
+       as monitored calls until the injection happens (Section 3.8) *)
+    t.signals_deferred <- t.signals_deferred + 1;
+    Queue.push sg t.deferred_signals;
+    t.g.Context.rb.Replication_buffer.signals_pending <- true;
+    (* abort the master's blocked unmonitored calls so it reaches a
+       rendezvous quickly *)
+    Array.iter
+      (fun (p : Proc.process) ->
+        List.iter
+          (fun (other : Proc.thread) ->
+            if other != th then
+              ignore
+                (Kernel.interrupt_blocked t.kernel other
+                   (Syscall.Error Errno.EINTR)))
+          p.Proc.threads)
+      t.g.Context.replicas;
+    Kernel.resume t.kernel th Proc.Resume_suppress
+  end
+
+let handle_death t (th : Proc.thread) code =
+  let variant = variant_of th.Proc.proc in
+  t.exits_seen <- (variant, code) :: t.exits_seen;
+  if not t.shutting_down then begin
+    (* when all replicas have exited, verify the exit codes agree *)
+    let exited = List.sort_uniq compare (List.map fst t.exits_seen) in
+    if List.length exited = t.g.Context.nreplicas then begin
+      let codes = List.sort_uniq compare (List.map snd t.exits_seen) in
+      if List.length codes > 1 then
+        Context.set_divergence t.g
+          (Divergence.Exit_mismatch { codes = List.rev t.exits_seen })
+    end
+  end;
+  Kernel.resume t.kernel th Proc.Resume_continue
+
+(* ------------------------------------------------------------------ *)
+(* Attachment *)
+
+let tracer t =
+  {
+    Proc.tracer_name = "ghumvee";
+    on_stop =
+      (fun th reason ->
+        match reason with
+        | Proc.Syscall_entry_stop call -> handle_entry t th call
+        | Proc.Syscall_exit_stop (call, result) -> handle_exit t th call result
+        | Proc.Signal_delivery_stop sg -> handle_signal t th sg
+        | Proc.Exit_stop code -> handle_death t th code);
+  }
+
+let attach t (p : Proc.process) =
+  Kernel.attach_tracer p (tracer t);
+  let variant = variant_of p in
+  Kernel.on_process_exit p (fun code -> replica_died t ~variant ~code)

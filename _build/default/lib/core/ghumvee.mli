@@ -1,0 +1,47 @@
+(** GHUMVEE: the security-oriented cross-process monitor. Attached to every
+    replica via the simulated ptrace API; monitored calls execute in
+    lockstep (rendezvous -> deep argument comparison -> master-only I/O with
+    result replication), asynchronous signals are deferred to rendezvous
+    points, and any divergence shuts the whole replica set down. *)
+
+open Remon_kernel
+open Remon_sim
+
+type arrival = { variant : int; th : Proc.thread; call : Syscall.call }
+
+type rstate =
+  | Idle
+  | Collecting of arrival list
+  | Master_running of { arrivals : arrival list }
+  | Await_slave_exits of { mutable remaining : int }
+  | All_running of { mutable remaining : int }
+
+type t = {
+  g : Context.group;
+  kernel : Kernel.t;
+  rendezvous : (int, rstate) Hashtbl.t; (** per thread rank *)
+  seqs : (int, int) Hashtbl.t;
+  mutable busy_until : Vtime.t;
+      (** monitor serialization: concurrent stops queue behind it *)
+  deferred_signals : int Queue.t;
+  watchdog_ns : Vtime.t;
+  mutable exits_seen : (int * int) list;
+  mutable shutting_down : bool;
+  mutable rendezvous_count : int;
+  mutable results_copied : int;
+  mutable signals_deferred : int;
+  mutable signals_injected : int;
+  mutable maps_filtered : int;
+  mutable shm_rejected : int;
+}
+
+val create : Context.group -> ?watchdog_ns:Vtime.t -> unit -> t
+
+val attach : t -> Proc.process -> unit
+(** ptrace-attach to a replica and watch for abnormal death. *)
+
+val shutdown : t -> Divergence.t -> unit
+(** Record the verdict and kill every replica. *)
+
+val tracer : t -> Proc.tracer
+(** The raw stop-event handler (exposed for tests). *)

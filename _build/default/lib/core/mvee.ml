@@ -1,0 +1,317 @@
+(* Top-level multi-variant execution environment.
+
+   Wires together the kernel hooks, monitors and replication machinery for
+   one replica set, under one of four backends:
+
+   - [Native]       : one process, no monitoring (the baseline).
+   - [Ghumvee_only] : the cross-process monitor alone — every syscall is
+                      monitored in lockstep (the paper's "no IP-MON" bars).
+   - [Varan]        : in-process replication of *all* calls, no lockstep,
+                      no kernel broker protection (the reliability-oriented
+                      baseline of Hosek & Cadar).
+   - [Remon]        : the paper's hybrid — GHUMVEE for sensitive calls,
+                      IP-MON + IK-B for policy-exempt calls. *)
+
+open Remon_kernel
+open Remon_sim
+
+type backend = Native | Ghumvee_only | Varan | Remon
+
+let backend_to_string = function
+  | Native -> "native"
+  | Ghumvee_only -> "ghumvee"
+  | Varan -> "varan"
+  | Remon -> "remon"
+
+type config = {
+  backend : backend;
+  nreplicas : int;
+  policy : Policy.t;
+  diversity : Diversity.config;
+  rb_size : int;
+  seed : int;
+  watchdog_ns : Vtime.t;
+  record_replay : bool;
+  mode_override : Context.mode option; (* ablations; None = backend default *)
+  rb_migration_interval : Vtime.t option;
+      (* Section 4 extension: IK-B periodically moves the RB to a fresh
+         virtual address by remapping the replicas' page tables, further
+         lowering the odds of a successful guessing attack *)
+}
+
+let default_config =
+  {
+    backend = Remon;
+    nreplicas = 2;
+    policy = Policy.spatial Classification.Socket_rw_level;
+    diversity = Diversity.default;
+    rb_size = Replication_buffer.default_size;
+    seed = 42;
+    watchdog_ns = Vtime.s 30;
+    record_replay = true;
+    mode_override = None;
+    rb_migration_interval = None;
+  }
+
+(* The replica's view of the MVEE runtime, handed to program bodies. *)
+type env = {
+  variant : int;
+  nreplicas : int;
+  backend : backend;
+  heap_base : int64; (* diversified heap placement: the program's "pointers" *)
+  lock : int -> unit; (* user-space mutex, record/replay ordered *)
+  unlock : int -> unit;
+  spawn_thread : (unit -> unit) -> int;
+  diversified_ptr : int -> int64;
+      (* a logical object id rendered as this replica's pointer value *)
+}
+
+type handle = {
+  kernel : Kernel.t;
+  config : config;
+  group : Context.group;
+  ghumvee : Ghumvee.t option;
+  agent : Record_replay.t;
+  mutable master_exit_ns : Vtime.t option;
+  mutable exit_codes : (int * int) list; (* variant, code *)
+  mutable heap_bases : int64 array;
+}
+
+type outcome = {
+  duration : Vtime.t; (* master replica lifetime in virtual time *)
+  verdict : Divergence.t option;
+  exit_codes : (int * int) list;
+  syscalls : int;
+  monitored : int;
+  ipmon_fastpath : int;
+  ptrace_stops : int;
+  rendezvous : int;
+  ipmon_fallbacks : int;
+  rb_resets : int;
+  rb_records : int;
+  tokens_granted : int;
+  tokens_rejected : int;
+}
+
+let shm_key_counter = ref 0
+
+(* ------------------------------------------------------------------ *)
+
+let make_group kernel (config : config) nreplicas =
+  incr shm_key_counter;
+  let mode =
+    match config.mode_override with
+    | Some m -> m
+    | None -> (
+      match config.backend with
+      | Varan -> Context.varan_mode
+      | Native | Ghumvee_only | Remon -> Context.remon_mode)
+  in
+  let ikb = Ikb.create ~kernel ~policy:config.policy ~seed:config.seed in
+  if config.backend = Varan then ikb.Ikb.route_all <- true;
+  {
+    Context.kernel;
+    nreplicas;
+    policy = config.policy;
+    mode;
+    rb = Replication_buffer.create ~size_bytes:config.rb_size ~nreplicas;
+    file_map = File_map.create ();
+    epoll_map = Epoll_map.create ~nreplicas;
+    ikb;
+    shm_key = Context.mvee_shm_key_base + (!shm_key_counter * 16);
+    replicas = [||];
+    divergence = None;
+    shutdown = false;
+    ipmon_calls = 0;
+    ipmon_fallbacks = 0;
+  }
+
+let make_env (h : handle) ~variant ~nreplicas : env =
+  let agent = h.agent in
+  (* lock words live past the heap base, at diversified addresses *)
+  let word_addr id = Int64.add h.heap_bases.(variant) (Int64.of_int (4096 + (id * 64))) in
+  let lock id =
+    let th = Sched.self () in
+    let proc = th.Proc.proc in
+    let addr = word_addr id in
+    if variant > 0 then
+      Record_replay.slave_gate agent ~variant ~lock_id:id ~thread_rank:th.Proc.rank;
+    (* user-space acquire: check-and-set inside the wait condition so at
+       most one waiter wins per wakeup *)
+    Sched.wait_user (fun () ->
+        if Vm.read_word proc.Proc.vm addr = 0 then begin
+          Vm.write_word proc.Proc.vm addr 1;
+          true
+        end
+        else false);
+    if variant = 0 then
+      Record_replay.master_acquired agent ~lock_id:id ~thread_rank:th.Proc.rank;
+    Kernel.kick h.kernel
+  in
+  let unlock id =
+    let th = Sched.self () in
+    let proc = th.Proc.proc in
+    Vm.write_word proc.Proc.vm (word_addr id) 0;
+    Kernel.kick h.kernel
+  in
+  let spawn_thread body =
+    let th = Sched.self () in
+    let proc = th.Proc.proc in
+    let idx = Array.length proc.Proc.entry_table in
+    proc.Proc.entry_table <- Array.append proc.Proc.entry_table [| body |];
+    match Sched.syscall (Syscall.Clone idx) with
+    | Syscall.Ok_int tid -> tid
+    | r -> failwith (Format.asprintf "spawn_thread: clone failed: %a" Syscall.pp_result r)
+  in
+  {
+    variant;
+    nreplicas;
+    backend = h.config.backend;
+    heap_base = h.heap_bases.(variant);
+    lock;
+    unlock;
+    spawn_thread;
+    diversified_ptr =
+      (fun id -> Int64.add h.heap_bases.(variant) (Int64.of_int (65536 + (id * 16))));
+  }
+
+(* Launches the replica set. [body] is the program every replica runs. *)
+let launch (kernel : Kernel.t) (config : config) ~name
+    ~(body : env -> unit) : handle =
+  let nreplicas = match config.backend with Native -> 1 | _ -> config.nreplicas in
+  let group = make_group kernel config nreplicas in
+  let ghumvee =
+    match config.backend with
+    | Ghumvee_only | Remon ->
+      Some (Ghumvee.create group ~watchdog_ns:config.watchdog_ns ())
+    | Native | Varan -> None
+  in
+  (match config.backend with
+  | Varan | Remon -> Ikb.install group.Context.ikb
+  | Native | Ghumvee_only -> ());
+  let agent =
+    Record_replay.create ~kernel ~log:group.Context.rb.Replication_buffer.sync_log
+      ~enabled:(config.record_replay && nreplicas > 1)
+  in
+  let handle =
+    {
+      kernel;
+      config;
+      group;
+      ghumvee;
+      agent;
+      master_exit_ns = None;
+      exit_codes = [];
+      heap_bases = Array.make nreplicas 0L;
+    }
+  in
+  let replicas =
+    Array.init nreplicas (fun variant ->
+        let vm_seed =
+          if config.diversity.Diversity.aslr then (config.seed * 7919) + (variant * 104729) + 13
+          else config.seed
+        in
+        let main () =
+          let th = Sched.self () in
+          let proc = th.Proc.proc in
+          (match Diversity.apply config.diversity proc ~variant with
+          | Ok (_code_base, heap_base) -> handle.heap_bases.(variant) <- heap_base
+          | Error e ->
+            failwith ("diversity layout failed: " ^ Errno.to_string e));
+          (match config.backend with
+          | Varan -> ignore (Ipmon.init ~calls:Sysno.all group ~variant)
+          | Remon -> ignore (Ipmon.init group ~variant)
+          | Native | Ghumvee_only -> ());
+          let env = make_env handle ~variant ~nreplicas in
+          body env;
+          ignore (Sched.syscall (Syscall.Exit_group 0))
+        in
+        Kernel.spawn_process kernel
+          ~replica_info:{ Proc.variant_index = variant; group_id = group.Context.shm_key }
+          ~name:(Printf.sprintf "%s-v%d" name variant)
+          ~vm_seed main)
+  in
+  group.Context.replicas <- replicas;
+  group.Context.ikb.Ikb.master_proc <- Some replicas.(0);
+  (* Section 4 extension: periodic RB migration. The broker remaps every
+     replica's shared segments to fresh randomized addresses; IP-MON's
+     register-held pointer is updated atomically (it never lived in
+     user-accessible memory, so nothing else needs patching). *)
+  (match config.rb_migration_interval with
+  | None -> ()
+  | Some interval ->
+    let migrations = ref 0 in
+    let ticks = ref 0 in
+    let rec migrate () =
+      incr ticks;
+      let alive = Array.exists (fun (p : Proc.process) -> p.Proc.alive) replicas in
+      (* the tick cap keeps the event queue finite for perpetual servers *)
+      if alive && (not group.Context.shutdown) && !ticks <= 256 then begin
+        Array.iter
+          (fun (p : Proc.process) ->
+            if p.Proc.alive then begin
+              let shm_regions =
+                List.filter
+                  (fun (r : Vm.region) ->
+                    match r.Vm.backing with Vm.Shm_seg _ -> true | _ -> false)
+                  p.Proc.vm.Vm.regions
+              in
+              List.iter
+                (fun (r : Vm.region) ->
+                  let { Vm.len; prot; backing; tag; start } = r in
+                  match Vm.unmap p.Proc.vm ~addr:start ~len with
+                  | Error _ -> ()
+                  | Ok () -> (
+                    match Vm.map p.Proc.vm ~len ~prot ~backing ~tag with
+                    | Ok r' -> (
+                      incr migrations;
+                      match p.Proc.ipmon_registered with
+                      | Some reg when Int64.equal reg.Proc.rb_addr start ->
+                        p.Proc.ipmon_registered <-
+                          Some { reg with Proc.rb_addr = r'.Vm.start }
+                      | _ -> ())
+                    | Error _ -> ()))
+                shm_regions
+            end)
+          replicas;
+        Kernel.schedule kernel ~time:(Vtime.add (Kernel.now kernel) interval) migrate
+      end
+    in
+    Kernel.schedule kernel ~time:(Vtime.add (Kernel.now kernel) interval) migrate);
+  (match ghumvee with
+  | Some g -> Array.iter (fun p -> Ghumvee.attach g p) replicas
+  | None -> ());
+  Array.iteri
+    (fun variant p ->
+      Kernel.on_process_exit p (fun code ->
+          handle.exit_codes <- (variant, code) :: handle.exit_codes;
+          if variant = 0 then handle.master_exit_ns <- Some (Kernel.now kernel)))
+    replicas;
+  handle
+
+(* Collects the outcome after [Kernel.run] has drained the simulation. *)
+let finish (h : handle) : outcome =
+  let st = Kernel.stats h.kernel in
+  {
+    duration = (match h.master_exit_ns with Some t -> t | None -> Kernel.now h.kernel);
+    verdict = h.group.Context.divergence;
+    exit_codes = List.sort compare h.exit_codes;
+    syscalls = st.Kstate.syscalls;
+    monitored = st.Kstate.monitored;
+    ipmon_fastpath = st.Kstate.ipmon_fastpath;
+    ptrace_stops = st.Kstate.ptrace_stops;
+    rendezvous = (match h.ghumvee with Some g -> g.Ghumvee.rendezvous_count | None -> 0);
+    ipmon_fallbacks = h.group.Context.ipmon_fallbacks;
+    rb_resets = h.group.Context.rb.Replication_buffer.resets;
+    rb_records = h.group.Context.rb.Replication_buffer.total_records;
+    tokens_granted = st.Kstate.tokens_granted;
+    tokens_rejected = st.Kstate.tokens_rejected;
+  }
+
+(* One-shot convenience: fresh kernel, launch, run to completion. *)
+let run_program ?cost ?(net_latency = Vtime.us 50) (config : config) ~name
+    ~(body : env -> unit) : outcome =
+  let kernel = Kernel.create ?cost ~seed:config.seed ~net_latency () in
+  let h = launch kernel config ~name ~body in
+  Kernel.run kernel;
+  finish h

@@ -1,0 +1,86 @@
+(** Top-level multi-variant execution environment: wires the kernel hooks,
+    monitors and replication machinery for one replica set. *)
+
+open Remon_kernel
+open Remon_sim
+
+type backend =
+  | Native (** one process, no monitoring (baseline) *)
+  | Ghumvee_only (** cross-process lockstep for every call ("no IP-MON") *)
+  | Varan (** in-process replication of everything, no lockstep *)
+  | Remon (** the paper's hybrid *)
+
+val backend_to_string : backend -> string
+
+type config = {
+  backend : backend;
+  nreplicas : int;
+  policy : Policy.t;
+  diversity : Diversity.config;
+  rb_size : int;
+  seed : int;
+  watchdog_ns : Vtime.t; (** rendezvous-stall detection *)
+  record_replay : bool; (** enable the user-space sync agent *)
+  mode_override : Context.mode option; (** ablations; [None] = backend default *)
+  rb_migration_interval : Vtime.t option;
+      (** Section 4 extension: periodically remap the RB to fresh
+          randomized addresses *)
+}
+
+val default_config : config
+(** ReMon, 2 replicas, SOCKET_RW_LEVEL, ASLR + DCL, 16 MiB RB. *)
+
+(** The replica's view of the MVEE runtime, handed to program bodies. *)
+type env = {
+  variant : int; (** 0 = master *)
+  nreplicas : int;
+  backend : backend;
+  heap_base : int64; (** diversified heap placement *)
+  lock : int -> unit; (** user-space mutex, record/replay ordered *)
+  unlock : int -> unit;
+  spawn_thread : (unit -> unit) -> int; (** clone; returns the tid *)
+  diversified_ptr : int -> int64;
+      (** a logical object id rendered as this replica's pointer value *)
+}
+
+type handle = {
+  kernel : Kernel.t;
+  config : config;
+  group : Context.group;
+  ghumvee : Ghumvee.t option;
+  agent : Record_replay.t;
+  mutable master_exit_ns : Vtime.t option;
+  mutable exit_codes : (int * int) list;
+  mutable heap_bases : int64 array;
+}
+
+type outcome = {
+  duration : Vtime.t; (** master replica lifetime in virtual time *)
+  verdict : Divergence.t option; (** [None] = clean run *)
+  exit_codes : (int * int) list; (** (variant, code) *)
+  syscalls : int;
+  monitored : int;
+  ipmon_fastpath : int;
+  ptrace_stops : int;
+  rendezvous : int;
+  ipmon_fallbacks : int;
+  rb_resets : int;
+  rb_records : int;
+  tokens_granted : int;
+  tokens_rejected : int;
+}
+
+val launch : Kernel.t -> config -> name:string -> body:(env -> unit) -> handle
+(** Spawns the replica set; every replica runs [body]. Drive the simulation
+    with [Kernel.run], then collect the [outcome] with [finish]. *)
+
+val finish : handle -> outcome
+
+val run_program :
+  ?cost:Cost_model.t ->
+  ?net_latency:Vtime.t ->
+  config ->
+  name:string ->
+  body:(env -> unit) ->
+  outcome
+(** One-shot convenience: fresh kernel, launch, run to completion. *)

@@ -1,0 +1,36 @@
+(* Shared log of user-space synchronization events (Section 2.3).
+
+   The record/replay agent embedded in each replica forces all replicas to
+   acquire user-space locks in the order the master acquired them, removing
+   scheduling non-determinism that would otherwise make replicas issue
+   different syscall sequences. The master appends (lock, thread-rank)
+   events; each slave consumes them in order, gating its own acquisitions. *)
+
+type event = { lock_id : int; thread_rank : int }
+
+type t = {
+  mutable events : event array;
+  mutable len : int;
+  consumed : int array; (* per variant; index 0 unused *)
+}
+
+let create ~nreplicas =
+  { events = Array.make 64 { lock_id = 0; thread_rank = 0 }; len = 0; consumed = Array.make nreplicas 0 }
+
+let length t = t.len
+
+let append t ~lock_id ~thread_rank =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) t.events.(0) in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- { lock_id; thread_rank };
+  t.len <- t.len + 1
+
+(* The next unconsumed event for [variant], if the master has produced it. *)
+let peek t ~variant =
+  let pos = t.consumed.(variant) in
+  if pos < t.len then Some t.events.(pos) else None
+
+let advance t ~variant = t.consumed.(variant) <- t.consumed.(variant) + 1

@@ -1,0 +1,16 @@
+(** Shared log of user-space synchronization events (Section 2.3): the
+    master appends lock-acquisition events; each slave consumes them in
+    order to replay the master's acquisition order. *)
+
+type event = { lock_id : int; thread_rank : int }
+
+type t
+
+val create : nreplicas:int -> t
+val length : t -> int
+val append : t -> lock_id:int -> thread_rank:int -> unit
+
+val peek : t -> variant:int -> event option
+(** Next unconsumed event for [variant], if the master has produced it. *)
+
+val advance : t -> variant:int -> unit

@@ -1,0 +1,1 @@
+lib/kernel/bytestream.ml: Buffer Queue String

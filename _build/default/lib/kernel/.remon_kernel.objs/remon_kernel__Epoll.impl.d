@@ -1,0 +1,1 @@
+lib/kernel/epoll.ml: Errno Hashtbl List Syscall

@@ -1,0 +1,1 @@
+lib/kernel/epoll.mli: Errno Syscall

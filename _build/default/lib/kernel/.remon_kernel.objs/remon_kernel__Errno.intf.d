@@ -1,0 +1,1 @@
+lib/kernel/errno.mli: Format

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Dispatch Hashtbl Kstate List Option Printf Proc Queue Remon_sim Remon_util Rng Sched Vfs Vm Vtime

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Cost_model Kstate Net Proc Remon_sim Remon_util Rng Sched Shm Syscall Vfs Vtime

@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Cost_model Hashtbl Net Printf Proc Queue Remon_sim Remon_util Rng Sched Shm Syscall Sysno Vfs Vm Vtime

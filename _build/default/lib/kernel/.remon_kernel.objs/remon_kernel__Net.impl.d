@@ -1,0 +1,1 @@
+lib/kernel/net.ml: Bytestream Errno Hashtbl Queue Remon_sim String

@@ -1,0 +1,1 @@
+lib/kernel/net.mli: Bytestream Errno Hashtbl Queue Remon_sim

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Epoll Event_queue Hashtbl Int List Net Pipe Printf Queue Remon_sim Set Syscall Sysno Vfs Vm Vtime

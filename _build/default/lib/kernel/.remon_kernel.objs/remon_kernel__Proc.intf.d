@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Epoll Event_queue Hashtbl Net Pipe Queue Remon_sim Set Syscall Sysno Vfs Vm Vtime

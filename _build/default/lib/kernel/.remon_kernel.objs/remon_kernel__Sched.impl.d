@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Effect Event_queue List Proc Remon_sim Syscall Vtime

@@ -1,0 +1,1 @@
+lib/kernel/sched.mli: Effect Event_queue Proc Remon_sim Syscall Vtime

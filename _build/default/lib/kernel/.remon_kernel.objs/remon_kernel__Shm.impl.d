@@ -1,0 +1,1 @@
+lib/kernel/shm.ml: Errno Hashtbl

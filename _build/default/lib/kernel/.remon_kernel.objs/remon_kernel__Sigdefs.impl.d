@@ -1,0 +1,1 @@
+lib/kernel/sigdefs.ml: Printf

@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Errno Format List String Sysno

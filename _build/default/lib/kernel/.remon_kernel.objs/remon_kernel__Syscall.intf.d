@@ -1,0 +1,1 @@
+lib/kernel/syscall.mli: Errno Format Sysno

@@ -1,0 +1,1 @@
+lib/kernel/sysno.ml: Format Set Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/sysno.mli: Format Set

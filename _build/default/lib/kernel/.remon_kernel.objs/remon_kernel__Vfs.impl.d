@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Buffer Bytes Errno Hashtbl List Result String

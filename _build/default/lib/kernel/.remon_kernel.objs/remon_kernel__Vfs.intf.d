@@ -1,0 +1,1 @@
+lib/kernel/vfs.mli: Buffer Errno Hashtbl

@@ -1,0 +1,1 @@
+lib/kernel/vm.ml: Buffer Errno Hashtbl Int64 List Printf Remon_util Rng Shm Syscall Vfs

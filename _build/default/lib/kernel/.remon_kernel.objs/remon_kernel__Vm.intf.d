@@ -1,0 +1,1 @@
+lib/kernel/vm.mli: Errno Hashtbl Remon_util Rng Shm Syscall Vfs

@@ -1,0 +1,1630 @@
+(* System-call dispatcher: semantics of every supported call, the ptrace
+   stop machinery, IK-B broker routing, blocking, and signal delivery.
+
+   Control flow for one syscall (mirrors Figure 2 of the paper):
+
+     handle --(broker route)--> ipmon invoke --> execute_raw ...... finish
+         \--(Route_monitor)---> entry stop --> proceed --> exit stop --> finish
+         \--(Route_plain)-----> proceed ------------------------------> finish
+
+   Every stage is CPS: a stage either completes synchronously or parks the
+   thread with a retry thunk and completes later. *)
+
+open Remon_sim
+module K = Kstate
+
+let src = Logs.Src.create "remon.kernel" ~doc:"simulated kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers *)
+
+let err e = Syscall.Error e
+
+let charge = K.charge
+
+let proc_of (th : Proc.thread) = th.proc
+
+(* First pending signal not blocked by the process mask. *)
+let next_deliverable (p : Proc.process) =
+  let found = ref None in
+  Queue.iter
+    (fun sg ->
+      if !found = None && not (Proc.IntSet.mem sg p.sig_mask) then found := Some sg)
+    p.pending_signals;
+  !found
+
+let remove_pending (p : Proc.process) sg =
+  let keep = Queue.create () in
+  let removed = ref false in
+  Queue.iter
+    (fun s ->
+      if s = sg && not !removed then removed := true else Queue.push s keep)
+    p.pending_signals;
+  Queue.clear p.pending_signals;
+  Queue.transfer keep p.pending_signals
+
+let signal_action (p : Proc.process) sg =
+  match Hashtbl.find_opt p.sig_actions sg with
+  | Some a -> a
+  | None -> Syscall.Sig_default
+
+(* ------------------------------------------------------------------ *)
+(* Readiness polling *)
+
+let timer_fires (tf : Proc.timerfd_state) now =
+  match tf.spec with
+  | None -> 0
+  | Some { value_ns; interval_ns } ->
+    let first = Vtime.add tf.armed_at value_ns in
+    if Vtime.(now < first) then 0
+    else if Int64.compare interval_ns 0L <= 0 then 1
+    else
+      1 + Int64.to_int (Int64.div (Vtime.sub now first) interval_ns)
+
+let timer_available tf now = max 0 (timer_fires tf now - tf.Proc.expirations)
+
+let stream_eof (s : Net.stream) =
+  Bytestream.length s.incoming = 0
+  && s.in_flight = 0
+  && (Net.peer_gone s || s.rd_shut
+     || match s.peer with Some p -> p.wr_shut | None -> true)
+
+let poll_desc k (d : Proc.desc) : Syscall.poll_events =
+  let now = K.now k in
+  match d.kind with
+  | Proc.Regular _ | Proc.Directory _ | Proc.Dev_null ->
+    { Syscall.ev_none with pollin = true; pollout = true }
+  | Proc.Proc_maps _ -> { Syscall.ev_none with pollin = true }
+  | Proc.Pipe_read p ->
+    {
+      Syscall.ev_none with
+      pollin = Pipe.bytes_available p > 0 || Pipe.write_closed p;
+      pollhup = Pipe.write_closed p && Pipe.bytes_available p = 0;
+    }
+  | Proc.Pipe_write p ->
+    {
+      Syscall.ev_none with
+      pollout = Pipe.space_available p > 0 && not (Pipe.read_closed p);
+      pollerr = Pipe.read_closed p;
+    }
+  | Proc.Listener l -> { Syscall.ev_none with pollin = not (Queue.is_empty l.pending) }
+  | Proc.Stream s ->
+    {
+      Syscall.ev_none with
+      pollin = Bytestream.length s.incoming > 0 || stream_eof s;
+      pollout = (not (Net.peer_gone s)) && not s.wr_shut;
+      pollhup = Net.peer_gone s;
+    }
+  | Proc.Epoll_fd _ -> Syscall.ev_none
+  | Proc.Timer_fd tf -> { Syscall.ev_none with pollin = timer_available tf now > 0 }
+  | Proc.Event_fd e ->
+    { Syscall.ev_none with pollin = e.Proc.count > 0; pollout = true }
+  | Proc.Replicated_handle _ -> Syscall.ev_none
+
+let events_intersect (want : Syscall.poll_events) (have : Syscall.poll_events) =
+  (want.pollin && have.pollin)
+  || (want.pollout && have.pollout)
+  || have.pollhup || have.pollerr
+
+(* ------------------------------------------------------------------ *)
+(* Blocking *)
+
+(* Parks [th] until [poll] yields a value, a timeout fires, a signal
+   arrives (when [intr]), or someone force-completes the call. Exactly one
+   of [on_ready]/[complete] is eventually invoked. *)
+let block k (th : Proc.thread) ~what ?timeout_ns ?(intr = true)
+    ~(poll : unit -> 'a option) ~(on_ready : 'a -> unit)
+    ~(complete : Syscall.result -> unit) () =
+  match poll () with
+  | Some v -> on_ready v
+  | None ->
+    let finished = ref false in
+    let b = Sched.park k.K.sched th ~what ~retry:(fun () -> false) in
+    let settle () =
+      finished := true;
+      (match b.Proc.timeout with Some h -> Event_queue.cancel h | None -> ());
+      th.Proc.clock <- Vtime.max th.Proc.clock (K.now k)
+    in
+    let force result =
+      if not !finished then begin
+        settle ();
+        Sched.unpark k.K.sched th;
+        complete result
+      end
+    in
+    b.Proc.interrupt <- Some force;
+    b.Proc.retry <-
+      (fun () ->
+        if !finished then true
+        else
+          match th.Proc.tstate with
+          | Proc.Dead ->
+            finished := true;
+            true
+          | _ ->
+            if intr && next_deliverable (proc_of th) <> None then begin
+              settle ();
+              complete (err Errno.EINTR);
+              true
+            end
+            else begin
+              match poll () with
+              | Some v ->
+                settle ();
+                on_ready v;
+                true
+              | None -> false
+            end);
+    (match timeout_ns with
+    | None -> ()
+    | Some ns ->
+      let handle =
+        Sched.schedule_at k.K.sched
+          ~time:(Vtime.add (K.now k) ns)
+          (fun () ->
+            if not !finished then begin
+              match th.Proc.tstate with
+              | Proc.Blocked b' when b' == b ->
+                settle ();
+                Sched.unpark k.K.sched th;
+                complete (err Errno.ETIMEDOUT)
+              | _ -> ()
+            end)
+      in
+      b.Proc.timeout <- Some handle)
+
+(* ------------------------------------------------------------------ *)
+(* Signals *)
+
+let rec post_signal k (p : Proc.process) sg =
+  if p.alive && sg > 0 then begin
+    k.K.stats.signals_posted <- k.K.stats.signals_posted + 1;
+    (match signal_action p sg with
+    | Syscall.Sig_ignore when Sigdefs.catchable sg -> ()
+    | _ -> Queue.push sg p.pending_signals);
+    if sg = Sigdefs.sigkill then kill_process k p ~code:(128 + sg);
+    Sched.kick k.K.sched
+  end
+
+(* Terminates every thread of [p]. Threads parked or trace-stopped simply
+   never resume; their continuations are dropped. *)
+and kill_process k (p : Proc.process) ~code =
+  if p.alive then begin
+    p.alive <- false;
+    p.exit_code <- code;
+    List.iter
+      (fun (t : Proc.thread) ->
+        (match t.tstate with
+        | Proc.Blocked b -> (
+          match b.timeout with Some h -> Event_queue.cancel h | None -> ())
+        | _ -> ());
+        t.tstate <- Proc.Dead;
+        Sched.unpark k.K.sched t)
+      p.threads;
+    let waiters = p.exit_waiters in
+    p.exit_waiters <- [];
+    List.iter (fun f -> f code) waiters;
+    Sched.kick k.K.sched
+  end
+
+(* Applies the disposition of [sg] to [p], in the context of thread [th]
+   which is crossing a syscall boundary. Returns [false] when the signal
+   killed the process (the caller must not resume the thread). *)
+let deliver_signal k (th : Proc.thread) sg =
+  let p = proc_of th in
+  remove_pending p sg;
+  k.K.stats.signals_delivered <- k.K.stats.signals_delivered + 1;
+  charge th k.K.cost.signal_delivery_ns;
+  match signal_action p sg with
+  | Syscall.Sig_handler _ ->
+    th.pending_delivery <- th.pending_delivery @ [ sg ];
+    true
+  | Syscall.Sig_ignore -> true
+  | Syscall.Sig_default -> (
+    match Sigdefs.default_of sg with
+    | Sigdefs.Ignore_sig -> true
+    | Sigdefs.Terminate | Sigdefs.Core_dump ->
+      kill_process k p ~code:(128 + sg);
+      false)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor release *)
+
+let release_desc k (p : Proc.process) (d : Proc.desc) =
+  d.refs <- d.refs - 1;
+  if d.refs <= 0 then begin
+    (match d.kind with
+    | Proc.Pipe_read pi ->
+      pi.readers <- pi.readers - 1;
+      if Pipe.read_closed pi then
+        (* writers blocked on a reader-less pipe get SIGPIPE/EPIPE on retry *)
+        ()
+    | Proc.Pipe_write pi -> pi.writers <- pi.writers - 1
+    | Proc.Stream s -> Net.close_stream s
+    | Proc.Listener l -> Net.close_listener k.K.net l
+    | Proc.Epoll_fd _ | Proc.Timer_fd _ | Proc.Event_fd _ | Proc.Regular _
+    | Proc.Directory _ | Proc.Dev_null | Proc.Proc_maps _
+    | Proc.Replicated_handle _ -> ());
+    (* epoll instances watching this process's fds learn on close *)
+    Hashtbl.iter
+      (fun _ (other : Proc.desc) ->
+        match other.kind with
+        | Proc.Epoll_fd _ -> () (* interest keyed by fd number; stale entries
+                                    are skipped at wait time *)
+        | _ -> ())
+      p.fds
+  end;
+  Sched.kick k.K.sched
+
+(* ------------------------------------------------------------------ *)
+(* Call execution *)
+
+let encode_flags (d : Proc.desc) = if d.nonblock then 0x800 else 0
+
+(* Reads [count] bytes from a descriptor; blocks according to [d.nonblock]
+   unless the caller is the kernel itself. *)
+let rec do_read k (th : Proc.thread) (d : Proc.desc) ~count ~(ret : Syscall.result -> unit) =
+  let p = proc_of th in
+  let data_done s =
+    charge th (Cost_model.local_copy_ns k.K.cost ~bytes:(String.length s));
+    ret (Syscall.Ok_data s)
+  in
+  if not d.can_read then ret (err Errno.EBADF)
+  else
+    match d.kind with
+    | Proc.Regular node -> (
+      match Vfs.read_at node ~offset:d.offset ~count with
+      | Ok s ->
+        d.offset <- d.offset + String.length s;
+        data_done s
+      | Error e -> ret (err e))
+    | Proc.Directory _ -> ret (err Errno.EISDIR)
+    | Proc.Dev_null -> data_done ""
+    | Proc.Proc_maps pm ->
+      let size = String.length pm.content in
+      let n = if d.offset >= size then 0 else min count (size - d.offset) in
+      let s = String.sub pm.content d.offset n in
+      d.offset <- d.offset + n;
+      data_done s
+    | Proc.Pipe_read pi ->
+      let attempt () =
+        if Pipe.bytes_available pi > 0 then begin
+          Sched.kick k.K.sched;
+          Some (Pipe.read pi count)
+        end
+        else if Pipe.write_closed pi then Some ""
+        else None
+      in
+      if d.nonblock then (
+        match attempt () with
+        | Some s -> data_done s
+        | None -> ret (err Errno.EAGAIN))
+      else
+        block k th ~what:"read(pipe)" ~poll:attempt ~on_ready:data_done
+          ~complete:ret ()
+    | Proc.Pipe_write _ -> ret (err Errno.EBADF)
+    | Proc.Stream s ->
+      let attempt () =
+        if Bytestream.length s.incoming > 0 then Some (Net.recv s count)
+        else if stream_eof s then Some ""
+        else None
+      in
+      if d.nonblock then (
+        match attempt () with
+        | Some data -> data_done data
+        | None -> ret (err Errno.EAGAIN))
+      else
+        block k th ~what:"read(socket)" ~poll:attempt ~on_ready:data_done
+          ~complete:ret ()
+    | Proc.Timer_fd tf ->
+      let attempt () =
+        let avail = timer_available tf (K.now k) in
+        if avail > 0 then begin
+          tf.expirations <- tf.expirations + avail;
+          Some (Syscall.Ok_int64 (Int64.of_int avail))
+        end
+        else None
+      in
+      if d.nonblock then (
+        match attempt () with
+        | Some r -> ret r
+        | None -> ret (err Errno.EAGAIN))
+      else
+        block k th ~what:"read(timerfd)" ~poll:attempt ~on_ready:ret
+          ~complete:ret ()
+    | Proc.Event_fd e ->
+      (* eventfd semantics: read returns the counter and resets it,
+         blocking while it is zero *)
+      let attempt () =
+        if e.Proc.count > 0 then begin
+          let v = e.Proc.count in
+          e.Proc.count <- 0;
+          Sched.kick k.K.sched;
+          Some (Syscall.Ok_int64 (Int64.of_int v))
+        end
+        else None
+      in
+      if d.nonblock then (
+        match attempt () with
+        | Some r -> ret r
+        | None -> ret (err Errno.EAGAIN))
+      else
+        block k th ~what:"read(eventfd)" ~poll:attempt ~on_ready:ret
+          ~complete:ret ()
+    | Proc.Listener _ | Proc.Epoll_fd _ -> ret (err Errno.EINVAL)
+    | Proc.Replicated_handle _ ->
+      (* A slave replica's stub descriptor reached the kernel: under a
+         correctly-functioning MVEE this never happens, because slave I/O
+         is aborted and satisfied from replicated results. *)
+      ignore p;
+      ret (err Errno.EREMOTEIO)
+
+and do_write k (th : Proc.thread) (d : Proc.desc) ~data ~(ret : Syscall.result -> unit) =
+  let p = proc_of th in
+  let len = String.length data in
+  charge th (Cost_model.local_copy_ns k.K.cost ~bytes:len);
+  if not d.can_write then ret (err Errno.EBADF)
+  else
+    match d.kind with
+    | Proc.Regular node ->
+      let offset = if d.append then Vfs.file_size node else d.offset in
+      (match Vfs.write_at node ~offset ~data ~now_ns:(K.now k) with
+      | Ok n ->
+        d.offset <- offset + n;
+        Sched.kick k.K.sched;
+        ret (Syscall.Ok_int n)
+      | Error e -> ret (err e))
+    | Proc.Dev_null -> ret (Syscall.Ok_int len)
+    | Proc.Pipe_write pi ->
+      if Pipe.read_closed pi then begin
+        post_signal k p Sigdefs.sigpipe;
+        ret (err Errno.EPIPE)
+      end
+      else begin
+        let attempt () =
+          if Pipe.read_closed pi then Some (err Errno.EPIPE)
+          else
+            let n = Pipe.write pi data in
+            if n > 0 then begin
+              Sched.kick k.K.sched;
+              Some (Syscall.Ok_int n)
+            end
+            else None
+        in
+        if d.nonblock then (
+          match attempt () with
+          | Some r -> ret r
+          | None -> ret (err Errno.EAGAIN))
+        else
+          block k th ~what:"write(pipe)" ~poll:attempt ~on_ready:ret
+            ~complete:ret ()
+      end
+    | Proc.Stream s -> (
+      match Net.send_start s data with
+      | Error e ->
+        if e = Errno.EPIPE then post_signal k p Sigdefs.sigpipe;
+        ret (err e)
+      | Ok peer ->
+        (* local pairs (socketpair/loopback) skip the NIC: memcpy only *)
+        if s.Net.local then
+          charge th (Cost_model.local_copy_ns k.K.cost ~bytes:len)
+        else charge th (Cost_model.wire_ns k.K.cost ~bytes:len);
+        let latency =
+          if s.Net.local then Vtime.us 2 else k.K.net.Net.latency
+        in
+        let arrival = Vtime.add (Vtime.max th.clock (K.now k)) latency in
+        Sched.schedule k.K.sched ~time:arrival (fun () ->
+            Net.commit peer data;
+            Sched.kick k.K.sched);
+        ret (Syscall.Ok_int len))
+    | Proc.Event_fd e ->
+      (* eventfd write adds the encoded value; we use the payload length *)
+      e.Proc.count <- e.Proc.count + len;
+      Sched.kick k.K.sched;
+      ret (Syscall.Ok_int len)
+    | Proc.Pipe_read _ | Proc.Listener _ | Proc.Epoll_fd _ | Proc.Timer_fd _
+    | Proc.Directory _ | Proc.Proc_maps _ ->
+      ret (err Errno.EBADF)
+    | Proc.Replicated_handle _ -> ret (err Errno.EREMOTEIO)
+
+(* Builds the stat result for a node-backed or anonymous descriptor. *)
+and stat_of_node (node : Vfs.node) =
+  Syscall.Ok_stat
+    {
+      Syscall.st_ino = node.ino;
+      st_size = Vfs.file_size node;
+      st_kind = Vfs.stat_kind node;
+      st_mtime_ns = node.mtime_ns;
+    }
+
+and stat_of_desc (d : Proc.desc) =
+  match d.kind with
+  | Proc.Regular node | Proc.Directory node -> stat_of_node node
+  | Proc.Pipe_read _ | Proc.Pipe_write _ ->
+    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Fifo; st_mtime_ns = 0L }
+  | Proc.Listener _ | Proc.Stream _ ->
+    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Sock; st_mtime_ns = 0L }
+  | Proc.Epoll_fd _ | Proc.Timer_fd _ | Proc.Event_fd _ | Proc.Dev_null
+  | Proc.Proc_maps _ | Proc.Replicated_handle _ ->
+    Syscall.Ok_stat
+      { st_ino = 0; st_size = 0; st_kind = `Special; st_mtime_ns = 0L }
+
+(* ------------------------------------------------------------------ *)
+(* Thread termination *)
+
+(* Ends the calling thread. The thread's continuation is never resumed, so
+   this function must be the last thing the dispatcher does for it. *)
+let exit_current k (th : Proc.thread) ~code ~group =
+  let p = proc_of th in
+  let die () =
+    if group then begin
+      p.exit_code <- code;
+      List.iter
+        (fun (t : Proc.thread) ->
+          if t != th then begin
+            (match t.tstate with
+            | Proc.Blocked b -> (
+              match b.timeout with Some h -> Event_queue.cancel h | None -> ())
+            | _ -> ());
+            t.tstate <- Proc.Dead;
+            Sched.unpark k.K.sched t;
+            k.K.sched.Sched.on_thread_exit t
+          end)
+        p.threads
+    end
+    else if List.for_all (fun (t : Proc.thread) -> t == th || t.tstate = Proc.Dead) p.threads
+    then p.exit_code <- code;
+    th.tstate <- Proc.Dead;
+    Sched.unpark k.K.sched th;
+    k.K.sched.Sched.on_thread_exit th
+  in
+  match p.tracer with
+  | Some tracer ->
+    k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
+    th.tstate <-
+      Proc.Trace_stopped
+        { reason = Proc.Exit_stop code; resume = (fun _ -> die ()) };
+    tracer.on_stop th (Proc.Exit_stop code)
+  | None -> die ()
+
+(* ------------------------------------------------------------------ *)
+(* The big call-semantics match *)
+
+let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> unit) =
+  let p = proc_of th in
+  let now () = K.now k in
+  let with_fd fd f =
+    match Proc.desc_of_fd p fd with
+    | None -> ret (err Errno.EBADF)
+    | Some d -> f d
+  in
+  let install_fd desc =
+    let fd = Proc.alloc_fd p in
+    Hashtbl.replace p.fds fd desc;
+    fd
+  in
+  let wall_ns () = Int64.add k.K.epoch_offset_ns (now ()) in
+  let gather_poll fds =
+    List.filter_map
+      (fun (fd, want) ->
+        match Proc.desc_of_fd p fd with
+        | None -> Some (fd, { Syscall.ev_none with pollerr = true })
+        | Some d ->
+          let have = poll_desc k d in
+          if events_intersect want have then Some (fd, have) else None)
+      fds
+  in
+  match call with
+  (* ---- identity / time ---- *)
+  | Syscall.Gettimeofday | Syscall.Time -> ret (Syscall.Ok_int64 (wall_ns ()))
+  | Syscall.Clock_gettime `Realtime -> ret (Syscall.Ok_int64 (wall_ns ()))
+  | Syscall.Clock_gettime `Monotonic -> ret (Syscall.Ok_int64 (now ()))
+  | Syscall.Getpid -> ret (Syscall.Ok_int p.pid)
+  | Syscall.Gettid -> ret (Syscall.Ok_int th.tid)
+  | Syscall.Getpgrp -> ret (Syscall.Ok_int p.pid)
+  | Syscall.Getppid -> ret (Syscall.Ok_int p.parent_pid)
+  | Syscall.Getgid | Syscall.Getegid -> ret (Syscall.Ok_int 1000)
+  | Syscall.Getuid | Syscall.Geteuid -> ret (Syscall.Ok_int 1000)
+  | Syscall.Getcwd -> ret (Syscall.Ok_str p.cwd)
+  | Syscall.Getpriority -> ret (Syscall.Ok_int 20)
+  | Syscall.Getrusage -> ret (Syscall.Ok_int64 th.clock)
+  | Syscall.Times -> ret (Syscall.Ok_int64 (now ()))
+  | Syscall.Capget -> ret (Syscall.Ok_int 0)
+  | Syscall.Getitimer -> (
+    match p.itimer with
+    | Some spec -> ret (Syscall.Ok_itimer spec)
+    | None -> ret (Syscall.Ok_itimer { interval_ns = 0L; value_ns = 0L }))
+  | Syscall.Sysinfo -> ret (Syscall.Ok_int64 (now ()))
+  | Syscall.Uname -> ret (Syscall.Ok_str "Linux remon-sim 3.13.11 x86_64")
+  | Syscall.Sched_yield -> ret (Syscall.Ok_int 0)
+  | Syscall.Nanosleep ns ->
+    block k th ~what:"nanosleep" ~timeout_ns:ns
+      ~poll:(fun () -> None)
+      ~on_ready:(fun (r : Syscall.result) -> ret r)
+      ~complete:(fun r ->
+        if r = err Errno.ETIMEDOUT then ret Syscall.Ok_unit else ret r)
+      ()
+  (* ---- futex ---- *)
+  | Syscall.Futex (Syscall.Futex_wait { addr; expected; timeout_ns }) ->
+    k.K.stats.futex_waits <- k.K.stats.futex_waits + 1;
+    charge th k.K.cost.futex_wait_ns;
+    if Vm.read_word p.vm addr <> expected then ret (err Errno.EAGAIN)
+    else begin
+      let key = Vm.futex_key p.vm ~space_id:p.pid addr in
+      let q = K.futex_queue k key in
+      let w = { K.ft = th; woken = false; cancelled = false } in
+      Queue.push w q;
+      block k th ~what:"futex_wait" ?timeout_ns
+        ~poll:(fun () -> if w.K.woken then Some () else None)
+        ~on_ready:(fun () -> ret (Syscall.Ok_int 0))
+        ~complete:(fun r ->
+          w.K.cancelled <- true;
+          ret r)
+        ()
+    end
+  | Syscall.Futex (Syscall.Futex_wake { addr; count }) ->
+    k.K.stats.futex_wakes <- k.K.stats.futex_wakes + 1;
+    charge th k.K.cost.futex_wake_ns;
+    let key = Vm.futex_key p.vm ~space_id:p.pid addr in
+    let q = K.futex_queue k key in
+    let n = ref 0 in
+    while !n < count && not (Queue.is_empty q) do
+      let w = Queue.pop q in
+      if (not w.K.cancelled) && not w.K.woken then begin
+        w.K.woken <- true;
+        incr n
+      end
+    done;
+    Sched.kick k.K.sched;
+    ret (Syscall.Ok_int !n)
+  (* ---- fd control ---- *)
+  | Syscall.Ioctl (fd, op) ->
+    with_fd fd (fun d ->
+        match op with
+        | Syscall.Fionread -> (
+          match d.kind with
+          | Proc.Pipe_read pi -> ret (Syscall.Ok_int (Pipe.bytes_available pi))
+          | Proc.Stream s -> ret (Syscall.Ok_int (Bytestream.length s.incoming))
+          | _ -> ret (Syscall.Ok_int 0))
+        | Syscall.Fionbio v ->
+          d.nonblock <- v;
+          ret (Syscall.Ok_int 0)
+        | Syscall.Tiocgwinsz -> ret (Syscall.Ok_int ((24 lsl 16) lor 80)))
+  | Syscall.Fcntl (fd, op) ->
+    with_fd fd (fun d ->
+        match op with
+        | Syscall.F_getfl -> ret (Syscall.Ok_int (encode_flags d))
+        | Syscall.F_setfl { nonblock } ->
+          d.nonblock <- nonblock;
+          ret (Syscall.Ok_int 0)
+        | Syscall.F_dupfd _ ->
+          d.refs <- d.refs + 1;
+          ret (Syscall.Ok_int (install_fd d)))
+  (* ---- filesystem queries ---- *)
+  | Syscall.Access path | Syscall.Faccessat path ->
+    if Vfs.exists k.K.vfs path then ret (Syscall.Ok_int 0)
+    else ret (err Errno.ENOENT)
+  | Syscall.Lseek (fd, offset, whence) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node ->
+          let base =
+            match whence with
+            | Syscall.Seek_set -> 0
+            | Syscall.Seek_cur -> d.offset
+            | Syscall.Seek_end -> Vfs.file_size node
+          in
+          let pos = base + offset in
+          if pos < 0 then ret (err Errno.EINVAL)
+          else begin
+            d.offset <- pos;
+            ret (Syscall.Ok_int pos)
+          end
+        | Proc.Proc_maps pm ->
+          let base =
+            match whence with
+            | Syscall.Seek_set -> 0
+            | Syscall.Seek_cur -> d.offset
+            | Syscall.Seek_end -> String.length pm.content
+          in
+          d.offset <- max 0 (base + offset);
+          ret (Syscall.Ok_int d.offset)
+        | Proc.Pipe_read _ | Proc.Pipe_write _ | Proc.Stream _
+        | Proc.Listener _ ->
+          ret (err Errno.ESPIPE)
+        | _ -> ret (err Errno.EINVAL))
+  | Syscall.Stat path | Syscall.Fstatat path -> (
+    match Vfs.resolve k.K.vfs path with
+    | Ok node -> ret (stat_of_node node)
+    | Error e -> ret (err e))
+  | Syscall.Lstat path -> (
+    match Vfs.resolve_nofollow k.K.vfs path with
+    | Ok node -> ret (stat_of_node node)
+    | Error e -> ret (err e))
+  | Syscall.Fstat fd -> with_fd fd (fun d -> ret (stat_of_desc d))
+  | Syscall.Getdents fd | Syscall.Getdents64 fd ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Directory node -> (
+          match Vfs.list_dir node with
+          | Ok names ->
+            if d.offset > 0 then ret (Syscall.Ok_dents [])
+            else begin
+              d.offset <- 1;
+              ret (Syscall.Ok_dents names)
+            end
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.ENOTDIR))
+  | Syscall.Readlink path | Syscall.Readlinkat path -> (
+    match Vfs.resolve_nofollow k.K.vfs path with
+    | Ok { kind = Vfs.Symlink target; _ } -> ret (Syscall.Ok_str target)
+    | Ok _ -> ret (err Errno.EINVAL)
+    | Error e -> ret (err e))
+  | Syscall.Getxattr (path, name) | Syscall.Lgetxattr (path, name) -> (
+    match Vfs.resolve k.K.vfs path with
+    | Ok node -> (
+      match List.assoc_opt name node.xattrs with
+      | Some v -> ret (Syscall.Ok_str v)
+      | None -> ret (err Errno.ENOENT))
+    | Error e -> ret (err e))
+  | Syscall.Fgetxattr (fd, name) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node | Proc.Directory node -> (
+          match List.assoc_opt name node.xattrs with
+          | Some v -> ret (Syscall.Ok_str v)
+          | None -> ret (err Errno.ENOENT))
+        | _ -> ret (err Errno.EBADF))
+  (* ---- timers ---- *)
+  | Syscall.Alarm seconds ->
+    let prev =
+      match p.alarm_deadline with
+      | Some d when Vtime.(d > now ()) ->
+        Int64.to_int (Int64.div (Vtime.sub d (now ())) 1_000_000_000L)
+      | _ -> 0
+    in
+    if seconds = 0 then begin
+      p.alarm_deadline <- None;
+      ret (Syscall.Ok_int prev)
+    end
+    else begin
+      let deadline = Vtime.add (now ()) (Vtime.s seconds) in
+      p.alarm_deadline <- Some deadline;
+      Sched.schedule k.K.sched ~time:deadline (fun () ->
+          match p.alarm_deadline with
+          | Some d when Vtime.compare d deadline = 0 ->
+            p.alarm_deadline <- None;
+            post_signal k p Sigdefs.sigalrm
+          | _ -> ());
+      ret (Syscall.Ok_int prev)
+    end
+  | Syscall.Setitimer spec ->
+    let armed = Int64.compare spec.value_ns 0L > 0 in
+    p.itimer <- (if armed then Some spec else None);
+    if armed then begin
+      let first = Vtime.add (now ()) spec.value_ns in
+      p.itimer_next <- Some first;
+      let rec fire deadline =
+        Sched.schedule k.K.sched ~time:deadline (fun () ->
+            match p.itimer_next with
+            | Some d when Vtime.compare d deadline = 0 && p.alive ->
+              post_signal k p Sigdefs.sigalrm;
+              if Int64.compare spec.interval_ns 0L > 0 then begin
+                let next = Vtime.add deadline spec.interval_ns in
+                p.itimer_next <- Some next;
+                fire next
+              end
+              else p.itimer_next <- None
+            | _ -> ())
+      in
+      fire first
+    end
+    else p.itimer_next <- None;
+    ret (Syscall.Ok_int 0)
+  | Syscall.Timerfd_create ->
+    let tf = { Proc.spec = None; armed_at = now (); expirations = 0 } in
+    ret (Syscall.Ok_int (install_fd (Proc.make_desc (Proc.Timer_fd tf))))
+  | Syscall.Timerfd_gettime fd ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Timer_fd tf -> (
+          match tf.spec with
+          | Some spec -> ret (Syscall.Ok_itimer spec)
+          | None -> ret (Syscall.Ok_itimer { interval_ns = 0L; value_ns = 0L }))
+        | _ -> ret (err Errno.EINVAL))
+  | Syscall.Timerfd_settime (fd, spec) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Timer_fd tf ->
+          let armed = Int64.compare spec.value_ns 0L > 0 in
+          tf.spec <- (if armed then Some spec else None);
+          tf.armed_at <- now ();
+          tf.expirations <- 0;
+          if armed then begin
+            (* chain kicks at each expiration so poll/epoll waiters wake *)
+            let rec chain t =
+              Sched.schedule k.K.sched ~time:t (fun () ->
+                  match tf.spec with
+                  | Some s when p.alive ->
+                    Sched.kick k.K.sched;
+                    if Int64.compare s.interval_ns 0L > 0 then
+                      chain (Vtime.add t s.interval_ns)
+                  | _ -> ())
+            in
+            chain (Vtime.add (now ()) spec.value_ns)
+          end;
+          ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.EINVAL))
+  | Syscall.Madvise _ | Syscall.Fadvise64 _ -> ret (Syscall.Ok_int 0)
+  (* ---- read family ---- *)
+  | Syscall.Read (fd, count) | Syscall.Recvfrom (fd, count)
+  | Syscall.Recvmsg (fd, count) ->
+    with_fd fd (fun d -> do_read k th d ~count ~ret)
+  | Syscall.Recvmmsg (fd, msgs, each) ->
+    with_fd fd (fun d -> do_read k th d ~count:(msgs * each) ~ret)
+  | Syscall.Readv (fd, lens) ->
+    with_fd fd (fun d -> do_read k th d ~count:(List.fold_left ( + ) 0 lens) ~ret)
+  | Syscall.Pread64 (fd, count, offset) | Syscall.Preadv (fd, [ count ], offset)
+    ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          match Vfs.read_at node ~offset ~count with
+          | Ok s -> ret (Syscall.Ok_data s)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.ESPIPE))
+  | Syscall.Preadv (fd, lens, offset) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          let count = List.fold_left ( + ) 0 lens in
+          match Vfs.read_at node ~offset ~count with
+          | Ok s -> ret (Syscall.Ok_data s)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.ESPIPE))
+  | Syscall.Select { readfds; writefds; timeout_ns }
+  | Syscall.Pselect6 { readfds; writefds; timeout_ns } ->
+    let want_read = List.map (fun fd -> (fd, Syscall.ev_in)) readfds in
+    let want_write = List.map (fun fd -> (fd, Syscall.ev_out)) writefds in
+    let fds = want_read @ want_write in
+    let attempt () =
+      match gather_poll fds with [] -> None | ready -> Some ready
+    in
+    if timeout_ns = Some 0L then (
+      match attempt () with
+      | Some ready -> ret (Syscall.Ok_poll ready)
+      | None -> ret (Syscall.Ok_poll []))
+    else
+      block k th ~what:"select" ?timeout_ns ~poll:attempt
+        ~on_ready:(fun ready -> ret (Syscall.Ok_poll ready))
+        ~complete:(fun r ->
+          if r = err Errno.ETIMEDOUT then ret (Syscall.Ok_poll []) else ret r)
+        ()
+  | Syscall.Poll { fds; timeout_ns } | Syscall.Ppoll { fds; timeout_ns } ->
+    let attempt () =
+      match gather_poll fds with [] -> None | ready -> Some ready
+    in
+    if timeout_ns = Some 0L then (
+      match attempt () with
+      | Some ready -> ret (Syscall.Ok_poll ready)
+      | None -> ret (Syscall.Ok_poll []))
+    else
+      block k th ~what:"poll" ?timeout_ns ~poll:attempt
+        ~on_ready:(fun ready -> ret (Syscall.Ok_poll ready))
+        ~complete:(fun r ->
+          if r = err Errno.ETIMEDOUT then ret (Syscall.Ok_poll []) else ret r)
+        ()
+  (* ---- sync family ---- *)
+  | Syscall.Sync | Syscall.Syncfs _ | Syscall.Fsync _ | Syscall.Fdatasync _ ->
+    ret (Syscall.Ok_int 0)
+  (* ---- write family ---- *)
+  | Syscall.Write (fd, data) | Syscall.Sendto (fd, data)
+  | Syscall.Sendmsg (fd, data) ->
+    with_fd fd (fun d -> do_write k th d ~data ~ret)
+  | Syscall.Writev (fd, chunks) | Syscall.Sendmmsg (fd, chunks) ->
+    with_fd fd (fun d -> do_write k th d ~data:(String.concat "" chunks) ~ret)
+  | Syscall.Pwrite64 (fd, data, offset) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          match Vfs.write_at node ~offset ~data ~now_ns:(now ()) with
+          | Ok n -> ret (Syscall.Ok_int n)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.ESPIPE))
+  | Syscall.Pwritev (fd, chunks, offset) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          let data = String.concat "" chunks in
+          match Vfs.write_at node ~offset ~data ~now_ns:(now ()) with
+          | Ok n -> ret (Syscall.Ok_int n)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.ESPIPE))
+  | Syscall.Sendfile { out_fd; in_fd; count } ->
+    with_fd in_fd (fun din ->
+        match din.kind with
+        | Proc.Regular node -> (
+          match Vfs.read_at node ~offset:din.offset ~count with
+          | Ok data ->
+            din.offset <- din.offset + String.length data;
+            with_fd out_fd (fun dout -> do_write k th dout ~data ~ret)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.EINVAL))
+  (* ---- epoll ---- *)
+  | Syscall.Epoll_create ->
+    ret (Syscall.Ok_int (install_fd (Proc.make_desc (Proc.Epoll_fd (Epoll.create ())))))
+  | Syscall.Epoll_ctl { epfd; op; fd; events; user_data } ->
+    with_fd epfd (fun d ->
+        match d.kind with
+        | Proc.Epoll_fd ep ->
+          if not (Hashtbl.mem p.fds fd) then ret (err Errno.EBADF)
+          else (
+            match Epoll.ctl ep ~op ~fd ~events ~user_data with
+            | Ok () -> ret (Syscall.Ok_int 0)
+            | Error e -> ret (err e))
+        | _ -> ret (err Errno.EINVAL))
+  | Syscall.Epoll_wait { epfd; max_events; timeout_ns } ->
+    with_fd epfd (fun d ->
+        match d.kind with
+        | Proc.Epoll_fd ep ->
+          let attempt () =
+            let ready =
+              List.filter_map
+                (fun (fd, (entry : Epoll.entry)) ->
+                  match Proc.desc_of_fd p fd with
+                  | None -> None (* stale interest entry: fd closed *)
+                  | Some watched ->
+                    let have = poll_desc k watched in
+                    if events_intersect entry.events have then
+                      Some (entry.user_data, have)
+                    else None)
+                (Epoll.interest_list ep)
+            in
+            match ready with
+            | [] -> None
+            | _ ->
+              let rec take n = function
+                | [] -> []
+                | _ when n = 0 -> []
+                | x :: tl -> x :: take (n - 1) tl
+              in
+              Some (take max_events ready)
+          in
+          if timeout_ns = Some 0L then (
+            match attempt () with
+            | Some ready -> ret (Syscall.Ok_epoll ready)
+            | None -> ret (Syscall.Ok_epoll []))
+          else
+            block k th ~what:"epoll_wait" ?timeout_ns ~poll:attempt
+              ~on_ready:(fun ready -> ret (Syscall.Ok_epoll ready))
+              ~complete:(fun r ->
+                if r = err Errno.ETIMEDOUT then ret (Syscall.Ok_epoll [])
+                else ret r)
+              ()
+        | _ -> ret (err Errno.EINVAL))
+  (* ---- sockets ---- *)
+  | Syscall.Socket (_, _) ->
+    let s = Net.fresh_stream k.K.net in
+    ret (Syscall.Ok_int (install_fd (Proc.make_desc (Proc.Stream s))))
+  | Syscall.Socketpair (_, _) ->
+    let a, b = Net.make_pair k.K.net ~client_port:0 ~server_port:0 in
+    a.connected <- true;
+    b.connected <- true;
+    a.local <- true;
+    b.local <- true;
+    let fd1 = install_fd (Proc.make_desc (Proc.Stream a)) in
+    let fd2 = install_fd (Proc.make_desc (Proc.Stream b)) in
+    ret (Syscall.Ok_pair (fd1, fd2))
+  | Syscall.Bind (fd, port) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream s ->
+          s.local_port <- port;
+          ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Listen (fd, backlog) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream s -> (
+          match Net.listen k.K.net ~port:s.local_port ~backlog with
+          | Ok l ->
+            d.kind <- Proc.Listener l;
+            ret (Syscall.Ok_int 0)
+          | Error e -> ret (err e))
+        | Proc.Listener _ -> ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Accept fd | Syscall.Accept4 { fd; _ } ->
+    let nonblock_result =
+      match call with
+      | Syscall.Accept4 { nonblock; _ } -> nonblock
+      | _ -> false
+    in
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Listener l ->
+          let attempt () =
+            if Queue.is_empty l.pending then None else Some (Queue.pop l.pending)
+          in
+          let deliver (s : Net.stream) =
+            s.connected <- true;
+            let desc = Proc.make_desc ~nonblock:nonblock_result (Proc.Stream s) in
+            let conn_fd = install_fd desc in
+            Sched.kick k.K.sched;
+            ret (Syscall.Ok_accept { conn_fd; peer_port = s.peer_port })
+          in
+          if d.nonblock then (
+            match attempt () with
+            | Some s -> deliver s
+            | None -> ret (err Errno.EAGAIN))
+          else
+            block k th ~what:"accept" ~poll:attempt ~on_ready:deliver
+              ~complete:ret ()
+        | _ -> ret (err Errno.EINVAL))
+  | Syscall.Connect (fd, port) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream placeholder -> (
+          match Net.find_listener k.K.net ~port with
+          | None ->
+            (* RST arrives one round trip later *)
+            block k th ~what:"connect(refused)"
+              ~timeout_ns:(Vtime.scale k.K.net.Net.latency 2.)
+              ~poll:(fun () -> None)
+              ~on_ready:(fun (r : Syscall.result) -> ret r)
+              ~complete:(fun r ->
+                if r = err Errno.ETIMEDOUT then ret (err Errno.ECONNREFUSED)
+                else ret r)
+              ()
+          | Some l ->
+            let client_port =
+              if placeholder.local_port <> 0 then placeholder.local_port
+              else Net.ephemeral_port k.K.net
+            in
+            let client, server =
+              Net.make_pair k.K.net ~client_port ~server_port:port
+            in
+            client.connected <- true;
+            d.kind <- Proc.Stream client;
+            let latency = k.K.net.Net.latency in
+            Sched.schedule k.K.sched
+              ~time:(Vtime.add (now ()) latency)
+              (fun () ->
+                Queue.push server l.pending;
+                Sched.kick k.K.sched);
+            if d.nonblock then ret (err Errno.EINPROGRESS)
+            else
+              block k th ~what:"connect"
+                ~timeout_ns:(Vtime.scale latency 2.)
+                ~poll:(fun () -> None)
+                ~on_ready:(fun (r : Syscall.result) -> ret r)
+                ~complete:(fun r ->
+                  if r = err Errno.ETIMEDOUT then ret (Syscall.Ok_int 0)
+                  else ret r)
+                ())
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Getsockname fd ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream s -> ret (Syscall.Ok_int s.local_port)
+        | Proc.Listener l -> ret (Syscall.Ok_int l.port)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Getpeername fd ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream s ->
+          if s.connected then ret (Syscall.Ok_int s.peer_port)
+          else ret (err Errno.ENOTCONN)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Getsockopt (fd, _) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream _ | Proc.Listener _ -> ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Setsockopt (fd, _, _) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream _ | Proc.Listener _ -> ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.ENOTSOCK))
+  | Syscall.Shutdown (fd, how) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Stream s ->
+          (match how with
+          | Syscall.Shut_rd -> s.rd_shut <- true
+          | Syscall.Shut_wr -> s.wr_shut <- true
+          | Syscall.Shut_rdwr ->
+            s.rd_shut <- true;
+            s.wr_shut <- true);
+          Sched.kick k.K.sched;
+          ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.ENOTSOCK))
+  (* ---- fd lifecycle ---- *)
+  | Syscall.Open (path, flags) | Syscall.Openat (path, flags) ->
+    if path = "/dev/null" then
+      ret
+        (Syscall.Ok_int
+           (install_fd
+              (Proc.make_desc ~nonblock:flags.nonblock ~can_read:flags.read
+                 ~can_write:flags.write ~path (Proc.Dev_null))))
+    else if path = "/proc/self/maps" then begin
+      let content = Vm.maps_text p.vm in
+      ret
+        (Syscall.Ok_int
+           (install_fd
+              (Proc.make_desc ~can_read:true ~can_write:false ~path
+                 (Proc.Proc_maps { content }))))
+    end
+    else begin
+      let node =
+        if flags.create then Vfs.create_file k.K.vfs path
+        else Vfs.resolve k.K.vfs path
+      in
+      match node with
+      | Error e -> ret (err e)
+      | Ok node -> (
+        match node.kind with
+        | Vfs.Dir _ ->
+          if flags.write then ret (err Errno.EISDIR)
+          else
+            ret
+              (Syscall.Ok_int
+                 (install_fd
+                    (Proc.make_desc ~can_read:true ~can_write:false ~path
+                       (Proc.Directory node))))
+        | Vfs.Reg _ ->
+          if flags.trunc && flags.write then
+            ignore (Vfs.truncate node ~size:0 ~now_ns:(now ()));
+          ret
+            (Syscall.Ok_int
+               (install_fd
+                  (Proc.make_desc ~nonblock:flags.nonblock
+                     ~can_read:flags.read ~can_write:flags.write
+                     ~append:flags.append ~path (Proc.Regular node))))
+        | Vfs.Special gen ->
+          let content = gen () in
+          ret
+            (Syscall.Ok_int
+               (install_fd
+                  (Proc.make_desc ~can_read:true ~can_write:false ~path
+                     (Proc.Proc_maps { content }))))
+        | Vfs.Symlink _ -> ret (err Errno.ELOOP))
+    end
+  | Syscall.Creat path -> (
+    match Vfs.create_file k.K.vfs path with
+    | Ok node ->
+      ignore (Vfs.truncate node ~size:0 ~now_ns:(now ()));
+      ret
+        (Syscall.Ok_int
+           (install_fd
+              (Proc.make_desc ~can_read:false ~can_write:true ~path
+                 (Proc.Regular node))))
+    | Error e -> ret (err e))
+  | Syscall.Close fd ->
+    with_fd fd (fun d ->
+        Hashtbl.remove p.fds fd;
+        release_desc k p d;
+        ret (Syscall.Ok_int 0))
+  | Syscall.Dup fd ->
+    with_fd fd (fun d ->
+        d.refs <- d.refs + 1;
+        ret (Syscall.Ok_int (install_fd d)))
+  | Syscall.Dup2 (fd, newfd) | Syscall.Dup3 (fd, newfd) ->
+    with_fd fd (fun d ->
+        if fd = newfd then ret (Syscall.Ok_int newfd)
+        else begin
+          (match Proc.desc_of_fd p newfd with
+          | Some old ->
+            Hashtbl.remove p.fds newfd;
+            release_desc k p old
+          | None -> ());
+          d.refs <- d.refs + 1;
+          Hashtbl.replace p.fds newfd d;
+          ret (Syscall.Ok_int newfd)
+        end)
+  | Syscall.Pipe ->
+    let pi = Pipe.create () in
+    let rfd = install_fd (Proc.make_desc ~can_write:false (Proc.Pipe_read pi)) in
+    let wfd = install_fd (Proc.make_desc ~can_read:false (Proc.Pipe_write pi)) in
+    ret (Syscall.Ok_pair (rfd, wfd))
+  | Syscall.Unlink path | Syscall.Unlinkat path -> (
+    match Vfs.unlink k.K.vfs path with
+    | Ok () -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Rename (src, dst) | Syscall.Renameat (src, dst) -> (
+    match Vfs.rename k.K.vfs ~src ~dst with
+    | Ok () -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Mkdir path | Syscall.Mkdirat path -> (
+    match Vfs.mkdir k.K.vfs path with
+    | Ok _ -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Rmdir path -> (
+    match Vfs.rmdir k.K.vfs path with
+    | Ok () -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Truncate (path, size) -> (
+    match Vfs.resolve k.K.vfs path with
+    | Ok node -> (
+      match Vfs.truncate node ~size ~now_ns:(now ()) with
+      | Ok () -> ret (Syscall.Ok_int 0)
+      | Error e -> ret (err e))
+    | Error e -> ret (err e))
+  | Syscall.Ftruncate (fd, size) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          match Vfs.truncate node ~size ~now_ns:(now ()) with
+          | Ok () -> ret (Syscall.Ok_int 0)
+          | Error e -> ret (err e))
+        | _ -> ret (err Errno.EINVAL))
+  (* ---- memory ---- *)
+  | Syscall.Mmap { len; prot; kind } -> (
+    let backing =
+      match kind with
+      | Syscall.Map_anon -> Ok Vm.Anon
+      | Syscall.Map_shared_anon -> Ok (Vm.Shared_anon (K.fresh_share_group k))
+      | Syscall.Map_file fd -> (
+        match Proc.desc_of_fd p fd with
+        | Some { kind = Proc.Regular node; _ } -> Ok (Vm.File_backed node)
+        | Some _ -> Error Errno.EINVAL
+        | None -> Error Errno.EBADF)
+    in
+    match backing with
+    | Error e -> ret (err e)
+    | Ok backing -> (
+      match Vm.map p.vm ~len ~prot ~backing ~tag:"anon" with
+      | Ok r -> ret (Syscall.Ok_int64 r.Vm.start)
+      | Error e -> ret (err e)))
+  | Syscall.Munmap { addr; len } -> (
+    match Vm.unmap p.vm ~addr ~len with
+    | Ok () -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Mprotect { addr; len; prot } -> (
+    match Vm.protect p.vm ~addr ~len ~prot with
+    | Ok () -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Mremap { addr; old_len; new_len } -> (
+    match Vm.find_region p.vm addr with
+    | Some r when Int64.equal r.Vm.start addr && r.Vm.len = old_len -> (
+      let prot = r.Vm.prot and backing = r.Vm.backing and tag = r.Vm.tag in
+      match Vm.unmap p.vm ~addr ~len:old_len with
+      | Error e -> ret (err e)
+      | Ok () -> (
+        match Vm.map p.vm ~len:new_len ~prot ~backing ~tag with
+        | Ok r' -> ret (Syscall.Ok_int64 r'.Vm.start)
+        | Error e -> ret (err e)))
+    | _ -> ret (err Errno.EINVAL))
+  | Syscall.Brk n -> ret (Syscall.Ok_int (Vm.set_brk p.vm n))
+  (* ---- shared memory ---- *)
+  | Syscall.Shmget { key; size; create } -> (
+    match Shm.get k.K.shm ~key ~size ~create with
+    | Ok seg -> ret (Syscall.Ok_int seg.Shm.shmid)
+    | Error e -> ret (err e))
+  | Syscall.Shmat { shmid; readonly } -> (
+    match Shm.find k.K.shm shmid with
+    | Error e -> ret (err e)
+    | Ok seg -> (
+      let prot = { Syscall.pr = true; pw = not readonly; px = false } in
+      match
+        Vm.map p.vm ~len:seg.Shm.size ~prot ~backing:(Vm.Shm_seg seg)
+          ~tag:"sysv-shm"
+      with
+      | Ok r ->
+        Shm.attach seg;
+        ret (Syscall.Ok_int64 r.Vm.start)
+      | Error e -> ret (err e)))
+  | Syscall.Shmdt { addr } -> (
+    match Vm.find_region p.vm addr with
+    | Some { Vm.backing = Vm.Shm_seg seg; start; _ } when Int64.equal start addr
+      -> (
+      match Vm.unmap p.vm ~addr ~len:0 with
+      | Ok () ->
+        Shm.detach k.K.shm seg;
+        ret (Syscall.Ok_int 0)
+      | Error e -> ret (err e))
+    | _ -> ret (err Errno.EINVAL))
+  | Syscall.Shmctl { shmid; rmid } -> (
+    match Shm.find k.K.shm shmid with
+    | Error e -> ret (err e)
+    | Ok seg ->
+      if rmid then Shm.remove k.K.shm seg;
+      ret (Syscall.Ok_int 0))
+  (* ---- process / thread lifecycle ---- *)
+  | Syscall.Clone entry_idx ->
+    if entry_idx < 0 || entry_idx >= Array.length p.entry_table then
+      ret (err Errno.EINVAL)
+    else begin
+      let tid = K.fresh_tid k in
+      let rank = p.next_tid_rank in
+      p.next_tid_rank <- rank + 1;
+      let nt =
+        {
+          Proc.tid;
+          proc = p;
+          rank;
+          clock = th.clock;
+          tstate = Proc.Ready;
+          syscall_index = 0;
+          current_call = None;
+          pending_delivery = [];
+          in_ipmon = false;
+          last_result = None;
+        }
+      in
+      p.threads <- p.threads @ [ nt ];
+      Sched.spawn k.K.sched nt p.entry_table.(entry_idx);
+      ret (Syscall.Ok_int tid)
+    end
+  | Syscall.Fork | Syscall.Execve _ ->
+    (* Documented limitation: one-shot continuations cannot be duplicated,
+       so multi-process programs model workers as threads or pre-spawned
+       processes instead. *)
+    ret (err Errno.ENOSYS)
+  | Syscall.Exit code -> exit_current k th ~code ~group:false
+  | Syscall.Exit_group code -> exit_current k th ~code ~group:true
+  | Syscall.Wait4 pid ->
+    let find_dead () =
+      Hashtbl.fold
+        (fun _ (child : Proc.process) acc ->
+          if
+            acc = None && child.parent_pid = p.pid && (not child.alive)
+            && (not child.reaped)
+            && (pid = -1 || pid = child.pid)
+          then Some child
+          else acc)
+        k.K.procs None
+    in
+    let has_children () =
+      Hashtbl.fold
+        (fun _ (child : Proc.process) acc ->
+          acc || (child.parent_pid = p.pid && not child.reaped))
+        k.K.procs false
+    in
+    if not (has_children ()) then ret (err Errno.ECHILD)
+    else
+      block k th ~what:"wait4" ~poll:find_dead
+        ~on_ready:(fun child ->
+          child.Proc.reaped <- true;
+          ret (Syscall.Ok_int child.Proc.pid))
+        ~complete:ret ()
+  | Syscall.Kill (pid, sg) -> (
+    match K.find_proc k pid with
+    | Some target ->
+      post_signal k target sg;
+      ret (Syscall.Ok_int 0)
+    | None -> ret (err Errno.ESRCH))
+  | Syscall.Tgkill (pid, _tid, sg) -> (
+    match K.find_proc k pid with
+    | Some target ->
+      post_signal k target sg;
+      ret (Syscall.Ok_int 0)
+    | None -> ret (err Errno.ESRCH))
+  (* ---- signals ---- *)
+  | Syscall.Rt_sigaction (sg, action) ->
+    if not (Sigdefs.catchable sg) then ret (err Errno.EINVAL)
+    else begin
+      Hashtbl.replace p.sig_actions sg action;
+      ret (Syscall.Ok_int 0)
+    end
+  | Syscall.Rt_sigprocmask (how, sigs) ->
+    let set = Proc.IntSet.of_list sigs in
+    (match how with
+    | Syscall.Sig_block -> p.sig_mask <- Proc.IntSet.union p.sig_mask set
+    | Syscall.Sig_unblock -> p.sig_mask <- Proc.IntSet.diff p.sig_mask set
+    | Syscall.Sig_setmask -> p.sig_mask <- set);
+    Sched.kick k.K.sched;
+    ret (Syscall.Ok_int 0)
+  | Syscall.Rt_sigreturn -> ret Syscall.Ok_unit
+  | Syscall.Sigaltstack -> ret (Syscall.Ok_int 0)
+  | Syscall.Pause ->
+    block k th ~what:"pause"
+      ~poll:(fun () -> None)
+      ~on_ready:(fun (r : Syscall.result) -> ret r)
+      ~complete:ret ()
+  (* ---- identity / limits / misc (extended surface) ---- *)
+  | Syscall.Getpgid | Syscall.Getsid -> ret (Syscall.Ok_int p.pid)
+  | Syscall.Setsid -> ret (Syscall.Ok_int p.pid)
+  | Syscall.Getrlimit _ -> ret (Syscall.Ok_int64 Int64.max_int)
+  | Syscall.Setrlimit _ | Syscall.Prlimit64 _ -> ret (Syscall.Ok_int 0)
+  | Syscall.Sched_getaffinity -> ret (Syscall.Ok_int 0xFFFF)
+  | Syscall.Sched_setaffinity _ -> ret (Syscall.Ok_int 0)
+  | Syscall.Clock_getres -> ret (Syscall.Ok_int64 1L)
+  | Syscall.Getrandom n ->
+    (* kernel entropy: replicas must receive identical bytes, which is why
+       the MVEE replicates this call's results verbatim *)
+    let buf = Bytes.create (min n 4096) in
+    for i = 0 to Bytes.length buf - 1 do
+      Bytes.set buf i (Char.chr (Remon_util.Rng.int k.K.rng 256))
+    done;
+    ret (Syscall.Ok_data (Bytes.to_string buf))
+  | Syscall.Statfs _ | Syscall.Fstatfs _ ->
+    ret (Syscall.Ok_int64 (Int64.of_int (64 * 1024 * 1024 * 1024)))
+  | Syscall.Readahead _ | Syscall.Mincore _ | Syscall.Msync _
+  | Syscall.Mlock _ | Syscall.Munlock _ ->
+    ret (Syscall.Ok_int 0)
+  | Syscall.Umask _ -> ret (Syscall.Ok_int 0o022)
+  (* ---- file metadata writes ---- *)
+  | Syscall.Chmod (path, _) | Syscall.Chown (path, _, _) | Syscall.Utimensat path -> (
+    match Vfs.resolve k.K.vfs path with
+    | Ok node ->
+      node.Vfs.mtime_ns <- now ();
+      ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  | Syscall.Fchmod (fd, _) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node | Proc.Directory node ->
+          node.Vfs.mtime_ns <- now ();
+          ret (Syscall.Ok_int 0)
+        | _ -> ret (err Errno.EBADF))
+  (* ---- advisory file locks ---- *)
+  | Syscall.Flock (fd, op) ->
+    with_fd fd (fun d ->
+        match d.kind with
+        | Proc.Regular node -> (
+          let ino = node.Vfs.ino in
+          match op with
+          | Syscall.Lock_un ->
+            (match Hashtbl.find_opt k.K.flocks ino with
+            | Some holder when holder = p.pid -> Hashtbl.remove k.K.flocks ino
+            | _ -> ());
+            Sched.kick k.K.sched;
+            ret (Syscall.Ok_int 0)
+          | Syscall.Lock_sh | Syscall.Lock_ex ->
+            let attempt () =
+              match Hashtbl.find_opt k.K.flocks ino with
+              | None ->
+                Hashtbl.replace k.K.flocks ino p.pid;
+                Some (Syscall.Ok_int 0)
+              | Some holder when holder = p.pid -> Some (Syscall.Ok_int 0)
+              | Some _ -> None
+            in
+            if d.nonblock then (
+              match attempt () with
+              | Some r -> ret r
+              | None -> ret (err Errno.EAGAIN))
+            else
+              block k th ~what:"flock" ~poll:attempt ~on_ready:ret ~complete:ret ())
+        | _ -> ret (err Errno.EBADF))
+  (* ---- hard and symbolic links ---- *)
+  | Syscall.Link (target, path) | Syscall.Linkat (target, path) -> (
+    match Vfs.resolve k.K.vfs target with
+    | Error e -> ret (err e)
+    | Ok node -> (
+      match Vfs.parent_and_name k.K.vfs path with
+      | Error e -> ret (err e)
+      | Ok (parent, name) -> (
+        match parent.Vfs.kind with
+        | Vfs.Dir entries ->
+          if Hashtbl.mem entries name then ret (err Errno.EEXIST)
+          else begin
+            Hashtbl.replace entries name node;
+            ret (Syscall.Ok_int 0)
+          end
+        | _ -> ret (err Errno.ENOTDIR))))
+  | Syscall.Symlink (target, path) | Syscall.Symlinkat (target, path) -> (
+    match Vfs.symlink k.K.vfs ~target ~path with
+    | Ok _ -> ret (Syscall.Ok_int 0)
+    | Error e -> ret (err e))
+  (* ---- new fd factories ---- *)
+  | Syscall.Pipe2 { nonblock } ->
+    let pi = Pipe.create () in
+    let rfd =
+      install_fd (Proc.make_desc ~nonblock ~can_write:false (Proc.Pipe_read pi))
+    in
+    let wfd =
+      install_fd (Proc.make_desc ~nonblock ~can_read:false (Proc.Pipe_write pi))
+    in
+    ret (Syscall.Ok_pair (rfd, wfd))
+  | Syscall.Eventfd initial ->
+    let e = { Proc.count = max 0 initial } in
+    ret (Syscall.Ok_int (install_fd (Proc.make_desc (Proc.Event_fd e))))
+  (* ---- ReMon registration ---- *)
+  | Syscall.Ipmon_register { calls; rb_addr; entry_addr } -> (
+    match Hashtbl.find_opt k.K.pending_ipmon p.pid with
+    | None -> ret (err Errno.EINVAL)
+    | Some reg ->
+      (* The syscall's argument list is authoritative: GHUMVEE may have
+         trimmed it by rewriting the call at the entry stop. *)
+      let reg =
+        { reg with Proc.unmonitored = Sysno.Set.of_list calls; rb_addr; entry_addr }
+      in
+      p.ipmon_registered <- Some reg;
+      Hashtbl.remove k.K.pending_ipmon p.pid;
+      ret (Syscall.Ok_int 0))
+
+(* ------------------------------------------------------------------ *)
+(* Routing pipeline *)
+
+(* Final stage: deliver pending signals at the syscall boundary, then hand
+   the result back to user code. Mirrors the kernel's return-to-user path,
+   including ptrace signal-delivery stops. *)
+let rec finish k (th : Proc.thread) (result : Syscall.result) ~return =
+  let p = proc_of th in
+  if th.tstate = Proc.Dead then ()
+  else
+    match next_deliverable p with
+    | None ->
+      th.last_result <- Some result;
+      return result
+    | Some sg -> (
+      match p.tracer with
+      | Some tracer when not (Sigdefs.synchronous sg) ->
+        k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
+        k.K.stats.context_switches <- k.K.stats.context_switches + 2;
+        charge th (Cost_model.ptrace_stop_ns k.K.cost);
+        th.tstate <-
+          Proc.Trace_stopped
+            {
+              reason = Proc.Signal_delivery_stop sg;
+              resume =
+                (fun action ->
+                  th.tstate <- Proc.Ready;
+                  match action with
+                  | Proc.Resume_deliver ->
+                    if deliver_signal k th sg then finish k th result ~return
+                  | Proc.Resume_suppress ->
+                    (* the tracer takes ownership of the signal *)
+                    remove_pending p sg;
+                    finish k th result ~return
+                  | Proc.Resume_kill -> kill_process k p ~code:137
+                  | Proc.Resume_continue | Proc.Resume_rewrite _
+                  | Proc.Resume_skip _ | Proc.Resume_set_result _ ->
+                    if deliver_signal k th sg then finish k th result ~return);
+            };
+        tracer.on_stop th (Proc.Signal_delivery_stop sg)
+      | _ ->
+        if deliver_signal k th sg then finish k th result ~return)
+
+(* Executes a call without any monitor interposition; used for the plain
+   path and, via [execute_raw], by IP-MON for token-authorized calls. *)
+let plain_exec k th call ~done_ =
+  exec k th call ~ret:done_
+
+(* Syscall-exit ptrace stop (when the entry was stopped too). *)
+let exit_phase k (th : Proc.thread) call result ~return =
+  let p = proc_of th in
+  match p.tracer with
+  | Some tracer ->
+    k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
+    k.K.stats.context_switches <- k.K.stats.context_switches + 2;
+    charge th (Cost_model.ptrace_stop_ns k.K.cost);
+    th.tstate <-
+      Proc.Trace_stopped
+        {
+          reason = Proc.Syscall_exit_stop (call, result);
+          resume =
+            (fun action ->
+              th.tstate <- Proc.Ready;
+              match action with
+              | Proc.Resume_continue -> finish k th result ~return
+              | Proc.Resume_set_result r -> finish k th r ~return
+              | Proc.Resume_kill -> kill_process k p ~code:137
+              | Proc.Resume_rewrite _ | Proc.Resume_skip _
+              | Proc.Resume_deliver | Proc.Resume_suppress ->
+                finish k th result ~return);
+        };
+    tracer.on_stop th (Proc.Syscall_exit_stop (call, result))
+  | None -> finish k th result ~return
+
+(* Syscall-entry ptrace stop: report to the CP monitor and act on its
+   decision. This is the path every monitored call takes. *)
+let monitor_path k (th : Proc.thread) call ~return =
+  let p = proc_of th in
+  match p.tracer with
+  | None ->
+    (* no monitor attached: execute directly *)
+    k.K.stats.plain <- k.K.stats.plain + 1;
+    plain_exec k th call ~done_:(fun r -> finish k th r ~return)
+  | Some tracer ->
+    k.K.stats.monitored <- k.K.stats.monitored + 1;
+    k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
+    k.K.stats.context_switches <- k.K.stats.context_switches + 2;
+    charge th (Cost_model.ptrace_stop_ns k.K.cost);
+    th.tstate <-
+      Proc.Trace_stopped
+        {
+          reason = Proc.Syscall_entry_stop call;
+          resume =
+            (fun action ->
+              th.tstate <- Proc.Ready;
+              match action with
+              | Proc.Resume_continue ->
+                plain_exec k th call ~done_:(fun r ->
+                    exit_phase k th call r ~return)
+              | Proc.Resume_rewrite call' ->
+                th.current_call <- Some call';
+                plain_exec k th call' ~done_:(fun r ->
+                    exit_phase k th call' r ~return)
+              | Proc.Resume_skip r ->
+                (* call aborted by the monitor; go straight to exit stop so
+                   the monitor can inject replicated results *)
+                exit_phase k th call r ~return
+              | Proc.Resume_kill -> kill_process k p ~code:137
+              | Proc.Resume_set_result r -> exit_phase k th call r ~return
+              | Proc.Resume_deliver | Proc.Resume_suppress ->
+                plain_exec k th call ~done_:(fun r ->
+                    exit_phase k th call r ~return));
+        };
+    tracer.on_stop th (Proc.Syscall_entry_stop call)
+
+(* Raw, stop-free execution used by IP-MON once IK-B's verifier has
+   accepted the authorization token (steps 3-4 of Figure 2). *)
+let execute_raw k th call ~(ret : Syscall.result -> unit) =
+  charge th k.K.cost.ipmon_restart_ns;
+  exec k th call ~ret
+
+(* Trace hook: records one line per syscall with its route when tracing is
+   enabled (Kstate.log_enabled). *)
+let trace_route k (th : Proc.thread) call route =
+  if k.K.log_enabled then
+    K.logf k "pid=%d tid=%d #%d %s -> %s" th.Proc.proc.Proc.pid th.Proc.tid
+      th.Proc.syscall_index (Syscall.to_string call) route
+
+(* Top-level syscall entry: Figure 2's step 1. *)
+let handle k (th : Proc.thread) call ~return =
+  let p = proc_of th in
+  if not p.alive || th.tstate = Proc.Dead then ()
+  else begin
+    th.syscall_index <- th.syscall_index + 1;
+    th.current_call <- Some call;
+    k.K.stats.syscalls <- k.K.stats.syscalls + 1;
+    k.K.stats.traps <- k.K.stats.traps + 1;
+    K.count_sysno k.K.stats (Syscall.number call);
+    charge th k.K.cost.syscall_trap_ns;
+    match k.K.broker with
+    | None -> (
+      match p.tracer with
+      | None ->
+        k.K.stats.plain <- k.K.stats.plain + 1;
+        trace_route k th call "plain";
+        plain_exec k th call ~done_:(fun r -> finish k th r ~return)
+      | Some _ ->
+        trace_route k th call "monitored";
+        monitor_path k th call ~return)
+    | Some broker -> (
+      match broker.classify th call with
+      | K.Route_plain ->
+        k.K.stats.plain <- k.K.stats.plain + 1;
+        trace_route k th call "plain";
+        plain_exec k th call ~done_:(fun r -> finish k th r ~return)
+      | K.Route_monitor ->
+        trace_route k th call "monitored";
+        monitor_path k th call ~return
+      | K.Route_ipmon token -> (
+        match p.ipmon_registered with
+        | None ->
+          (* broker misconfiguration: fall back to the monitored path *)
+          monitor_path k th call ~return
+        | Some reg ->
+          k.K.stats.ipmon_fastpath <- k.K.stats.ipmon_fastpath + 1;
+          k.K.stats.tokens_granted <- k.K.stats.tokens_granted + 1;
+          trace_route k th call "ipmon";
+          charge th k.K.cost.ipmon_forward_ns;
+          th.in_ipmon <- true;
+          reg.Proc.invoke th ~token ~call ~return:(fun r ->
+              th.in_ipmon <- false;
+              finish k th r ~return)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel services for monitors *)
+
+(* Force-completes a blocked call (GHUMVEE's blocked-call abort, §3.8). *)
+let interrupt_blocked k (th : Proc.thread) result =
+  ignore k;
+  match th.tstate with
+  | Proc.Blocked ({ interrupt = Some force; _ } : Proc.blocked) ->
+    force result;
+    true
+  | _ -> false
+
+(* Re-initiates a deferred signal at a rendezvous point: runs the handler
+   registration machinery directly, without further stops. *)
+let inject_signal_now k (th : Proc.thread) sg =
+  ignore (deliver_signal k th sg)
+
+let install k =
+  k.K.sched.Sched.syscall_handler <- (fun th call ~return -> handle k th call ~return)

@@ -1,0 +1,183 @@
+(* Kernel facade: construction, process management, tracing, and the run
+   loop. This is the only module MVEE layers and workloads need besides the
+   shared types in [Proc] and [Syscall]. *)
+
+open Remon_sim
+open Remon_util
+module K = Kstate
+
+type t = K.t
+
+let create ?cost ?seed ?net_latency () =
+  let k = K.create ?cost ?seed ?net_latency () in
+  Dispatch.install k;
+  (* standard filesystem fixture *)
+  List.iter
+    (fun d -> ignore (Vfs.mkdir_p k.K.vfs d))
+    [ "/tmp"; "/etc"; "/dev"; "/proc"; "/var/www"; "/home/user" ];
+  ignore (Vfs.create_file k.K.vfs "/etc/hostname");
+  (match Vfs.resolve k.K.vfs "/etc/hostname" with
+  | Ok node -> ignore (Vfs.write_at node ~offset:0 ~data:"remon-sim\n" ~now_ns:0L)
+  | Error _ -> ());
+  k.K.sched.Sched.on_thread_exit <-
+    (fun th ->
+      let p = th.Proc.proc in
+      if p.alive && List.for_all (fun (t : Proc.thread) -> t.tstate = Proc.Dead) p.threads
+      then begin
+        p.alive <- false;
+        let waiters = p.exit_waiters in
+        p.exit_waiters <- [];
+        List.iter (fun f -> f p.exit_code) waiters
+      end;
+      (* user-space joins poll thread liveness: wake parked waiters *)
+      Sched.kick k.K.sched);
+  k
+
+let state (k : t) = k
+let sched (k : t) = k.K.sched
+let vfs (k : t) = k.K.vfs
+let net (k : t) = k.K.net
+let shm_registry (k : t) = k.K.shm
+let cost (k : t) = k.K.cost
+let stats (k : t) = k.K.stats
+let now (k : t) = K.now k
+let rng (k : t) = k.K.rng
+
+(* ------------------------------------------------------------------ *)
+(* Process management *)
+
+let make_process (k : t) ?replica_info ?(parent = 1) ~name ~vm_seed () =
+  let pid = K.fresh_pid k in
+  let p =
+    {
+      Proc.pid;
+      parent_pid = parent;
+      name;
+      fds = Hashtbl.create 16;
+      vm = Vm.create ~rng:(Rng.make vm_seed);
+      cwd = "/home/user";
+      sig_actions = Hashtbl.create 8;
+      sig_mask = Proc.IntSet.empty;
+      pending_signals = Queue.create ();
+      threads = [];
+      next_tid_rank = 0;
+      alive = true;
+      reaped = false;
+      exit_code = 0;
+      tracer = None;
+      entry_table = [||];
+      ipmon_registered = None;
+      alarm_deadline = None;
+      itimer = None;
+      itimer_next = None;
+      replica_info;
+      exit_waiters = [];
+    }
+  in
+  Hashtbl.replace k.K.procs pid p;
+  p
+
+let add_thread (k : t) (p : Proc.process) ~start_clock =
+  let tid = K.fresh_tid k in
+  let rank = p.Proc.next_tid_rank in
+  p.Proc.next_tid_rank <- rank + 1;
+  let th =
+    {
+      Proc.tid;
+      proc = p;
+      rank;
+      clock = start_clock;
+      tstate = Proc.Ready;
+      syscall_index = 0;
+      current_call = None;
+      pending_delivery = [];
+      in_ipmon = false;
+      last_result = None;
+    }
+  in
+  p.Proc.threads <- p.Proc.threads @ [ th ];
+  th
+
+(* Spawns a process whose main thread runs [main]. [entries] become the
+   Clone entry table (index 0 conventionally unused by main). *)
+let spawn_process (k : t) ?replica_info ?(entries = [||]) ?(start_clock = Vtime.zero)
+    ~name ~vm_seed (main : unit -> unit) =
+  let p = make_process k ?replica_info ~name ~vm_seed () in
+  p.Proc.entry_table <- entries;
+  let th = add_thread k p ~start_clock in
+  Sched.spawn k.K.sched th main;
+  p
+
+let on_process_exit (p : Proc.process) f =
+  if p.Proc.alive then p.Proc.exit_waiters <- p.Proc.exit_waiters @ [ f ]
+  else f p.Proc.exit_code
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (ptrace) *)
+
+let attach_tracer (p : Proc.process) tracer = p.Proc.tracer <- Some tracer
+let detach_tracer (p : Proc.process) = p.Proc.tracer <- None
+
+let resume (_k : t) (th : Proc.thread) (action : Proc.resume_action) =
+  match th.Proc.tstate with
+  | Proc.Trace_stopped { resume; _ } -> resume action
+  | Proc.Dead -> ()
+  | Proc.Ready | Proc.Blocked _ ->
+    invalid_arg "Kernel.resume: thread is not trace-stopped"
+
+let interrupt_blocked (k : t) th result = Dispatch.interrupt_blocked k th result
+let inject_signal_now (k : t) th sg = Dispatch.inject_signal_now k th sg
+let post_signal (k : t) p sg = Dispatch.post_signal k p sg
+let kill_process (k : t) p ~code = Dispatch.kill_process k p ~code
+
+(* ------------------------------------------------------------------ *)
+(* Broker / IP-MON hookup *)
+
+let set_broker (k : t) broker = k.K.broker <- Some broker
+let clear_broker (k : t) = k.K.broker <- None
+
+let prepare_ipmon (k : t) ~pid (reg : Proc.ipmon_registration) =
+  Hashtbl.replace k.K.pending_ipmon pid reg
+
+(* Raw execution used by IP-MON after token verification. *)
+let execute_raw (k : t) th call ~ret = Dispatch.execute_raw k th call ~ret
+
+(* Parks [th] until [poll] succeeds; for monitor-internal waits (IP-MON
+   slaves waiting on the replication buffer). *)
+let wait_until (k : t) th ~what ~(poll : unit -> 'a option) ~(on_ready : 'a -> unit) =
+  Dispatch.block k th ~what ~intr:false ~poll ~on_ready
+    ~complete:(fun _ -> on_ready (Option.get (poll ())))
+    ()
+
+let kick (k : t) = Sched.kick k.K.sched
+
+let schedule (k : t) ~time f = Sched.schedule k.K.sched ~time f
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let run ?until (k : t) = Sched.run ?until k.K.sched
+
+let blocked_report (k : t) =
+  List.map
+    (fun (th : Proc.thread) ->
+      match th.tstate with
+      | Proc.Blocked b -> Printf.sprintf "%s: %s" (Proc.thread_name th) b.what
+      | _ -> Proc.thread_name th)
+    (Sched.blocked_threads k.K.sched)
+
+(* Re-enters the monitored (ptrace) path for a call IP-MON declined to
+   handle (Figure 2's step 4': token destroyed, call forwarded to the CP
+   monitor). *)
+let monitor_path (k : t) th call ~return = Dispatch.monitor_path k th call ~return
+
+
+(* ------------------------------------------------------------------ *)
+(* Tracing of syscall routing (diagnostics) *)
+
+let enable_tracing (k : t) = k.K.log_enabled <- true
+
+let trace (k : t) =
+  List.rev_map
+    (fun (time, line) -> Printf.sprintf "[%s] %s" (Remon_sim.Vtime.to_string time) line)
+    k.K.log

@@ -1,0 +1,129 @@
+(** Kernel facade: construction, process management, ptrace attachment, the
+    IK-B broker hookup, and the run loop. This is the main entry point for
+    MVEE layers and workloads; shared data types live in {!Proc} and
+    {!Syscall}. *)
+
+open Remon_sim
+open Remon_util
+
+type t = Kstate.t
+
+val create :
+  ?cost:Cost_model.t -> ?seed:int -> ?net_latency:Vtime.t -> unit -> t
+(** A fresh simulated machine: empty process table, standard filesystem
+    fixture (/tmp, /etc, /dev, /var/www, ...), one network with the given
+    one-way link latency. *)
+
+(** {1 Introspection} *)
+
+val state : t -> Kstate.t
+val sched : t -> Sched.t
+val vfs : t -> Vfs.t
+val net : t -> Net.t
+val shm_registry : t -> Shm.t
+val cost : t -> Cost_model.t
+val stats : t -> Kstate.counters
+val now : t -> Vtime.t
+val rng : t -> Rng.t
+
+(** {1 Processes} *)
+
+val make_process :
+  t ->
+  ?replica_info:Proc.replica_info ->
+  ?parent:int ->
+  name:string ->
+  vm_seed:int ->
+  unit ->
+  Proc.process
+(** A process control block with its own (ASLR-seeded) address space; no
+    threads yet. *)
+
+val add_thread : t -> Proc.process -> start_clock:Vtime.t -> Proc.thread
+
+val spawn_process :
+  t ->
+  ?replica_info:Proc.replica_info ->
+  ?entries:(unit -> unit) array ->
+  ?start_clock:Vtime.t ->
+  name:string ->
+  vm_seed:int ->
+  (unit -> unit) ->
+  Proc.process
+(** Creates a process whose main thread runs the given body (an effect-
+    performing coroutine); [entries] seeds the Clone entry table. *)
+
+val on_process_exit : Proc.process -> (int -> unit) -> unit
+(** Runs the callback with the exit code when the process dies (or
+    immediately if it is already dead). *)
+
+(** {1 Tracing (ptrace)} *)
+
+val attach_tracer : Proc.process -> Proc.tracer -> unit
+val detach_tracer : Proc.process -> unit
+
+val resume : t -> Proc.thread -> Proc.resume_action -> unit
+(** Resume a trace-stopped thread. Raises [Invalid_argument] if the thread
+    is not stopped. *)
+
+val interrupt_blocked : t -> Proc.thread -> Syscall.result -> bool
+(** Force-complete a blocked syscall (GHUMVEE's Section 3.8 abort).
+    Returns false if the thread was not interruptibly blocked. *)
+
+val inject_signal_now : t -> Proc.thread -> int -> unit
+(** Re-initiate a deferred signal at a rendezvous point, bypassing further
+    delivery stops. *)
+
+val post_signal : t -> Proc.process -> int -> unit
+val kill_process : t -> Proc.process -> code:int -> unit
+
+(** {1 IK-B broker / IP-MON hookup} *)
+
+val set_broker : t -> Kstate.broker -> unit
+val clear_broker : t -> unit
+
+val prepare_ipmon : t -> pid:int -> Proc.ipmon_registration -> unit
+(** Stage the registration (including the invoke closure, which cannot
+    travel through the syscall interface) before the replica issues
+    [ipmon_register]. *)
+
+val execute_raw :
+  t -> Proc.thread -> Syscall.call -> ret:(Syscall.result -> unit) -> unit
+(** Stop-free execution used by IP-MON once the token verified. *)
+
+val monitor_path :
+  t -> Proc.thread -> Syscall.call -> return:(Syscall.result -> unit) -> unit
+(** Re-enter the monitored (ptrace) path for a call IP-MON declined
+    (Figure 2, step 4'). *)
+
+val wait_until :
+  t ->
+  Proc.thread ->
+  what:string ->
+  poll:(unit -> 'a option) ->
+  on_ready:('a -> unit) ->
+  unit
+(** Park a thread until [poll] succeeds; for monitor-internal waits (IP-MON
+    slaves waiting on the replication buffer). *)
+
+val kick : t -> unit
+(** Re-run all parked retries; call after mutating shared state. *)
+
+val schedule : t -> time:Vtime.t -> (unit -> unit) -> unit
+
+(** {1 Running} *)
+
+val run : ?until:Vtime.t -> t -> unit
+(** Drain the event queue (to [until] if given). Returns when no events
+    remain; threads still blocked at that point are either servers waiting
+    for input or deadlocks — see {!blocked_report}. *)
+
+val blocked_report : t -> string list
+
+(** {1 Diagnostics} *)
+
+val enable_tracing : t -> unit
+(** Record one line per syscall with the route IK-B chose. *)
+
+val trace : t -> string list
+(** The recorded trace, in chronological order. *)

@@ -1,0 +1,152 @@
+(* Kernel state: every subsystem instance plus the hook points the MVEE
+   layers attach to (the IK-B broker and ptrace tracers). *)
+
+open Remon_sim
+open Remon_util
+
+type counters = {
+  mutable syscalls : int;
+  mutable traps : int;
+  mutable ptrace_stops : int;
+  mutable ipmon_fastpath : int; (* calls completed through IP-MON *)
+  mutable monitored : int; (* calls that took the ptrace path *)
+  mutable plain : int; (* untraced, unbrokered executions *)
+  mutable context_switches : int;
+  mutable bytes_copied_xproc : int;
+  mutable rb_bytes : int;
+  mutable futex_waits : int;
+  mutable futex_wakes : int;
+  mutable signals_posted : int;
+  mutable signals_delivered : int;
+  mutable tokens_granted : int;
+  mutable tokens_rejected : int;
+  by_sysno : (Sysno.t, int) Hashtbl.t;
+}
+
+let make_counters () =
+  {
+    syscalls = 0;
+    traps = 0;
+    ptrace_stops = 0;
+    ipmon_fastpath = 0;
+    monitored = 0;
+    plain = 0;
+    context_switches = 0;
+    bytes_copied_xproc = 0;
+    rb_bytes = 0;
+    futex_waits = 0;
+    futex_wakes = 0;
+    signals_posted = 0;
+    signals_delivered = 0;
+    tokens_granted = 0;
+    tokens_rejected = 0;
+    by_sysno = Hashtbl.create 64;
+  }
+
+let count_sysno c no =
+  let cur = match Hashtbl.find_opt c.by_sysno no with Some n -> n | None -> 0 in
+  Hashtbl.replace c.by_sysno no (cur + 1)
+
+(* Routing decision taken by the IK-B broker at syscall entry (Figure 2). *)
+type route =
+  | Route_plain (* no broker/tracer interest: execute directly *)
+  | Route_ipmon of int64 (* forward to IP-MON with this one-time token *)
+  | Route_monitor (* report to the CP monitor via ptrace *)
+
+type broker = {
+  broker_name : string;
+  classify : Proc.thread -> Syscall.call -> route;
+      (* IK-B interceptor: called once per syscall entry *)
+  verify : Proc.thread -> token:int64 -> call:Syscall.call -> bool;
+      (* IK-B verifier: may the forwarded call complete? One-time. *)
+}
+
+(* Futex wait queues, keyed by physical backing (shared segments give the
+   same key in every attached process). *)
+type futex_waiter = {
+  ft : Proc.thread;
+  mutable woken : bool;
+  mutable cancelled : bool; (* timed out or killed; wake skips it *)
+}
+
+type t = {
+  sched : Sched.t;
+  cost : Cost_model.t;
+  vfs : Vfs.t;
+  net : Net.t;
+  shm : Shm.t;
+  rng : Rng.t;
+  procs : (int, Proc.process) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_share_group : int;
+  futexes : (Vm.futex_key, futex_waiter Queue.t) Hashtbl.t;
+  stats : counters;
+  mutable broker : broker option;
+  flocks : (int, int) Hashtbl.t;
+      (* advisory exclusive file locks: inode -> holder pid *)
+  pending_ipmon : (int, Proc.ipmon_registration) Hashtbl.t;
+      (* pid -> registration prepared by the MVEE before the replica issues
+         ipmon_register (the closure cannot travel through the syscall) *)
+  epoch_offset_ns : int64; (* "wall clock" base for gettimeofday *)
+  mutable log : (Vtime.t * string) list; (* recent diagnostic events, reversed *)
+  mutable log_enabled : bool;
+}
+
+let create ?(cost = Cost_model.default) ?(seed = 42)
+    ?(net_latency = Vtime.us 50) () =
+  {
+    sched = Sched.create ();
+    cost;
+    vfs = Vfs.create ();
+    net = Net.create ~latency:net_latency ();
+    shm = Shm.create ();
+    rng = Rng.make seed;
+    procs = Hashtbl.create 8;
+    next_pid = 1000;
+    next_tid = 5000;
+    next_share_group = 1;
+    futexes = Hashtbl.create 32;
+    stats = make_counters ();
+    broker = None;
+    flocks = Hashtbl.create 8;
+    pending_ipmon = Hashtbl.create 8;
+    epoch_offset_ns = 1_600_000_000_000_000_000L;
+    log = [];
+    log_enabled = false;
+  }
+
+let now k = Sched.now k.sched
+
+let logf k fmt =
+  Printf.ksprintf
+    (fun s -> if k.log_enabled then k.log <- (now k, s) :: k.log)
+    fmt
+
+let charge (th : Proc.thread) ns =
+  th.clock <- Vtime.add th.clock (Vtime.ns (max 0 ns))
+
+let fresh_pid k =
+  let pid = k.next_pid in
+  k.next_pid <- k.next_pid + 1;
+  pid
+
+let fresh_tid k =
+  let tid = k.next_tid in
+  k.next_tid <- k.next_tid + 1;
+  tid
+
+let fresh_share_group k =
+  let g = k.next_share_group in
+  k.next_share_group <- k.next_share_group + 1;
+  g
+
+let futex_queue k key =
+  match Hashtbl.find_opt k.futexes key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace k.futexes key q;
+    q
+
+let find_proc k pid = Hashtbl.find_opt k.procs pid

@@ -1,0 +1,128 @@
+(* Simulated stream-socket network.
+
+   Connections are pairs of unidirectional channels. Data "in flight" is
+   committed to the peer's receive queue by a kernel event scheduled
+   [latency + wire time] after the send — this is how the netem-style link
+   latency of the paper's three server scenarios is modeled. *)
+
+type stream = {
+  sid : int;
+  mutable local_port : int;
+  mutable peer_port : int;
+  incoming : Bytestream.t; (* committed, readable data *)
+  mutable peer : stream option; (* None once the peer endpoint is closed *)
+  mutable rd_shut : bool;
+  mutable wr_shut : bool;
+  mutable in_flight : int; (* bytes sent but not yet committed *)
+  mutable connected : bool;
+  mutable local : bool; (* same-host pair (socketpair): no link latency *)
+}
+
+type listener = {
+  port : int;
+  mutable backlog : int;
+  pending : stream Queue.t; (* server-side endpoints awaiting accept *)
+  mutable closed : bool;
+}
+
+type t = {
+  mutable latency : Remon_sim.Vtime.t; (* one-way propagation delay *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_sid : int;
+  mutable next_ephemeral : int;
+}
+
+let create ?(latency = Remon_sim.Vtime.us 50) () =
+  {
+    latency;
+    listeners = Hashtbl.create 8;
+    next_sid = 1;
+    next_ephemeral = 32_768;
+  }
+
+let set_latency t l = t.latency <- l
+
+let fresh_stream t =
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  {
+    sid;
+    local_port = 0;
+    peer_port = 0;
+    incoming = Bytestream.create ();
+    peer = None;
+    rd_shut = false;
+    wr_shut = false;
+    in_flight = 0;
+    connected = false;
+    local = false;
+  }
+
+let listen t ~port ~backlog =
+  if Hashtbl.mem t.listeners port then Error Errno.EADDRINUSE
+  else begin
+    let l = { port; backlog; pending = Queue.create (); closed = false } in
+    Hashtbl.replace t.listeners port l;
+    Ok l
+  end
+
+let find_listener t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | Some l when not l.closed -> Some l
+  | _ -> None
+
+let close_listener t l =
+  l.closed <- true;
+  Hashtbl.remove t.listeners l.port
+
+(* Builds the two endpoints of a connection; the caller (dispatcher) is
+   responsible for delaying [commit_pending] and the listener enqueue by the
+   link latency. *)
+let make_pair t ~client_port ~server_port =
+  let client = fresh_stream t in
+  let server = fresh_stream t in
+  client.peer <- Some server;
+  server.peer <- Some client;
+  client.local_port <- client_port;
+  client.peer_port <- server_port;
+  server.local_port <- server_port;
+  server.peer_port <- client_port;
+  (client, server)
+
+let ephemeral_port t =
+  let p = t.next_ephemeral in
+  t.next_ephemeral <- t.next_ephemeral + 1;
+  p
+
+(* Sender side: account in-flight bytes; the kernel commits them later. *)
+let send_start stream data =
+  match stream.peer with
+  | None -> Error Errno.EPIPE
+  | Some _ when stream.wr_shut -> Error Errno.EPIPE
+  | Some peer ->
+    peer.in_flight <- peer.in_flight + String.length data;
+    Ok peer
+
+(* Receiver side: invoked by the scheduled delivery event. *)
+let commit stream data =
+  stream.in_flight <- stream.in_flight - String.length data;
+  Bytestream.push stream.incoming data
+
+let peer_gone stream = stream.peer = None
+
+let readable stream =
+  Bytestream.length stream.incoming > 0 || stream.rd_shut || peer_gone stream
+
+let at_eof stream =
+  Bytestream.length stream.incoming = 0
+  && stream.in_flight = 0
+  && (peer_gone stream || stream.rd_shut)
+
+let recv stream count = Bytestream.pull stream.incoming count
+
+(* Endpoint close: detach from peer so the peer observes EOF / EPIPE. *)
+let close_stream stream =
+  (match stream.peer with Some p -> p.peer <- None | None -> ());
+  stream.peer <- None;
+  stream.rd_shut <- true;
+  stream.wr_shut <- true

@@ -1,0 +1,51 @@
+(** Simulated stream-socket network. Connections are pairs of
+    unidirectional channels; data in flight is committed to the peer's
+    receive queue by a kernel event scheduled one link latency after the
+    send (the netem-style latency of the server scenarios). *)
+
+type stream = {
+  sid : int;
+  mutable local_port : int;
+  mutable peer_port : int;
+  incoming : Bytestream.t;
+  mutable peer : stream option; (** [None] once the peer closed *)
+  mutable rd_shut : bool;
+  mutable wr_shut : bool;
+  mutable in_flight : int;
+  mutable connected : bool;
+  mutable local : bool; (** same-host pair: memcpy cost, ~no latency *)
+}
+
+type listener = {
+  port : int;
+  mutable backlog : int;
+  pending : stream Queue.t;
+  mutable closed : bool;
+}
+
+type t = {
+  mutable latency : Remon_sim.Vtime.t; (** one-way propagation delay *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_sid : int;
+  mutable next_ephemeral : int;
+}
+
+val create : ?latency:Remon_sim.Vtime.t -> unit -> t
+val set_latency : t -> Remon_sim.Vtime.t -> unit
+val fresh_stream : t -> stream
+val listen : t -> port:int -> backlog:int -> (listener, Errno.t) result
+val find_listener : t -> port:int -> listener option
+val close_listener : t -> listener -> unit
+val make_pair : t -> client_port:int -> server_port:int -> stream * stream
+val ephemeral_port : t -> int
+
+val send_start : stream -> string -> (stream, Errno.t) result
+(** Accounts in-flight bytes; returns the peer whose queue the dispatcher
+    must commit the data to after the propagation delay. *)
+
+val commit : stream -> string -> unit
+val peer_gone : stream -> bool
+val readable : stream -> bool
+val at_eof : stream -> bool
+val recv : stream -> int -> string
+val close_stream : stream -> unit

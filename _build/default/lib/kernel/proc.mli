@@ -1,0 +1,179 @@
+(** Process and thread control blocks, file descriptors, and the
+    ptrace-style tracer interface. These types are shared by the scheduler,
+    the syscall dispatcher and the MVEE monitors, and are therefore fully
+    transparent. *)
+
+open Remon_sim
+
+module IntSet : Set.S with type elt = int
+
+(* ------------------------------------------------------------------ *)
+(* File descriptors *)
+
+type timerfd_state = {
+  mutable spec : Syscall.itimer_spec option;
+  mutable armed_at : Vtime.t;
+  mutable expirations : int; (* unread expiration count *)
+}
+
+type eventfd_state = { mutable count : int }
+
+type desc_kind =
+  | Regular of Vfs.node
+  | Directory of Vfs.node
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Listener of Net.listener
+  | Stream of Net.stream
+  | Epoll_fd of Epoll.t
+  | Timer_fd of timerfd_state
+  | Event_fd of eventfd_state
+  | Dev_null
+  | Proc_maps of { mutable content : string }
+      (* snapshot of /proc/self/maps taken at open time *)
+  | Replicated_handle of int
+      (* slave-side stub installed by the MVEE: the fd number exists so
+         that fd allocation stays in lockstep across replicas, but all I/O
+         on it is satisfied by replicated master results. The int is the
+         master's matching fd number. *)
+
+type desc = {
+  mutable kind : desc_kind;
+  mutable offset : int;
+  mutable nonblock : bool;
+  mutable cloexec : bool;
+  mutable refs : int; (* fd-table entries sharing this description (dup) *)
+  can_read : bool;
+  can_write : bool;
+  append : bool;
+  path : string option; (* for path-opened descriptors *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* ptrace *)
+
+type stop_reason =
+  | Syscall_entry_stop of Syscall.call
+  | Syscall_exit_stop of Syscall.call * Syscall.result
+  | Signal_delivery_stop of int
+  | Exit_stop of int
+
+type resume_action =
+  | Resume_continue (* proceed; execute the (possibly rewritten) call *)
+  | Resume_rewrite of Syscall.call (* entry stop: replace the call, then execute *)
+  | Resume_skip of Syscall.result (* entry stop: do not execute; inject result *)
+  | Resume_set_result of Syscall.result (* exit stop: overwrite the result *)
+  | Resume_deliver (* signal stop: let the signal be delivered now *)
+  | Resume_suppress (* signal stop: tracer keeps the signal for later *)
+  | Resume_kill (* terminate the whole process group under trace *)
+
+(* ------------------------------------------------------------------ *)
+(* Threads and processes *)
+
+type thread_state =
+  | Ready (* a scheduled event will run or resume it *)
+  | Blocked of blocked
+  | Trace_stopped of { reason : stop_reason; resume : resume_action -> unit }
+  | Dead
+
+and blocked = {
+  mutable retry : unit -> bool;
+      (* re-attempt the pending operation; true = unblocked (the retry has
+         scheduled the thread's resumption itself) *)
+  mutable timeout : Event_queue.handle option;
+  mutable interrupt : (Syscall.result -> unit) option;
+      (* forcibly complete the blocked call with the given result; used by
+         signal delivery (EINTR) and by GHUMVEE when it aborts a blocked
+         master call (Section 3.8) *)
+  blocked_since : Vtime.t;
+  what : string; (* human-readable reason, for deadlock reports *)
+}
+
+type process = {
+  pid : int;
+  mutable parent_pid : int;
+  mutable name : string;
+  fds : (int, desc) Hashtbl.t;
+  vm : Vm.t;
+  mutable cwd : string;
+  sig_actions : (int, Syscall.sig_action) Hashtbl.t;
+  mutable sig_mask : IntSet.t;
+  pending_signals : int Queue.t;
+  mutable threads : thread list; (* in spawn order *)
+  mutable next_tid_rank : int;
+  mutable alive : bool;
+  mutable reaped : bool; (* consumed by a wait4 *)
+  mutable exit_code : int;
+  mutable tracer : tracer option;
+  mutable entry_table : (unit -> unit) array;
+      (* thread entry points for Clone; index = logical function identity *)
+  mutable ipmon_registered : ipmon_registration option;
+  mutable alarm_deadline : Vtime.t option;
+  mutable itimer : Syscall.itimer_spec option;
+  mutable itimer_next : Vtime.t option;
+  mutable replica_info : replica_info option;
+      (* set by the MVEE when this process is a managed replica *)
+  mutable exit_waiters : (int -> unit) list;
+      (* parents blocked in wait4, monitors awaiting death *)
+}
+
+and thread = {
+  tid : int;
+  proc : process;
+  rank : int; (* index within process, identical across replicas *)
+  mutable clock : Vtime.t; (* local virtual time *)
+  mutable tstate : thread_state;
+  mutable syscall_index : int; (* entries so far: rendezvous identity *)
+  mutable current_call : Syscall.call option;
+  mutable pending_delivery : int list; (* signals to run handlers for, set at syscall return *)
+  mutable in_ipmon : bool; (* executing inside IP-MON's entry point *)
+  mutable last_result : Syscall.result option;
+}
+
+and tracer = {
+  tracer_name : string;
+  mutable on_stop : thread -> stop_reason -> unit;
+      (* invoked when a traced thread stops; the thread stays
+         [Trace_stopped] until its [resume] closure is called *)
+}
+
+and ipmon_registration = {
+  unmonitored : Sysno.Set.t; (* the set IP-MON offered (possibly trimmed by GHUMVEE) *)
+  rb_addr : int64; (* where the RB is mapped in this replica *)
+  entry_addr : int64; (* IP-MON's syscall entry point *)
+  invoke :
+    thread -> token:int64 -> call:Syscall.call -> return:(Syscall.result -> unit) -> unit;
+      (* the IP-MON code itself, installed by the MVEE at registration *)
+}
+
+and replica_info = {
+  variant_index : int; (* 0 = master *)
+  group_id : int; (* identifies the replica set this process belongs to *)
+}
+
+val is_master : process -> bool
+(** Is this the replica set's variant 0? *)
+
+val thread_name : thread -> string
+
+val find_thread_by_rank : process -> int -> thread option
+
+val alloc_fd : process -> int
+(** Lowest free descriptor number, like Linux. *)
+
+val desc_of_fd : process -> int -> desc option
+
+val make_desc :
+  ?nonblock:bool ->
+  ?can_read:bool ->
+  ?can_write:bool ->
+  ?append:bool ->
+  ?path:string ->
+  desc_kind ->
+  desc
+
+(** File-map classification byte (Section 3.6 of the paper). *)
+type fd_class = Fd_regular | Fd_pipe | Fd_socket | Fd_pollfd | Fd_special
+
+val classify_desc : desc -> fd_class
+val fd_class_to_string : fd_class -> string

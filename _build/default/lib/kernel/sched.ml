@@ -1,0 +1,212 @@
+(* Discrete-event cooperative scheduler.
+
+   Simulated threads are OCaml 5 effect-handler coroutines. A thread
+   performs [Syscall_eff] and [Compute_eff] effects; the handler captures
+   the continuation and hands control to the kernel, which decides when (in
+   virtual time) the thread resumes. All replicas of a benchmark therefore
+   run "in parallel" on the simulated machine while the host execution stays
+   single-threaded and deterministic.
+
+   Blocking model: a blocked thread is parked with a [retry] thunk. Any
+   state mutation calls [kick], which re-runs all parked retries at the
+   current virtual time (cheap at simulation scale, and deterministic:
+   retries run in park order). *)
+
+open Remon_sim
+
+type _ Effect.t +=
+  | Syscall_eff : Syscall.call -> Syscall.result Effect.t
+  | Compute_eff : Vtime.t -> unit Effect.t
+  | Now_eff : Vtime.t Effect.t
+  | Self_eff : Proc.thread Effect.t
+  | Wait_user_eff : (unit -> bool) -> unit Effect.t
+      (* user-space busy-wait on a memory condition (no syscall): used by
+         replication agents that synchronize through shared memory *)
+
+exception Thread_killed
+
+type t = {
+  events : (unit -> unit) Event_queue.t;
+  mutable now : Vtime.t;
+  mutable syscall_handler :
+    Proc.thread -> Syscall.call -> return:(Syscall.result -> unit) -> unit;
+  mutable on_thread_exit : Proc.thread -> unit;
+  mutable blocked : Proc.thread list; (* park order *)
+  mutable kick_scheduled : bool;
+  mutable events_processed : int;
+  mutable max_events : int; (* runaway-simulation guard *)
+}
+
+let create () =
+  {
+    events = Event_queue.create ();
+    now = Vtime.zero;
+    syscall_handler =
+      (fun _ _ ~return:_ -> failwith "Sched: no syscall handler installed");
+    on_thread_exit = (fun _ -> ());
+    blocked = [];
+    kick_scheduled = false;
+    events_processed = 0;
+    max_events = 200_000_000;
+  }
+
+let now t = t.now
+
+let schedule_at t ~time thunk =
+  let time = Vtime.max time t.now in
+  Event_queue.add t.events ~time thunk
+
+let schedule t ~time thunk = ignore (schedule_at t ~time thunk)
+
+(* ------------------------------------------------------------------ *)
+(* Thread bodies *)
+
+let resume_value :
+    type a. t -> Proc.thread -> (a, unit) Effect.Deep.continuation -> a -> unit
+    =
+ fun _t th k v ->
+  match th.Proc.tstate with
+  | Proc.Dead -> () (* killed while suspended: drop the continuation *)
+  | _ ->
+    th.Proc.tstate <- Proc.Ready;
+    Effect.Deep.continue k v
+
+let park t th ~what ~(retry : unit -> bool) =
+  let b =
+    { Proc.retry; timeout = None; interrupt = None; blocked_since = t.now; what }
+  in
+  th.Proc.tstate <- Proc.Blocked b;
+  t.blocked <- t.blocked @ [ th ];
+  b
+
+let run_thread_body t (th : Proc.thread) (body : unit -> unit) =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          th.Proc.tstate <- Proc.Dead;
+          t.on_thread_exit th);
+      exnc =
+        (fun e ->
+          match e with
+          | Thread_killed ->
+            th.Proc.tstate <- Proc.Dead;
+            t.on_thread_exit th
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Syscall_eff call ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resumed = ref false in
+                let return r =
+                  if !resumed then
+                    failwith "Sched: syscall return invoked twice";
+                  resumed := true;
+                  schedule t ~time:th.Proc.clock (fun () ->
+                      resume_value t th k r)
+                in
+                t.syscall_handler th call ~return)
+          | Compute_eff d ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                th.Proc.clock <- Vtime.add th.Proc.clock d;
+                schedule t ~time:th.Proc.clock (fun () ->
+                    resume_value t th k ()))
+          | Now_eff -> Some (fun (k : (a, _) continuation) -> continue k th.Proc.clock)
+          | Self_eff -> Some (fun (k : (a, _) continuation) -> continue k th)
+          | Wait_user_eff cond ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                if cond () then continue k ()
+                else begin
+                  let b =
+                    park t th ~what:"user-space wait" ~retry:(fun () -> false)
+                  in
+                  b.Proc.retry <-
+                    (fun () ->
+                      match th.Proc.tstate with
+                      | Proc.Dead -> true
+                      | _ ->
+                        if cond () then begin
+                          th.Proc.clock <- Vtime.max th.Proc.clock t.now;
+                          schedule t ~time:th.Proc.clock (fun () ->
+                              resume_value t th k ());
+                          true
+                        end
+                        else false)
+                end)
+          | _ -> None);
+    }
+
+let spawn t th body =
+  schedule t ~time:th.Proc.clock (fun () ->
+      match th.Proc.tstate with
+      | Proc.Dead -> () (* killed before it ever ran *)
+      | _ -> run_thread_body t th body)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking *)
+
+let kick t =
+  if not t.kick_scheduled then begin
+    t.kick_scheduled <- true;
+    schedule t ~time:t.now (fun () ->
+        t.kick_scheduled <- false;
+        (* Retries may park threads again (or park new ones): run them
+           against a snapshot with the live list emptied, then merge the
+           survivors back with whatever was parked meanwhile. *)
+        let snapshot = t.blocked in
+        t.blocked <- [];
+        let still =
+          List.filter
+            (fun th ->
+              match th.Proc.tstate with
+              | Proc.Blocked b -> not (b.Proc.retry ())
+              | Proc.Ready | Proc.Trace_stopped _ | Proc.Dead -> false)
+            snapshot
+        in
+        t.blocked <- still @ t.blocked)
+  end
+
+(* Removes a thread from the park list without retrying (used when a tracer
+   or a kill transitions it out of Blocked directly). *)
+let unpark t th = t.blocked <- List.filter (fun th' -> th' != th) t.blocked
+
+let blocked_threads t =
+  List.filter
+    (fun th -> match th.Proc.tstate with Proc.Blocked _ -> true | _ -> false)
+    t.blocked
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+exception Event_budget_exhausted
+
+let run ?until t =
+  let continue_past time =
+    match until with None -> true | Some limit -> Vtime.(time <= limit)
+  in
+  let running = ref true in
+  while !running do
+    match Event_queue.pop t.events with
+    | None -> running := false
+    | Some (time, thunk) ->
+      if not (continue_past time) then running := false
+      else begin
+        t.events_processed <- t.events_processed + 1;
+        if t.events_processed > t.max_events then raise Event_budget_exhausted;
+        t.now <- Vtime.max t.now time;
+        thunk ()
+      end
+  done
+
+(* Effect-performing API for program bodies. *)
+let syscall call : Syscall.result = Effect.perform (Syscall_eff call)
+let compute d : unit = Effect.perform (Compute_eff d)
+let vnow () : Vtime.t = Effect.perform Now_eff
+let self () : Proc.thread = Effect.perform Self_eff
+
+let wait_user cond : unit = Effect.perform (Wait_user_eff cond)

@@ -1,0 +1,74 @@
+(* System V shared memory segments.
+
+   ReMon uses SysV IPC to establish IP-MON's replication buffer (Section
+   3.2) and the read-only file map (Section 3.6). A segment carries an
+   extensible [payload] so higher layers can attach typed shared structures
+   (the RB itself) without the kernel knowing their shape, plus a word store
+   for futexes located in shared memory. *)
+
+type payload = ..
+
+type segment = {
+  shmid : int;
+  key : int;
+  size : int;
+  mutable nattach : int;
+  mutable rm_pending : bool; (* IPC_RMID called; destroyed at last detach *)
+  mutable payload : payload option;
+  words : (int, int) Hashtbl.t; (* offset -> value, for futexes in shm *)
+}
+
+type t = { mutable next_id : int; segments : (int, segment) Hashtbl.t }
+
+let create () = { next_id = 1; segments = Hashtbl.create 8 }
+
+let get t ~key ~size ~create:do_create =
+  let existing =
+    Hashtbl.fold
+      (fun _ seg acc ->
+        if seg.key = key && key <> 0 && not seg.rm_pending then Some seg
+        else acc)
+      t.segments None
+  in
+  match existing with
+  | Some seg -> if size > seg.size then Error Errno.EINVAL else Ok seg
+  | None ->
+    if not do_create then Error Errno.ENOENT
+    else begin
+      let shmid = t.next_id in
+      t.next_id <- t.next_id + 1;
+      let seg =
+        {
+          shmid;
+          key;
+          size;
+          nattach = 0;
+          rm_pending = false;
+          payload = None;
+          words = Hashtbl.create 16;
+        }
+      in
+      Hashtbl.replace t.segments shmid seg;
+      Ok seg
+    end
+
+let find t shmid =
+  match Hashtbl.find_opt t.segments shmid with
+  | Some seg when not seg.rm_pending -> Ok seg
+  | Some _ -> Error Errno.EIDRM
+  | None -> Error Errno.EINVAL
+
+let attach seg = seg.nattach <- seg.nattach + 1
+
+let detach t seg =
+  seg.nattach <- max 0 (seg.nattach - 1);
+  if seg.rm_pending && seg.nattach = 0 then Hashtbl.remove t.segments seg.shmid
+
+let remove t seg =
+  seg.rm_pending <- true;
+  if seg.nattach = 0 then Hashtbl.remove t.segments seg.shmid
+
+let read_word seg ~offset =
+  match Hashtbl.find_opt seg.words offset with Some v -> v | None -> 0
+
+let write_word seg ~offset v = Hashtbl.replace seg.words offset v

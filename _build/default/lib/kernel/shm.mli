@@ -1,0 +1,36 @@
+(** System V shared memory segments. ReMon uses SysV IPC for IP-MON's
+    replication buffer and the read-only file map; a segment carries an
+    extensible [payload] so higher layers can attach typed shared
+    structures, plus a word store for futexes in shared memory. *)
+
+type payload = ..
+
+type segment = {
+  shmid : int;
+  key : int;
+  size : int;
+  mutable nattach : int;
+  mutable rm_pending : bool;
+  mutable payload : payload option;
+  words : (int, int) Hashtbl.t; (** offset -> value, for futexes *)
+}
+
+type t
+
+val create : unit -> t
+
+val get : t -> key:int -> size:int -> create:bool -> (segment, Errno.t) result
+(** shmget: finds by key or creates. EINVAL when asking for more than an
+    existing segment's size. *)
+
+val find : t -> int -> (segment, Errno.t) result
+val attach : segment -> unit
+
+val detach : t -> segment -> unit
+(** Destroys the segment at the last detach if it was RMID'd. *)
+
+val remove : t -> segment -> unit
+(** IPC_RMID: mark for destruction. *)
+
+val read_word : segment -> offset:int -> int
+val write_word : segment -> offset:int -> int -> unit

@@ -1,0 +1,48 @@
+(* POSIX signal numbers and default dispositions. *)
+
+let sighup = 1
+let sigint = 2
+let sigquit = 3
+let sigill = 4
+let sigabrt = 6
+let sigkill = 9
+let sigusr1 = 10
+let sigsegv = 11
+let sigusr2 = 12
+let sigpipe = 13
+let sigalrm = 14
+let sigterm = 15
+let sigchld = 17
+let sigvtalrm = 26
+
+type default_disposition = Terminate | Ignore_sig | Core_dump
+
+let default_of = function
+  | 17 -> Ignore_sig
+  | 4 | 6 | 11 -> Core_dump
+  | _ -> Terminate
+
+let to_string = function
+  | 1 -> "SIGHUP"
+  | 2 -> "SIGINT"
+  | 3 -> "SIGQUIT"
+  | 4 -> "SIGILL"
+  | 6 -> "SIGABRT"
+  | 9 -> "SIGKILL"
+  | 10 -> "SIGUSR1"
+  | 11 -> "SIGSEGV"
+  | 12 -> "SIGUSR2"
+  | 13 -> "SIGPIPE"
+  | 14 -> "SIGALRM"
+  | 15 -> "SIGTERM"
+  | 17 -> "SIGCHLD"
+  | 26 -> "SIGVTALRM"
+  | n -> Printf.sprintf "SIG%d" n
+
+(* SIGKILL can be neither caught nor blocked. *)
+let catchable n = n <> sigkill
+
+(* Synchronous signals are direct results of the executing instruction
+   stream and may be delivered immediately to a single replica (Section
+   2.2); asynchronous ones must be deferred to a rendezvous point. *)
+let synchronous n = n = sigsegv || n = sigill || n = sigabrt

@@ -1,0 +1,29 @@
+(** POSIX signal numbers and default dispositions. *)
+
+val sighup : int
+val sigint : int
+val sigquit : int
+val sigill : int
+val sigabrt : int
+val sigkill : int
+val sigusr1 : int
+val sigsegv : int
+val sigusr2 : int
+val sigpipe : int
+val sigalrm : int
+val sigterm : int
+val sigchld : int
+val sigvtalrm : int
+
+type default_disposition = Terminate | Ignore_sig | Core_dump
+
+val default_of : int -> default_disposition
+val to_string : int -> string
+
+val catchable : int -> bool
+(** SIGKILL can be neither caught nor blocked. *)
+
+val synchronous : int -> bool
+(** Synchronous signals (SIGSEGV/SIGILL/SIGABRT) are direct results of the
+    instruction stream and are delivered immediately; asynchronous ones are
+    deferred to MVEE rendezvous points (Section 2.2). *)

@@ -1,0 +1,46 @@
+(** In-memory filesystem: a tree of inodes with regular files, directories,
+    symlinks and special (generated-content) nodes. Shared by every process
+    of a kernel instance — MVEE transparency means only the master replica
+    may mutate it. *)
+
+type node = {
+  ino : int;
+  mutable kind : kind;
+  mutable mtime_ns : int64;
+  mutable xattrs : (string * string) list;
+}
+
+and kind =
+  | Reg of Buffer.t
+  | Dir of (string, node) Hashtbl.t
+  | Symlink of string
+  | Special of (unit -> string) (** content generated on open (/proc) *)
+
+type t
+
+val create : unit -> t
+
+val resolve : t -> string -> (node, Errno.t) result
+(** Follows symlinks (bounded depth; ELOOP beyond 16). *)
+
+val resolve_nofollow : t -> string -> (node, Errno.t) result
+(** Does not follow a symlink in the final component. *)
+
+val exists : t -> string -> bool
+val mkdir : t -> string -> (node, Errno.t) result
+val mkdir_p : t -> string -> (node, Errno.t) result
+val create_file : t -> string -> (node, Errno.t) result
+val add_special : t -> string -> (unit -> string) -> (node, Errno.t) result
+val symlink : t -> target:string -> path:string -> (node, Errno.t) result
+val unlink : t -> string -> (unit, Errno.t) result
+val rmdir : t -> string -> (unit, Errno.t) result
+val rename : t -> src:string -> dst:string -> (unit, Errno.t) result
+val list_dir : node -> (string list, Errno.t) result
+val file_size : node -> int
+val stat_kind : node -> [ `Reg | `Dir | `Fifo | `Sock | `Special ]
+val read_at : node -> offset:int -> count:int -> (string, Errno.t) result
+val write_at : node -> offset:int -> data:string -> now_ns:int64 -> (int, Errno.t) result
+val truncate : node -> size:int -> now_ns:int64 -> (unit, Errno.t) result
+
+val parent_and_name : t -> string -> (node * string, Errno.t) result
+(** The directory containing [path]'s final component, plus that name. *)

@@ -1,0 +1,177 @@
+(* Per-process virtual memory: a list of mapped regions with ASLR placement,
+   plus a sparse word store used by futexes.
+
+   Region *placement* is what diversity transforms act on: each replica's
+   address space draws from an independent RNG stream, so the same logical
+   mapping lands at different addresses in different replicas (ASLR), and
+   disjoint code layouts (DCL) additionally guarantee code ranges never
+   overlap across replicas. *)
+
+open Remon_util
+
+type backing =
+  | Anon
+  | Shared_anon of int (* sharing-group id (MAP_SHARED | MAP_ANONYMOUS) *)
+  | File_backed of Vfs.node
+  | Shm_seg of Shm.segment
+  | Code
+  | Stack
+  | Heap
+  | Ipmon_code (* IP-MON's executable region; recognized by IK-B *)
+
+type region = {
+  start : int64;
+  len : int;
+  mutable prot : Syscall.prot;
+  backing : backing;
+  tag : string; (* shown in /proc/self/maps *)
+}
+
+type t = {
+  mutable regions : region list; (* sorted by start *)
+  rng : Rng.t;
+  words : (int64, int) Hashtbl.t; (* private futex words *)
+  mutable brk_base : int64;
+  mutable brk : int64;
+  page_size : int;
+}
+
+let page_size = 4096
+
+let create ~rng =
+  let brk_base = 0x0000_5555_0000_0000L in
+  {
+    regions = [];
+    rng;
+    words = Hashtbl.create 64;
+    brk_base;
+    brk = brk_base;
+    page_size;
+  }
+
+let align_up n align =
+  let a = Int64.of_int align in
+  Int64.mul (Int64.div (Int64.add n (Int64.sub a 1L)) a) a
+
+let region_end r = Int64.add r.start (Int64.of_int r.len)
+
+let overlaps a_start a_len b =
+  let a_end = Int64.add a_start (Int64.of_int a_len) in
+  not (Int64.compare a_end b.start <= 0 || Int64.compare (region_end b) a_start <= 0)
+
+let fits t start len =
+  Int64.compare start 0x1000L >= 0
+  && Int64.compare (Int64.add start (Int64.of_int len)) 0x0000_7FFF_FFFF_F000L <= 0
+  && not (List.exists (overlaps start len) t.regions)
+
+let insert t r =
+  t.regions <-
+    List.sort (fun a b -> Int64.compare a.start b.start) (r :: t.regions)
+
+(* 28 bits of mmap entropy (Linux default for x86-64 is 28); the paper
+   quotes 24 bits of entropy for the 16 MiB RB's placement. *)
+let random_addr t =
+  let page = Int64.of_int t.page_size in
+  let slot = Int64.of_int (Rng.int t.rng (1 lsl 28)) in
+  Int64.add 0x0000_2000_0000_0000L (Int64.mul slot page)
+
+let map t ~len ~prot ~backing ~tag =
+  let len = Int64.to_int (align_up (Int64.of_int (max 1 len)) t.page_size) in
+  let rec try_place attempts =
+    if attempts = 0 then Error Errno.ENOMEM
+    else
+      let start = random_addr t in
+      if fits t start len then begin
+        let r = { start; len; prot; backing; tag } in
+        insert t r;
+        Ok r
+      end
+      else try_place (attempts - 1)
+  in
+  try_place 64
+
+(* Places a region at an exact address; used by DCL to give each replica a
+   disjoint, pre-chosen code range. *)
+let map_fixed t ~start ~len ~prot ~backing ~tag =
+  let len = Int64.to_int (align_up (Int64.of_int (max 1 len)) t.page_size) in
+  if fits t start len then begin
+    let r = { start; len; prot; backing; tag } in
+    insert t r;
+    Ok r
+  end
+  else Error Errno.EEXIST
+
+let find_region t addr =
+  List.find_opt
+    (fun r ->
+      Int64.compare r.start addr <= 0 && Int64.compare addr (region_end r) < 0)
+    t.regions
+
+(* Unmap of exact whole regions only — the simulator does not split
+   regions, which is all the workloads and monitors require. *)
+let unmap t ~addr ~len:_ =
+  match find_region t addr with
+  | Some r when Int64.equal r.start addr ->
+    t.regions <- List.filter (fun r' -> r' != r) t.regions;
+    Ok ()
+  | Some _ -> Error Errno.EINVAL
+  | None -> Error Errno.EINVAL
+
+let protect t ~addr ~len:_ ~prot =
+  match find_region t addr with
+  | Some r ->
+    r.prot <- prot;
+    Ok ()
+  | None -> Error Errno.EINVAL
+
+let set_brk t newbrk =
+  if newbrk = 0 then Int64.to_int (Int64.sub t.brk t.brk_base)
+  else begin
+    t.brk <- Int64.add t.brk_base (Int64.of_int newbrk);
+    newbrk
+  end
+
+(* Futex word access. Words in shm-backed regions resolve to the segment's
+   shared store so that futexes in the replication buffer work across
+   replicas; all other addresses are process-private. *)
+let read_word t addr =
+  match find_region t addr with
+  | Some { backing = Shm_seg seg; start; _ } ->
+    Shm.read_word seg ~offset:(Int64.to_int (Int64.sub addr start))
+  | _ -> (
+    match Hashtbl.find_opt t.words addr with Some v -> v | None -> 0)
+
+let write_word t addr v =
+  match find_region t addr with
+  | Some { backing = Shm_seg seg; start; _ } ->
+    Shm.write_word seg ~offset:(Int64.to_int (Int64.sub addr start)) v
+  | _ -> Hashtbl.replace t.words addr v
+
+(* Futex queues must be shared across processes when the word lives in
+   shared memory: the key identifies the physical backing. *)
+type futex_key = Private of int * int64 | Shared of int * int
+
+let futex_key t ~space_id addr =
+  match find_region t addr with
+  | Some { backing = Shm_seg seg; start; _ } ->
+    Shared (seg.Shm.shmid, Int64.to_int (Int64.sub addr start))
+  | _ -> Private (space_id, addr)
+
+let prot_to_string (p : Syscall.prot) =
+  Printf.sprintf "%c%c%c"
+    (if p.pr then 'r' else '-')
+    (if p.pw then 'w' else '-')
+    (if p.px then 'x' else '-')
+
+(* /proc/self/maps content. [hide] lets GHUMVEE filter IP-MON's regions
+   (Section 3.1: preventing RB discovery through the maps interface). *)
+let maps_text ?(hide = fun _ -> false) t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      if not (hide r) then
+        Buffer.add_string buf
+          (Printf.sprintf "%012Lx-%012Lx %s %s\n" r.start (region_end r)
+             (prot_to_string r.prot) r.tag))
+    t.regions;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/sim/vtime.ml: Format Int64 Remon_util Stdlib

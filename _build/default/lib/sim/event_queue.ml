@@ -1,0 +1,104 @@
+(* Binary min-heap of timestamped events.
+
+   Ties are broken by insertion sequence so that simulation runs are fully
+   deterministic regardless of heap internals. *)
+
+type 'a entry = { time : Vtime.t; seq : int; payload : 'a; mutable live : bool }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+type handle = H : 'a entry -> handle
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t =
+  (* Cancelled entries still occupy heap slots; count only live ones. *)
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).live then incr n
+  done;
+  !n
+
+let is_empty t = length t = 0
+
+let before a b =
+  match Vtime.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size >= cap then begin
+    let dummy = t.heap.(0) in
+    let bigger = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
+
+let add t ~time payload =
+  let entry = { time; seq = t.next_seq; payload; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel (H entry) = entry.live <- false
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    if top.live then Some (top.time, top.payload) else pop t
+  end
+
+let peek_time t =
+  let rec scan () =
+    if t.size = 0 then None
+    else if t.heap.(0).live then Some t.heap.(0).time
+    else begin
+      (* Drop dead entries lazily. *)
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.heap.(0) <- t.heap.(t.size);
+        sift_down t 0
+      end;
+      scan ()
+    end
+  in
+  scan ()

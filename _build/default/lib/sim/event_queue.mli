@@ -1,0 +1,25 @@
+(** Binary min-heap of timestamped events with deterministic tie-breaking
+    (insertion order) and O(1) cancellation. *)
+
+type 'a t
+
+type handle
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Vtime.t -> 'a -> handle
+(** Schedules a payload; the returned handle can cancel it. *)
+
+val cancel : handle -> unit
+(** Marks an event dead; it will be skipped on pop. Idempotent. *)
+
+val pop : 'a t -> (Vtime.t * 'a) option
+(** Removes and returns the earliest live event. *)
+
+val peek_time : 'a t -> Vtime.t option
+(** Time of the earliest live event without removing it. *)

@@ -1,0 +1,32 @@
+(* Virtual time: signed 64-bit nanoseconds since simulation start. *)
+
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.of_int (n * 1_000)
+let ms n = Int64.of_int (n * 1_000_000)
+let s n = Int64.of_int (n * 1_000_000_000)
+
+let of_float_ns f = Int64.of_float f
+let to_float_ns t = Int64.to_float t
+
+let of_float_s f = Int64.of_float (f *. 1e9)
+let to_float_s t = Int64.to_float t /. 1e9
+
+let add = Int64.add
+let sub = Int64.sub
+let compare = Int64.compare
+let ( + ) = Int64.add
+let ( - ) = Int64.sub
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
+
+let scale t f = Int64.of_float (Int64.to_float t *. f)
+
+let pp fmt t = Format.fprintf fmt "%s" (Remon_util.Table.fmt_ns t)
+let to_string t = Remon_util.Table.fmt_ns t

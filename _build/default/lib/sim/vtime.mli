@@ -1,0 +1,34 @@
+(** Virtual time: 64-bit nanoseconds since simulation start. *)
+
+type t = int64
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val of_float_ns : float -> t
+val to_float_ns : t -> float
+val of_float_s : float -> t
+val to_float_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val scale : t -> float -> t
+(** [scale t f] multiplies a duration by a float factor. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

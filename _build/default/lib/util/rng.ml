@@ -1,0 +1,75 @@
+(* Deterministic splittable pseudo-random number generator (SplitMix64).
+
+   The whole simulator must be reproducible: every source of randomness is
+   drawn from an explicitly-seeded generator, and independent components
+   receive independent streams via [split] so that adding draws in one
+   component never perturbs another. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+let of_int64 seed = { state = seed }
+
+(* SplitMix64 finalizer: advances the state by the golden-ratio increment and
+   scrambles it through two xor-shift-multiply rounds. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let int64 t = next_int64 t
+
+let float t =
+  let mask53 = (1 lsl 53) - 1 in
+  float_of_int (Int64.to_int (next_int64 t) land mask53)
+  /. float_of_int (mask53 + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Draws an index according to the given non-negative weights. *)
+let weighted t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.weighted: weights must sum to > 0";
+  let x = float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Exponentially distributed duration with the given mean; used to model
+   jitter in compute phases and client think times. *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u

@@ -1,0 +1,93 @@
+(* Plain-text table rendering for the benchmark harness.
+
+   Columns are sized to their widest cell; numeric cells are right-aligned.
+   Output is deliberately dependency-free so that bench output diffs cleanly
+   in CI logs. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Table.create: aligns/header length mismatch";
+      a
+    | None -> List.map (fun _ -> Left) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let add_separator t =
+  (* Encoded as a sentinel row; rendered as a rule line. *)
+  t.rows <- [ "\x00sep" ] :: t.rows
+
+let is_sep = function [ "\x00sep" ] -> true | _ -> false
+
+let widths t =
+  let n = List.length t.header in
+  let w = Array.make n 0 in
+  let feed cells =
+    List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) cells
+  in
+  feed t.header;
+  List.iter (fun r -> if not (is_sep r) then feed r) t.rows;
+  w
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iter (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) '-')) w;
+    Buffer.add_string buf "+\n"
+  in
+  let row ?(aligns = t.aligns) cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  rule ();
+  row ~aligns:(List.map (fun _ -> Left) t.header) t.header;
+  rule ();
+  List.iter
+    (fun r -> if is_sep r then rule () else row r)
+    (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Formatting helpers used throughout the bench harness. *)
+
+let fmt_ratio x = Printf.sprintf "%.2f" x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)
+
+let fmt_ns ns =
+  let ns = Int64.to_float ns in
+  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+(** [create ~title ~header ()] makes an empty table. [aligns] defaults to all
+    [Left] and must match [header] in length when given. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; raises [Invalid_argument] on cell-count mismatch. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+
+val fmt_ratio : float -> string
+(** Two-decimal ratio, e.g. ["1.09"]. *)
+
+val fmt_pct : float -> string
+(** Percentage with one decimal, e.g. [0.112] renders as ["11.2%"]. *)
+
+val fmt_ns : int64 -> string
+(** Human-readable duration from nanoseconds. *)

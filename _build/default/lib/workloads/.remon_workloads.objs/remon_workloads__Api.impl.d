@@ -1,0 +1,1 @@
+lib/workloads/api.ml: Errno Proc Remon_kernel Remon_sim Sched String Syscall Vtime

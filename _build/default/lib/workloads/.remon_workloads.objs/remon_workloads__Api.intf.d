@@ -1,0 +1,1 @@
+lib/workloads/api.mli: Errno Remon_kernel Remon_sim Syscall

@@ -1,0 +1,1 @@
+lib/workloads/clients.ml: Api Kernel Printf Remon_kernel Remon_sim Sched Servers String Vtime

@@ -1,0 +1,1 @@
+lib/workloads/clients.mli: Kernel Remon_kernel Remon_sim Servers Vtime

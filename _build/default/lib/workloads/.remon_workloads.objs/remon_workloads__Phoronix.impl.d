@@ -1,0 +1,1 @@
+lib/workloads/phoronix.ml: Array Classification Profile Remon_core

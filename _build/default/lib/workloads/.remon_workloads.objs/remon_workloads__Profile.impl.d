@@ -1,0 +1,1 @@
+lib/workloads/profile.ml: Api Array Float Hashtbl List Mvee Remon_core Remon_kernel Remon_util Rng Sched String Syscall

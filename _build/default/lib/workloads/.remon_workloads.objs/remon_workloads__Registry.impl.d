@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Clients List Parsec Phoronix Printf Profile Servers Spec Splash

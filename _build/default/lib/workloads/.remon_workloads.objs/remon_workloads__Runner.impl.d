@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Classification Clients Divergence Kernel Mvee Policy Printf Profile Remon_core Remon_kernel Remon_sim Servers Vtime

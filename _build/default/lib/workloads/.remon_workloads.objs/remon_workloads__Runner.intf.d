@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Classification Clients Cost_model Divergence Mvee Profile Remon_core Remon_sim Servers Vtime

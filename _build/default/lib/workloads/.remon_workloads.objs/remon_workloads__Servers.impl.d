@@ -1,0 +1,1 @@
+lib/workloads/servers.ml: Api Int64 List Mvee Remon_core Remon_kernel Sched String Syscall

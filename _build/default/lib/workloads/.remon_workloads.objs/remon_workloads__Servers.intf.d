@@ -1,0 +1,1 @@
+lib/workloads/servers.mli: Mvee Remon_core

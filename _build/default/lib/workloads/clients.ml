@@ -1,0 +1,81 @@
+(* Client load generators for the server benchmarks: ab-like (one request
+   per connection), wrk-like (keep-alive, many requests per connection),
+   and http_load-like (non-keep-alive at higher concurrency).
+
+   Clients are ordinary unreplicated processes on the "other machine": the
+   link latency between them and the server is the kernel's network
+   latency, set per scenario (0.1 ms / 2 ms / 5 ms as in the paper). *)
+
+open Remon_kernel
+open Remon_sim
+
+type spec = {
+  name : string;
+  concurrency : int; (* parallel closed-loop connections *)
+  total_requests : int;
+  requests_per_conn : int; (* 1 = ab-like; >1 = keep-alive *)
+}
+
+let ab ?(concurrency = 8) ?(total_requests = 240) () =
+  { name = "ab"; concurrency; total_requests; requests_per_conn = 1 }
+
+let wrk ?(concurrency = 24) ?(total_requests = 720) () =
+  { name = "wrk"; concurrency; total_requests; requests_per_conn = 30 }
+
+let http_load ?(concurrency = 16) ?(total_requests = 320) () =
+  { name = "http_load"; concurrency; total_requests; requests_per_conn = 1 }
+
+type measurement = {
+  mutable started_at : Vtime.t option;
+  mutable finished : int; (* client workers done *)
+  mutable finished_at : Vtime.t;
+  mutable responses : int;
+}
+
+(* One closed-loop worker: opens connections against [port] and issues its
+   share of the requests. *)
+let worker (server : Servers.spec) spec meas ~requests () =
+  if meas.started_at = None then meas.started_at <- Some (Sched.vnow ());
+  let remaining = ref requests in
+  while !remaining > 0 do
+    let fd = Api.socket () in
+    Api.connect_retry fd server.Servers.port;
+    let in_this_conn = min spec.requests_per_conn !remaining in
+    for _ = 1 to in_this_conn do
+      ignore (Api.send fd (String.make server.Servers.request_bytes 'q'));
+      let resp = Api.recv_exactly fd server.Servers.response_bytes in
+      if String.length resp = server.Servers.response_bytes then
+        meas.responses <- meas.responses + 1
+    done;
+    remaining := !remaining - in_this_conn;
+    Api.close fd
+  done;
+  meas.finished <- meas.finished + 1;
+  meas.finished_at <- Vtime.max meas.finished_at (Sched.vnow ())
+
+(* Spawns the client fleet as separate processes. Returns the measurement
+   record, filled in as the simulation runs. *)
+let launch (kernel : Kernel.t) (server : Servers.spec) (spec : spec) : measurement =
+  let meas =
+    { started_at = None; finished = 0; finished_at = Vtime.zero; responses = 0 }
+  in
+  let per_worker = spec.total_requests / spec.concurrency in
+  for i = 1 to spec.concurrency do
+    let requests =
+      if i = spec.concurrency then
+        spec.total_requests - (per_worker * (spec.concurrency - 1))
+      else per_worker
+    in
+    ignore
+      (Kernel.spawn_process kernel
+         ~name:(Printf.sprintf "client-%s-%d" spec.name i)
+         ~vm_seed:(9000 + i)
+         ~start_clock:(Vtime.ms 1) (* give the server time to listen *)
+         (worker server spec meas ~requests))
+  done;
+  meas
+
+let duration meas =
+  match meas.started_at with
+  | Some t0 when meas.finished > 0 -> Vtime.sub meas.finished_at t0
+  | _ -> Vtime.zero

@@ -1,0 +1,31 @@
+(** Client load generators: ab-like (one request per connection), wrk-like
+    (keep-alive) and http_load-like, running as unreplicated processes on
+    the "other machine" across the simulated link. *)
+
+open Remon_kernel
+open Remon_sim
+
+type spec = {
+  name : string;
+  concurrency : int;
+  total_requests : int;
+  requests_per_conn : int; (** 1 = ab-like; >1 = keep-alive *)
+}
+
+val ab : ?concurrency:int -> ?total_requests:int -> unit -> spec
+val wrk : ?concurrency:int -> ?total_requests:int -> unit -> spec
+val http_load : ?concurrency:int -> ?total_requests:int -> unit -> spec
+
+type measurement = {
+  mutable started_at : Vtime.t option;
+  mutable finished : int;
+  mutable finished_at : Vtime.t;
+  mutable responses : int;
+}
+
+val launch : Kernel.t -> Servers.spec -> spec -> measurement
+(** Spawns the client fleet; the measurement fills in as the simulation
+    runs. *)
+
+val duration : measurement -> Vtime.t
+(** First-connect to last-response client-observed wall time. *)

@@ -1,0 +1,44 @@
+(* Name -> workload registry for the CLI and tests. *)
+
+type workload =
+  | Profile_workload of Profile.t
+  | Server_workload of Servers.spec * Clients.spec
+
+let all : (string * workload) list =
+  List.map
+    (fun (e : Parsec.entry) -> (e.Parsec.profile.Profile.name, Profile_workload e.profile))
+    Parsec.all
+  @ List.map
+      (fun (e : Splash.entry) -> (e.Splash.profile.Profile.name, Profile_workload e.profile))
+      Splash.all
+  @ List.map
+      (fun (e : Phoronix.entry) ->
+        (e.Phoronix.profile.Profile.name, Profile_workload e.profile))
+      Phoronix.all
+  @ List.map
+      (fun (e : Spec.entry) -> (e.Spec.profile.Profile.name, Profile_workload e.profile))
+      Spec.all
+  @ [
+      ("server.beanstalkd", Server_workload (Servers.beanstalkd, Clients.wrk ()));
+      ("server.lighttpd-wrk", Server_workload (Servers.lighttpd_wrk, Clients.wrk ()));
+      ("server.memcached", Server_workload (Servers.memcached, Clients.wrk ()));
+      ("server.nginx-wrk", Server_workload (Servers.nginx_wrk, Clients.wrk ()));
+      ("server.redis", Server_workload (Servers.redis, Clients.wrk ()));
+      ("server.apache-ab", Server_workload (Servers.apache_ab, Clients.ab ()));
+      ("server.thttpd-ab", Server_workload (Servers.thttpd_ab, Clients.ab ()));
+      ("server.lighttpd-ab", Server_workload (Servers.lighttpd_ab, Clients.ab ()));
+      ( "server.lighttpd-http-load",
+        Server_workload (Servers.lighttpd_http_load, Clients.http_load ()) );
+    ]
+
+let names = List.map fst all
+
+let find name = List.assoc_opt name all
+
+let describe = function
+  | Profile_workload p ->
+    Printf.sprintf "profile: %s (%d threads, %.0f calls/s/thread)"
+      p.Profile.description p.Profile.threads p.Profile.density_hz
+  | Server_workload (s, c) ->
+    Printf.sprintf "server: %s driven by %s (%d conns, %d requests)"
+      s.Servers.name c.Clients.name c.Clients.concurrency c.Clients.total_requests

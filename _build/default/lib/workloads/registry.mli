@@ -1,0 +1,10 @@
+(** Name -> workload registry for the CLI and tests. *)
+
+type workload =
+  | Profile_workload of Profile.t
+  | Server_workload of Servers.spec * Clients.spec
+
+val all : (string * workload) list
+val names : string list
+val find : string -> workload option
+val describe : workload -> string

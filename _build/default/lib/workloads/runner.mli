@@ -1,0 +1,58 @@
+(** Orchestration: runs workloads under MVEE configurations in fresh
+    kernels and reports virtual-time durations and overheads. *)
+
+open Remon_core
+open Remon_sim
+
+exception Mvee_terminated of Divergence.t
+(** Raised when a run that should have been benign was killed. *)
+
+type run_result = { duration : Vtime.t; outcome : Mvee.outcome }
+
+val run_body :
+  ?cost:Cost_model.t ->
+  ?net_latency:Vtime.t ->
+  ?check_verdict:bool ->
+  Mvee.config ->
+  name:string ->
+  body:(Mvee.env -> unit) ->
+  run_result
+
+val run_profile : ?cost:Cost_model.t -> Profile.t -> Mvee.config -> run_result
+
+val normalized_time : ?cost:Cost_model.t -> Profile.t -> Mvee.config -> float
+(** MVEE duration / native duration: the y-axis of Figures 3 and 4. *)
+
+(** {1 Standard configurations} *)
+
+val cfg_ghumvee : ?nreplicas:int -> ?seed:int -> unit -> Mvee.config
+(** GHUMVEE standalone, monitor-everything: the "no IP-MON" bars. *)
+
+val cfg_remon : ?nreplicas:int -> ?seed:int -> Classification.level -> Mvee.config
+val cfg_varan : ?nreplicas:int -> ?seed:int -> unit -> Mvee.config
+val cfg_native : ?seed:int -> unit -> Mvee.config
+
+(** {1 Server benchmarks (Figure 5 / Table 2)} *)
+
+type server_run = {
+  client_duration : Vtime.t; (** client-observed wall time *)
+  responses : int;
+  server_outcome : Mvee.outcome;
+}
+
+val run_server_bench :
+  ?latency:Vtime.t ->
+  server:Servers.spec ->
+  client:Clients.spec ->
+  Mvee.config ->
+  server_run
+(** Launches the (replicated) server and the client fleet over a link of
+    the given latency; fails if any request goes unanswered. *)
+
+val server_overhead :
+  ?latency:Vtime.t ->
+  server:Servers.spec ->
+  client:Clients.spec ->
+  Mvee.config ->
+  float
+(** Client-observed overhead vs. a native run: Figure 5's y-axis. *)

@@ -1,0 +1,158 @@
+(* Server applications for the Figure 5 / Table 2 experiments.
+
+   One parameterized request/response server covers the architectural
+   variants the paper benchmarks: epoll event loops (nginx, lighttpd,
+   memcached, redis, beanstalkd), thread-per-connection (Apache 1.3), and
+   iterative accept loops (thttpd). Requests and responses are fixed-size;
+   the per-request [work_ns] models application processing. *)
+
+open Remon_kernel
+open Remon_core
+
+type arch =
+  | Epoll_loop
+  | Thread_per_conn
+  | Iterative
+
+type spec = {
+  name : string;
+  arch : arch;
+  port : int;
+  request_bytes : int;
+  response_bytes : int;
+  work_ns : int; (* application processing per request *)
+  touch_file : bool; (* static-content servers stat+read a file per request *)
+}
+
+let web ?(arch = Epoll_loop) ?(work_ns = 9_000) ?(response_bytes = 4096) name port =
+  {
+    name;
+    arch;
+    port;
+    request_bytes = 160; (* a minimal HTTP GET *)
+    response_bytes;
+    work_ns;
+    touch_file = true;
+  }
+
+let kv ?(work_ns = 2_500) ?(msg = 96) name port =
+  {
+    name;
+    arch = Epoll_loop;
+    port;
+    request_bytes = msg;
+    response_bytes = msg;
+    work_ns;
+    touch_file = false;
+  }
+
+(* The nine server configurations of Figure 5. *)
+let beanstalkd = kv "beanstalkd" 11300 ~work_ns:4_000 ~msg:128
+let lighttpd_wrk = web "lighttpd(wrk)" 8081 ~work_ns:8_000
+let memcached = kv "memcached" 11211 ~work_ns:2_000 ~msg:100
+let nginx_wrk = web "nginx(wrk)" 8082 ~work_ns:6_500
+let redis = kv "redis" 6379 ~work_ns:1_800 ~msg:64
+let apache_ab = web "apache(ab)" 8083 ~arch:Thread_per_conn ~work_ns:16_000 ~response_bytes:8192
+let thttpd_ab = web "thttpd(ab)" 8084 ~arch:Iterative ~work_ns:11_000
+let lighttpd_ab = web "lighttpd(ab)" 8085 ~work_ns:8_000
+let lighttpd_http_load = web "lighttpd(http_load)" 8086 ~work_ns:8_000
+
+(* ------------------------------------------------------------------ *)
+(* Server program bodies *)
+
+let serve_request spec ~content_fd conn_fd =
+  let request = Api.recv_exactly conn_fd spec.request_bytes in
+  if String.length request < spec.request_bytes then false (* peer closed *)
+  else begin
+    if spec.touch_file then begin
+      ignore (Api.stat "/var/www/index.html");
+      ignore (Api.pread content_fd spec.response_bytes 0)
+    end;
+    Api.compute spec.work_ns;
+    ignore (Api.send conn_fd (String.make spec.response_bytes 'r'));
+    true
+  end
+
+(* Static content fixture: the site file, opened once at startup. *)
+let setup_content () =
+  let fd =
+    Api.open_file ~flags:{ Syscall.o_rdwr with create = true } "/var/www/index.html"
+  in
+  ignore (Api.pwrite fd (String.make 4096 'c') 0);
+  fd
+
+let epoll_server spec (env : Mvee.env) =
+  let content_fd = setup_content () in
+  let listener = Api.socket () in
+  Api.bind listener spec.port;
+  Api.listen listener 128;
+  Api.set_nonblocking listener true;
+  let epfd = Api.epoll_create () in
+  (* user data carries diversified pointers, as real applications do *)
+  Api.epoll_add epfd listener ~events:Syscall.ev_in
+    ~user_data:(env.Mvee.diversified_ptr 0);
+  let rec loop () =
+    let events = Api.epoll_wait epfd ~max_events:64 in
+    List.iter
+      (fun (user_data, _ev) ->
+        if Int64.equal user_data (env.Mvee.diversified_ptr 0) then begin
+          (* listener ready: accept and register the connection *)
+          match Sched.syscall (Syscall.Accept listener) with
+          | Syscall.Ok_accept { conn_fd; _ } ->
+            Api.epoll_add epfd conn_fd ~events:Syscall.ev_in
+              ~user_data:(env.Mvee.diversified_ptr conn_fd)
+          | _ -> ()
+        end
+        else begin
+          (* find the fd back from our diversified pointer *)
+          let fd = ref (-1) in
+          for candidate = 0 to 63 do
+            if Int64.equal (env.Mvee.diversified_ptr candidate) user_data then
+              fd := candidate
+          done;
+          if !fd >= 0 then
+            if not (serve_request spec ~content_fd !fd) then begin
+              Api.epoll_del epfd !fd;
+              Api.close !fd
+            end
+        end)
+      events;
+    loop ()
+  in
+  loop ()
+
+let iterative_server spec (_env : Mvee.env) =
+  let content_fd = setup_content () in
+  let listener = Api.socket () in
+  Api.bind listener spec.port;
+  Api.listen listener 128;
+  let rec loop () =
+    let { Syscall.conn_fd; _ } = Api.accept listener in
+    let rec serve () = if serve_request spec ~content_fd conn_fd then serve () in
+    serve ();
+    Api.close conn_fd;
+    loop ()
+  in
+  loop ()
+
+let threaded_server spec (env : Mvee.env) =
+  let content_fd = setup_content () in
+  let listener = Api.socket () in
+  Api.bind listener spec.port;
+  Api.listen listener 128;
+  let rec loop () =
+    let { Syscall.conn_fd; _ } = Api.accept listener in
+    ignore
+      (env.Mvee.spawn_thread (fun () ->
+           let rec serve () = if serve_request spec ~content_fd conn_fd then serve () in
+           serve ();
+           Api.close conn_fd));
+    loop ()
+  in
+  loop ()
+
+let body spec (env : Mvee.env) =
+  match spec.arch with
+  | Epoll_loop -> epoll_server spec env
+  | Iterative -> iterative_server spec env
+  | Thread_per_conn -> threaded_server spec env

@@ -1,0 +1,37 @@
+(** Server applications for the Figure 5 / Table 2 experiments: one
+    parameterized request/response server covering epoll event loops,
+    thread-per-connection, and iterative accept loops. *)
+
+open Remon_core
+
+type arch = Epoll_loop | Thread_per_conn | Iterative
+
+type spec = {
+  name : string;
+  arch : arch;
+  port : int;
+  request_bytes : int;
+  response_bytes : int;
+  work_ns : int; (** application processing per request *)
+  touch_file : bool; (** stat+read static content per request *)
+}
+
+val web :
+  ?arch:arch -> ?work_ns:int -> ?response_bytes:int -> string -> int -> spec
+
+val kv : ?work_ns:int -> ?msg:int -> string -> int -> spec
+
+(** {1 The nine servers of Figure 5} *)
+
+val beanstalkd : spec
+val lighttpd_wrk : spec
+val memcached : spec
+val nginx_wrk : spec
+val redis : spec
+val apache_ab : spec
+val thttpd_ab : spec
+val lighttpd_ab : spec
+val lighttpd_http_load : spec
+
+val body : spec -> Mvee.env -> unit
+(** The server program (runs forever; clients drive it). *)

@@ -1,0 +1,45 @@
+(* SPEC CPU2006-like profiles for Table 2's last rows: compute-dominated
+   single-threaded benchmarks with very low syscall density, where MVEE
+   overhead comes almost entirely from the memory subsystem (not modeled)
+   and residual monitoring. The paper reports ReMon at +3.1% overall. *)
+
+type entry = { bench : string; suite : [ `Int | `Fp ]; profile : Profile.t }
+
+let def bench suite ~density =
+  {
+    bench;
+    suite;
+    profile =
+      Profile.make
+        ~name:("spec." ^ bench)
+        ~threads:1 ~density_hz:density ~calls:600 ~jitter:0.1
+        ~mix:Profile.mix_compute
+        ~description:("SPEC CPU2006-like " ^ bench)
+        ();
+  }
+
+let all =
+  [
+    def "perlbench" `Int ~density:4_000.;
+    def "bzip2" `Int ~density:1_500.;
+    def "gcc" `Int ~density:6_000.;
+    def "mcf" `Int ~density:400.;
+    def "gobmk" `Int ~density:900.;
+    def "hmmer" `Int ~density:350.;
+    def "sjeng" `Int ~density:400.;
+    def "libquantum" `Int ~density:300.;
+    def "h264ref" `Int ~density:1_200.;
+    def "omnetpp" `Int ~density:2_500.;
+    def "astar" `Int ~density:450.;
+    def "xalancbmk" `Int ~density:3_500.;
+    def "milc" `Fp ~density:500.;
+    def "namd" `Fp ~density:300.;
+    def "dealII" `Fp ~density:800.;
+    def "soplex" `Fp ~density:900.;
+    def "povray" `Fp ~density:1_100.;
+    def "lbm" `Fp ~density:300.;
+    def "sphinx3" `Fp ~density:1_400.;
+  ]
+
+let ints = List.filter (fun e -> e.suite = `Int) all
+let fps = List.filter (fun e -> e.suite = `Fp) all

@@ -1,0 +1,1 @@
+test/test_classification.ml: Alcotest Classification Fmt List Policy QCheck2 QCheck_alcotest Remon_core Remon_kernel Syscall Sysno

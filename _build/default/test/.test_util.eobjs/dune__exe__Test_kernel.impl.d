@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Errno Format Int64 Kernel List Net Proc Remon_kernel Remon_sim Sched Sigdefs String Syscall Vm Vtime

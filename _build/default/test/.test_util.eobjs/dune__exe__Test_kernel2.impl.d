@@ -1,0 +1,1 @@
+test/test_kernel2.ml: Alcotest Errno Format Int64 Kernel List Proc QCheck2 QCheck_alcotest Remon_kernel Remon_sim Remon_util Result Sched Shm Sigdefs Syscall Vfs Vm Vtime

@@ -1,0 +1,1 @@
+test/test_kernel3.ml: Alcotest Array Classification Errno Format Int64 Kernel List Mvee Proc Remon_core Remon_kernel Remon_sim Sched String Syscall Sysno Vtime

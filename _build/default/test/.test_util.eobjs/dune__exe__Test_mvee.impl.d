@@ -1,0 +1,1 @@
+test/test_mvee.ml: Alcotest Array Classification Divergence Format Int64 Kernel List Mvee Policy Printf Remon_core Remon_kernel Remon_sim Sched Syscall Vfs Vtime

@@ -1,0 +1,1 @@
+test/test_rb.ml: Alcotest Epoll_map File_map Int64 List Proc QCheck2 QCheck_alcotest Record_log Remon_core Remon_kernel Replication_buffer String Syscall

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Attack Context Diversity Format List Mvee Remon_core Remon_kernel

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Classification Clients List Parsec Phoronix Printf Profile Remon_core Remon_sim Remon_util Remon_workloads Runner Servers Splash String Vtime

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cost_model Event_queue List QCheck2 QCheck_alcotest Remon_sim Vtime

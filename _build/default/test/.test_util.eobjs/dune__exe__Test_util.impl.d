@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck2 QCheck_alcotest Remon_util Rng Stats String Table

@@ -1,0 +1,26 @@
+(* Calibration probe: measures the effective per-call cost of CP monitoring
+   and of the IP-MON fast path in this simulator, used to set per-benchmark
+   densities from the paper's reported overheads. *)
+
+open Remon_core
+open Remon_workloads
+
+let () =
+  let probe density =
+    let p =
+      Profile.make ~name:(Printf.sprintf "probe%.0f" density) ~threads:4
+        ~density_hz:density ~calls:2000 ~mix:Profile.mix_file_rw
+        ~description:"calibration probe" ()
+    in
+    let n_ghumvee = Runner.normalized_time p (Runner.cfg_ghumvee ()) in
+    let n_remon =
+      Runner.normalized_time p (Runner.cfg_remon Classification.Nonsocket_rw_level)
+    in
+    let n_varan = Runner.normalized_time p (Runner.cfg_varan ()) in
+    Printf.printf
+      "density=%8.0f Hz/thread  ghumvee=%.3f  remon/nonsocket_rw=%.3f  varan=%.3f  C_cp=%.2f us  C_ip=%.2f us\n%!"
+      density n_ghumvee n_remon n_varan
+      ((n_ghumvee -. 1.) /. density *. 1e6)
+      ((n_remon -. 1.) /. density *. 1e6)
+  in
+  List.iter probe [ 1_000.; 5_000.; 10_000.; 20_000.; 50_000.; 100_000. ]

@@ -1,0 +1,264 @@
+(* Tests for the Table 1 classification and the policy logic built on it. *)
+
+open Remon_kernel
+open Remon_core
+
+let check_level = Alcotest.(check bool)
+
+(* -- membership spot checks straight from Table 1 -- *)
+
+let test_base_unconditional () =
+  List.iter
+    (fun no ->
+      Alcotest.(check bool)
+        (Sysno.to_string no ^ " is BASE unconditional")
+        true
+        (Classification.classify no = Classification.Unconditional Classification.Base_level))
+    Sysno.[ Gettimeofday; Clock_gettime; Time; Getpid; Gettid; Getpgrp; Getppid;
+            Getgid; Getegid; Getuid; Geteuid; Getcwd; Getpriority; Getrusage;
+            Times; Capget; Getitimer; Sysinfo; Uname; Sched_yield; Nanosleep ]
+
+let test_base_conditional () =
+  List.iter
+    (fun no ->
+      Alcotest.(check bool)
+        (Sysno.to_string no ^ " is BASE conditional")
+        true
+        (Classification.classify no = Classification.Conditional Classification.Base_level))
+    Sysno.[ Futex; Ioctl; Fcntl ]
+
+let test_nonsocket_ro () =
+  List.iter
+    (fun no ->
+      check_level
+        (Sysno.to_string no ^ " at NONSOCKET_RO")
+        true
+        (Classification.classify no
+        = Classification.Unconditional Classification.Nonsocket_ro_level))
+    Sysno.[ Access; Faccessat; Lseek; Stat; Lstat; Fstat; Fstatat; Getdents;
+            Readlink; Readlinkat; Getxattr; Lgetxattr; Fgetxattr; Alarm;
+            Setitimer; Timerfd_gettime; Madvise; Fadvise64 ]
+
+let test_read_family_conditional () =
+  List.iter
+    (fun no ->
+      check_level
+        (Sysno.to_string no ^ " read-family conditional")
+        true
+        (Classification.classify no
+        = Classification.Conditional Classification.Nonsocket_ro_level))
+    Sysno.[ Read; Readv; Pread64; Preadv; Select; Poll ]
+
+let test_socket_levels () =
+  List.iter
+    (fun no ->
+      check_level (Sysno.to_string no ^ " at SOCKET_RO") true
+        (Classification.classify no
+        = Classification.Unconditional Classification.Socket_ro_level))
+    Sysno.[ Epoll_wait; Recvfrom; Recvmsg; Recvmmsg; Getsockname; Getpeername; Getsockopt ];
+  List.iter
+    (fun no ->
+      check_level (Sysno.to_string no ^ " at SOCKET_RW") true
+        (Classification.classify no
+        = Classification.Unconditional Classification.Socket_rw_level))
+    Sysno.[ Sendto; Sendmsg; Sendmmsg; Sendfile; Epoll_ctl; Setsockopt; Shutdown ]
+
+let test_always_monitored () =
+  (* the paper: fd allocation, memory mapping, thread/process control and
+     signal handling are always monitored *)
+  List.iter
+    (fun no ->
+      check_level (Sysno.to_string no ^ " always monitored") true
+        (Classification.classify no = Classification.Always_monitored))
+    Sysno.[ Open; Close; Dup; Pipe; Socket; Accept; Connect; Mmap; Munmap;
+            Mprotect; Mremap; Brk; Clone; Fork; Execve; Exit; Kill;
+            Rt_sigaction; Rt_sigprocmask; Shmget; Shmat; Ipmon_register ]
+
+(* -- required_level: the socket escalation of the read/write families -- *)
+
+let lvl = Alcotest.testable (Fmt.of_to_string (function
+  | None -> "monitored"
+  | Some l -> Classification.level_to_string l))
+  ( = )
+
+let test_read_escalation () =
+  Alcotest.check lvl "read on a file" (Some Classification.Nonsocket_ro_level)
+    (Classification.required_level Sysno.Read ~on_socket:false);
+  Alcotest.check lvl "read on a socket" (Some Classification.Socket_ro_level)
+    (Classification.required_level Sysno.Read ~on_socket:true);
+  Alcotest.check lvl "write on a file" (Some Classification.Nonsocket_rw_level)
+    (Classification.required_level Sysno.Write ~on_socket:false);
+  Alcotest.check lvl "write on a socket" (Some Classification.Socket_rw_level)
+    (Classification.required_level Sysno.Write ~on_socket:true);
+  Alcotest.check lvl "open is always monitored" None
+    (Classification.required_level Sysno.Open ~on_socket:false)
+
+let test_level_ordering () =
+  let ranks = List.map Classification.level_rank Classification.all_levels in
+  Alcotest.(check (list int)) "ranks are 0..4" [ 0; 1; 2; 3; 4 ] ranks;
+  Alcotest.(check bool) "socket_rw >= base" true
+    (Classification.level_geq Classification.Socket_rw_level Classification.Base_level);
+  Alcotest.(check bool) "base < nonsocket_ro" false
+    (Classification.level_geq Classification.Base_level Classification.Nonsocket_ro_level)
+
+let test_ipmon_supported_set () =
+  (* the fast-path set and the always-monitored set partition all calls *)
+  let supported = Classification.ipmon_supported in
+  List.iter
+    (fun no ->
+      Alcotest.(check bool)
+        (Sysno.to_string no ^ " not both supported and monitored")
+        true
+        (Classification.classify no <> Classification.Always_monitored))
+    supported;
+  let monitored_count =
+    List.length
+      (List.filter
+         (fun no -> Classification.classify no = Classification.Always_monitored)
+         Sysno.all)
+  in
+  Alcotest.(check int) "partition covers all calls"
+    (List.length Sysno.all)
+    (List.length supported + monitored_count)
+
+let test_table1_reconstruction () =
+  let rows = Classification.table1 () in
+  Alcotest.(check int) "five levels" 5 (List.length rows);
+  (* every non-always-monitored call appears exactly once across the rows *)
+  let mentioned =
+    List.concat_map (fun (_, u, c) -> u @ c) rows |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "each exempt call classified once"
+    (List.length Classification.ipmon_supported)
+    (List.length mentioned)
+
+(* -- policy -- *)
+
+let test_spatial_allows () =
+  let p = Policy.spatial Classification.Nonsocket_rw_level in
+  Alcotest.(check bool) "file write allowed at NS_RW" true
+    (Policy.spatial_allows p (Syscall.Write (3, "x")) ~on_socket:false);
+  Alcotest.(check bool) "socket write denied at NS_RW" false
+    (Policy.spatial_allows p (Syscall.Write (3, "x")) ~on_socket:true);
+  Alcotest.(check bool) "gettimeofday allowed everywhere" true
+    (Policy.spatial_allows p Syscall.Gettimeofday ~on_socket:false);
+  Alcotest.(check bool) "open never allowed" false
+    (Policy.spatial_allows p (Syscall.Open ("/x", Syscall.o_rdonly)) ~on_socket:false);
+  Alcotest.(check bool) "monitor-everything denies all" false
+    (Policy.spatial_allows Policy.monitor_everything Syscall.Gettimeofday
+       ~on_socket:false)
+
+let test_op_type_conditions () =
+  let p = Policy.spatial Classification.Socket_rw_level in
+  Alcotest.(check bool) "F_SETFL allowed" true
+    (Policy.spatial_allows p
+       (Syscall.Fcntl (3, Syscall.F_setfl { nonblock = true }))
+       ~on_socket:false);
+  Alcotest.(check bool) "F_DUPFD denied (allocates an fd)" false
+    (Policy.spatial_allows p (Syscall.Fcntl (3, Syscall.F_dupfd 10)) ~on_socket:false)
+
+let test_temporal_needs_approvals () =
+  let st = Policy.make_temporal_state ~seed:1 in
+  let cfg = { Policy.default_temporal with Policy.exempt_probability = 1.0 } in
+  Alcotest.(check bool) "no approvals: no exemption" false
+    (Policy.temporal_exempts st ~now:0L Sysno.Read ~cfg);
+  for _ = 1 to cfg.Policy.min_approvals do
+    Policy.record_approval st ~now:0L Sysno.Read ~cfg
+  done;
+  Alcotest.(check bool) "enough approvals + p=1: exempted" true
+    (Policy.temporal_exempts st ~now:1L Sysno.Read ~cfg);
+  Alcotest.(check bool) "different sysno unaffected" false
+    (Policy.temporal_exempts st ~now:1L Sysno.Write ~cfg)
+
+let test_temporal_window_expiry () =
+  let st = Policy.make_temporal_state ~seed:2 in
+  let cfg =
+    { Policy.min_approvals = 4; exempt_probability = 1.0; window_ns = 1000L }
+  in
+  for _ = 1 to 4 do
+    Policy.record_approval st ~now:0L Sysno.Read ~cfg
+  done;
+  Alcotest.(check bool) "within window: exempt" true
+    (Policy.temporal_exempts st ~now:500L Sysno.Read ~cfg);
+  Alcotest.(check bool) "after window: approvals forgotten" false
+    (Policy.temporal_exempts st ~now:5000L Sysno.Read ~cfg)
+
+let test_temporal_probability_zero () =
+  let st = Policy.make_temporal_state ~seed:3 in
+  let cfg =
+    { Policy.min_approvals = 1; exempt_probability = 0.0; window_ns = 1_000_000L }
+  in
+  Policy.record_approval st ~now:0L Sysno.Read ~cfg;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never exempts" false
+      (Policy.temporal_exempts st ~now:1L Sysno.Read ~cfg)
+  done
+
+let prop_required_level_consistent =
+  (* classification and required_level agree: a call is monitored iff its
+     classification is Always_monitored *)
+  QCheck2.Test.make ~name:"required_level total and consistent" ~count:500
+    QCheck2.Gen.(
+      pair (int_range 0 (List.length Sysno.all - 1)) bool)
+    (fun (i, on_socket) ->
+      let no = List.nth Sysno.all i in
+      match (Classification.classify no, Classification.required_level no ~on_socket) with
+      | Classification.Always_monitored, None -> true
+      | Classification.Always_monitored, Some _ -> false
+      | _, None -> false
+      | _, Some _ -> true)
+
+let prop_levels_cumulative =
+  (* anything allowed at level L is allowed at every higher level *)
+  QCheck2.Test.make ~name:"levels are cumulative" ~count:500
+    QCheck2.Gen.(
+      triple
+        (int_range 0 (List.length Sysno.all - 1))
+        (int_range 0 4) bool)
+    (fun (i, lvl_idx, on_socket) ->
+      let no = List.nth Sysno.all i in
+      let lvl = List.nth Classification.all_levels lvl_idx in
+      match Classification.required_level no ~on_socket with
+      | None -> true
+      | Some needed ->
+        let allowed_here = Classification.level_geq lvl needed in
+        (* if allowed here, allowed at every higher level *)
+        List.for_all
+          (fun l' ->
+            if Classification.level_geq l' lvl then
+              (not allowed_here) || Classification.level_geq l' needed
+            else true)
+          Classification.all_levels)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "classification"
+    [
+      ( "table1",
+        [
+          tc "BASE unconditional" `Quick test_base_unconditional;
+          tc "BASE conditional" `Quick test_base_conditional;
+          tc "NONSOCKET_RO" `Quick test_nonsocket_ro;
+          tc "read family conditional" `Quick test_read_family_conditional;
+          tc "socket levels" `Quick test_socket_levels;
+          tc "always monitored" `Quick test_always_monitored;
+          tc "table reconstruction" `Quick test_table1_reconstruction;
+        ] );
+      ( "required-level",
+        [
+          tc "read/write escalation" `Quick test_read_escalation;
+          tc "level ordering" `Quick test_level_ordering;
+          tc "ipmon fast-path set" `Quick test_ipmon_supported_set;
+          QCheck_alcotest.to_alcotest prop_required_level_consistent;
+          QCheck_alcotest.to_alcotest prop_levels_cumulative;
+        ] );
+      ( "policy",
+        [
+          tc "spatial allows" `Quick test_spatial_allows;
+          tc "op-type conditions" `Quick test_op_type_conditions;
+          tc "temporal needs approvals" `Quick test_temporal_needs_approvals;
+          tc "temporal window expiry" `Quick test_temporal_window_expiry;
+          tc "temporal p=0" `Quick test_temporal_probability_zero;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+(* Differential fuzzing: generated random programs must observe exactly the
+   same data-bearing results under Native execution and under every MVEE
+   backend. This is the transparency property of Section 2.1, checked on
+   arbitrary call sequences rather than hand-written scenarios.
+
+   Only virtual-time-independent observations are compared (read data,
+   sizes, offsets, poll readiness) — timestamps and pids legitimately
+   differ between separate kernel instances. *)
+
+open Remon_kernel
+open Remon_core
+open Remon_util
+open Remon_workloads
+
+(* A tiny safe op language over a fixture of one file, one pipe and one
+   socketpair. *)
+type fop =
+  | F_pwrite of int * int (* offset bucket, length bucket *)
+  | F_pread of int * int
+  | F_lseek_read of int
+  | F_append of int
+  | F_fstat
+  | F_pipe_roundtrip of int
+  | F_sock_roundtrip of int
+  | F_poll_pipe
+  | F_stat_path
+  | F_getdents
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun a b -> F_pwrite (a, b)) (int_range 0 7) (int_range 1 6);
+        map2 (fun a b -> F_pread (a, b)) (int_range 0 7) (int_range 1 6);
+        map (fun a -> F_lseek_read a) (int_range 0 7);
+        map (fun a -> F_append a) (int_range 1 6);
+        return F_fstat;
+        map (fun a -> F_pipe_roundtrip a) (int_range 1 6);
+        map (fun a -> F_sock_roundtrip a) (int_range 1 6);
+        return F_poll_pipe;
+        return F_stat_path;
+        return F_getdents;
+      ])
+
+let payload seed len_bucket =
+  let len = len_bucket * 17 in
+  String.init len (fun i -> Char.chr (97 + ((seed + i) mod 26)))
+
+(* Executes the op sequence and returns the observation log. *)
+let observe ops (_ : Mvee.env) (log : string list ref) =
+  let file = Api.create_file "/tmp/diff.bin" in
+  let pipe_r, pipe_w = Api.pipe () in
+  let sock_a, sock_b = Api.socketpair () in
+  let record fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+  List.iteri
+    (fun i op ->
+      match op with
+      | F_pwrite (ob, lb) ->
+        let n = Api.pwrite file (payload i lb) (ob * 64) in
+        record "pwrite=%d" n
+      | F_pread (ob, lb) ->
+        let d = Api.pread file (lb * 17) (ob * 64) in
+        record "pread=%S" d
+      | F_lseek_read ob ->
+        ignore (Api.lseek file (ob * 32));
+        record "read=%S" (Api.read file 48)
+      | F_append lb ->
+        ignore (Api.lseek file 0);
+        let st = Api.fstat file in
+        let n = Api.pwrite file (payload i lb) st.Syscall.st_size in
+        record "append=%d" n
+      | F_fstat ->
+        let st = Api.fstat file in
+        record "size=%d" st.Syscall.st_size
+      | F_pipe_roundtrip lb ->
+        ignore (Api.write pipe_w (payload i lb));
+        record "pipe=%S" (Api.read pipe_r (lb * 17))
+      | F_sock_roundtrip lb ->
+        ignore (Api.send sock_a (payload i lb));
+        record "sock=%S" (Api.recv_exactly sock_b (lb * 17))
+      | F_poll_pipe -> (
+        match
+          Remon_kernel.Sched.syscall
+            (Syscall.Poll
+               { fds = [ (pipe_r, Syscall.ev_in) ]; timeout_ns = Some 0L })
+        with
+        | Syscall.Ok_poll ready -> record "poll=%d" (List.length ready)
+        | _ -> record "poll=err")
+      | F_stat_path ->
+        let st = Api.stat "/tmp/diff.bin" in
+        record "stat=%d" st.Syscall.st_size
+      | F_getdents -> (
+        let fd = Api.open_file "/tmp" in
+        (match Remon_kernel.Sched.syscall (Syscall.Getdents fd) with
+        | Syscall.Ok_dents names -> record "dents=%d" (List.length names)
+        | _ -> record "dents=err");
+        Api.close fd))
+    ops;
+  Api.close file;
+  Api.close pipe_r;
+  Api.close pipe_w;
+  Api.close sock_a;
+  Api.close sock_b
+
+let run_under (config : Mvee.config) ops =
+  (* one log per replica: return the master's *)
+  let logs = Array.make (max 1 config.Mvee.nreplicas) [] in
+  let kernel = Kernel.create ~seed:config.Mvee.seed () in
+  let h =
+    Mvee.launch kernel config ~name:"diff" ~body:(fun env ->
+        let log = ref [] in
+        observe ops env log;
+        logs.(env.Mvee.variant) <- List.rev !log)
+  in
+  Kernel.run kernel;
+  let o = Mvee.finish h in
+  (match o.Mvee.verdict with
+  | Some v -> failwith ("unexpected verdict: " ^ Divergence.to_string v)
+  | None -> ());
+  logs.(0)
+
+let differential backend_name config =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "random programs: %s == native" backend_name)
+    ~count:30
+    QCheck2.Gen.(list_size (int_range 1 25) gen_op)
+    (fun ops ->
+      let native = run_under (Runner.cfg_native ()) ops in
+      let under = run_under config ops in
+      if native <> under then
+        QCheck2.Test.fail_reportf "observation mismatch:\nnative: %s\nmvee:   %s"
+          (String.concat "; " native) (String.concat "; " under)
+      else true)
+
+(* The same property within one MVEE run: what the master observes, every
+   slave observes (checked by construction for 3 replicas under lockstep,
+   where any mismatch already aborts — here we assert the outputs). *)
+let replica_agreement =
+  QCheck2.Test.make ~name:"random programs: replicas observe identical logs"
+    ~count:20
+    QCheck2.Gen.(list_size (int_range 1 20) gen_op)
+    (fun ops ->
+      let logs = Array.make 3 [] in
+      let kernel = Kernel.create () in
+      let config =
+        { Mvee.default_config with Mvee.nreplicas = 3;
+          policy = Policy.spatial Classification.Nonsocket_rw_level }
+      in
+      let h =
+        Mvee.launch kernel config ~name:"agree" ~body:(fun env ->
+            let log = ref [] in
+            observe ops env log;
+            logs.(env.Mvee.variant) <- List.rev !log)
+      in
+      Kernel.run kernel;
+      (match (Mvee.finish h).Mvee.verdict with
+      | Some v -> QCheck2.Test.fail_reportf "verdict: %s" (Divergence.to_string v)
+      | None -> ());
+      logs.(0) <> [] && logs.(0) = logs.(1) && logs.(1) = logs.(2))
+
+(* Bytestream model check: a random push/pull sequence behaves like a
+   reference queue of characters. *)
+let bytestream_model =
+  QCheck2.Test.make ~name:"bytestream matches a reference queue" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (pair bool (int_range 0 20)))
+    (fun script ->
+      let bs = Bytestream.create () in
+      let model = Buffer.create 64 in
+      let consumed = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun i (is_push, n) ->
+          if is_push then begin
+            let s = String.init n (fun j -> Char.chr (65 + ((i + j) mod 26))) in
+            Bytestream.push bs s;
+            Buffer.add_string model s
+          end
+          else begin
+            let got = Bytestream.pull bs n in
+            let avail = Buffer.length model - !consumed in
+            let want_n = min n avail in
+            let want = Buffer.sub model !consumed want_n in
+            consumed := !consumed + want_n;
+            if got <> want then ok := false
+          end)
+        script;
+      !ok && Bytestream.length bs = Buffer.length model - !consumed)
+
+(* Normalization is idempotent and erases diversified fields. *)
+let normalize_idempotent =
+  QCheck2.Test.make ~name:"Callinfo.normalize is idempotent" ~count:200
+    QCheck2.Gen.(
+      oneof
+        [
+          map2 (fun fd n -> Syscall.Read (fd, n)) (int_range 0 64) (int_range 0 4096);
+          map (fun s -> Syscall.Write (3, s)) (string_size (int_range 0 64));
+          map (fun ud ->
+              Syscall.Epoll_ctl
+                { epfd = 4; op = Syscall.Epoll_add; fd = 5; events = Syscall.ev_in;
+                  user_data = Int64.of_int ud })
+            (int_range 0 1_000_000);
+          map (fun a ->
+              Syscall.Futex
+                (Syscall.Futex_wait
+                   { addr = Int64.of_int a; expected = 0; timeout_ns = None }))
+            (int_range 0 1_000_000);
+          map (fun a -> Syscall.Munmap { addr = Int64.of_int a; len = 4096 })
+            (int_range 0 1_000_000);
+        ])
+    (fun call ->
+      let n1 = Callinfo.normalize call in
+      let n2 = Callinfo.normalize n1 in
+      Syscall.equal_call n1 n2)
+
+let normalize_erases_pointers =
+  QCheck2.Test.make ~name:"diversified twins compare equal after normalize"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (p1, p2) ->
+      let mk ud =
+        Syscall.Epoll_ctl
+          { epfd = 4; op = Syscall.Epoll_add; fd = 5; events = Syscall.ev_in;
+            user_data = Int64.of_int ud }
+      in
+      Callinfo.equal_normalized (mk p1) (mk p2))
+
+let arg_bytes_sane =
+  QCheck2.Test.make ~name:"arg_bytes positive and monotone in payload" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1024) (int_range 0 1024))
+    (fun (a, b) ->
+      let small = min a b and big = max a b in
+      let ba = Syscall.arg_bytes (Syscall.Write (1, String.make small 'x')) in
+      let bb = Syscall.arg_bytes (Syscall.Write (1, String.make big 'x')) in
+      ba > 0 && bb >= ba
+      && Syscall.arg_bytes (Syscall.Read (1, big)) >= Syscall.arg_bytes (Syscall.Read (1, small)))
+
+(* VFS model check: random create/write/read/unlink scripts against a
+   reference map of path -> contents. *)
+let vfs_model =
+  QCheck2.Test.make ~name:"vfs matches a reference map" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (pair (int_range 0 4) (pair (int_range 0 5) (int_range 0 64))))
+    (fun script ->
+      let vfs = Vfs.create () in
+      ignore (Vfs.mkdir_p vfs "/m");
+      let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let path i = Printf.sprintf "/m/f%d" i in
+      let ok = ref true in
+      List.iter
+        (fun (op, (fi, len)) ->
+          let p = path fi in
+          match op with
+          | 0 (* create *) -> (
+            match Vfs.create_file vfs p with
+            | Ok _ ->
+              if not (Hashtbl.mem model p) then Hashtbl.replace model p ""
+            | Error _ -> ok := false)
+          | 1 (* overwrite *) -> (
+            let data = String.make len 'v' in
+            match Vfs.resolve vfs p with
+            | Ok node ->
+              if not (Hashtbl.mem model p) then ok := false
+              else begin
+                ignore (Vfs.truncate node ~size:0 ~now_ns:0L);
+                ignore (Vfs.write_at node ~offset:0 ~data ~now_ns:0L);
+                Hashtbl.replace model p data
+              end
+            | Error _ -> if Hashtbl.mem model p then ok := false)
+          | 2 (* read *) -> (
+            match (Vfs.resolve vfs p, Hashtbl.find_opt model p) with
+            | Ok node, Some expected -> (
+              match Vfs.read_at node ~offset:0 ~count:10_000 with
+              | Ok got -> if got <> expected then ok := false
+              | Error _ -> ok := false)
+            | Error _, None -> ()
+            | _ -> ok := false)
+          | 3 (* unlink *) -> (
+            match (Vfs.unlink vfs p, Hashtbl.mem model p) with
+            | Ok (), true -> Hashtbl.remove model p
+            | Error _, false -> ()
+            | Ok (), false | Error _, true -> ok := false)
+          | _ (* size check *) -> (
+            match (Vfs.resolve vfs p, Hashtbl.find_opt model p) with
+            | Ok node, Some expected ->
+              if Vfs.file_size node <> String.length expected then ok := false
+            | Error _, None -> ()
+            | _ -> ok := false))
+        script;
+      !ok)
+
+(* Pipe model check: writes and reads behave like a bounded queue. *)
+let pipe_model =
+  QCheck2.Test.make ~name:"pipe matches a bounded queue" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 50) (pair bool (int_range 0 200)))
+    (fun script ->
+      let pi = Pipe.create ~capacity:512 () in
+      let model = Buffer.create 64 in
+      let consumed = ref 0 in
+      let pending () = Buffer.length model - !consumed in
+      let ok = ref true in
+      List.iteri
+        (fun i (is_write, n) ->
+          if is_write then begin
+            let data = String.init n (fun j -> Char.chr (48 + ((i + j) mod 60))) in
+            let accepted = Pipe.write pi data in
+            (* the pipe accepts exactly up to its free space *)
+            let expect = min n (512 - pending ()) in
+            if accepted <> expect then ok := false;
+            Buffer.add_string model (String.sub data 0 accepted)
+          end
+          else begin
+            let got = Pipe.read pi n in
+            let expect_n = min n (pending ()) in
+            let expect = Buffer.sub model !consumed expect_n in
+            consumed := !consumed + expect_n;
+            if got <> expect then ok := false
+          end)
+        script;
+      !ok && Pipe.bytes_available pi = pending ())
+
+let () =
+  ignore Rng.bool;
+  Alcotest.run "differential"
+    [
+      ( "transparency",
+        [
+          QCheck_alcotest.to_alcotest
+            (differential "remon/socket_rw" (Runner.cfg_remon Classification.Socket_rw_level));
+          QCheck_alcotest.to_alcotest
+            (differential "remon/base" (Runner.cfg_remon Classification.Base_level));
+          QCheck_alcotest.to_alcotest
+            (differential "ghumvee" (Runner.cfg_ghumvee ()));
+          QCheck_alcotest.to_alcotest (differential "varan" (Runner.cfg_varan ()));
+          QCheck_alcotest.to_alcotest replica_agreement;
+        ] );
+      ( "models",
+        [
+          QCheck_alcotest.to_alcotest bytestream_model;
+          QCheck_alcotest.to_alcotest vfs_model;
+          QCheck_alcotest.to_alcotest pipe_model;
+          QCheck_alcotest.to_alcotest normalize_idempotent;
+          QCheck_alcotest.to_alcotest normalize_erases_pointers;
+          QCheck_alcotest.to_alcotest arg_bytes_sane;
+        ] );
+    ]

@@ -1,0 +1,492 @@
+(* Kernel substrate tests: scheduler, VFS, pipes, sockets, futexes, epoll,
+   signals, timers, shared memory, /proc/self/maps. *)
+
+open Remon_kernel
+open Remon_sim
+
+let sys = Sched.syscall
+let vnow = Sched.vnow
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let expect_int label r =
+  match (r : Syscall.result) with
+  | Syscall.Ok_int n -> n
+  | other ->
+    Alcotest.failf "%s: expected Ok_int, got %s" label
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+let expect_data label r =
+  match (r : Syscall.result) with
+  | Syscall.Ok_data s -> s
+  | other ->
+    Alcotest.failf "%s: expected Ok_data, got %s" label
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+let expect_pair label r =
+  match (r : Syscall.result) with
+  | Syscall.Ok_pair (a, b) -> (a, b)
+  | _ -> Alcotest.failf "%s: expected Ok_pair" label
+
+let expect_err label e r =
+  match (r : Syscall.result) with
+  | Syscall.Error e' when e = e' -> ()
+  | other ->
+    Alcotest.failf "%s: expected error %s, got %s" label (Errno.to_string e)
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+(* Runs [body] as the sole process of a fresh kernel and returns a value the
+   body stored. *)
+let run_in_kernel ?seed body =
+  let k = Kernel.create ?seed () in
+  let result = ref None in
+  let _p =
+    Kernel.spawn_process k ~name:"test" ~vm_seed:7 (fun () ->
+        result := Some (body k))
+  in
+  Kernel.run k;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test body did not complete"
+
+(* ------------------------------------------------------------------ *)
+
+let test_getpid_and_time () =
+  run_in_kernel (fun _k ->
+      let pid = expect_int "getpid" (sys Syscall.Getpid) in
+      check_bool "pid is assigned" true (pid >= 1000);
+      (match sys (Syscall.Clock_gettime `Monotonic) with
+      | Syscall.Ok_int64 t0 ->
+        Sched.compute (Vtime.us 500);
+        let t1 =
+          match sys (Syscall.Clock_gettime `Monotonic) with
+          | Syscall.Ok_int64 t -> t
+          | _ -> Alcotest.fail "clock_gettime"
+        in
+        check_bool "time advances across compute" true
+          (Int64.compare t1 (Int64.add t0 (Vtime.us 500)) >= 0)
+      | _ -> Alcotest.fail "clock_gettime failed"))
+
+let test_file_roundtrip () =
+  run_in_kernel (fun _k ->
+      let flags = { Syscall.o_rdwr with create = true } in
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/data.txt", flags))) in
+      let n = expect_int "write" (sys (Syscall.Write (fd, "hello world"))) in
+      check_int "write length" 11 n;
+      ignore (expect_int "lseek" (sys (Syscall.Lseek (fd, 0, Syscall.Seek_set))));
+      let data = expect_data "read" (sys (Syscall.Read (fd, 64))) in
+      check_str "read back" "hello world" data;
+      let stat =
+        match sys (Syscall.Fstat fd) with
+        | Syscall.Ok_stat s -> s
+        | _ -> Alcotest.fail "fstat"
+      in
+      check_int "size" 11 stat.st_size;
+      ignore (expect_int "close" (sys (Syscall.Close fd)));
+      expect_err "read after close" Errno.EBADF (sys (Syscall.Read (fd, 1))))
+
+let test_pread_pwrite () =
+  run_in_kernel (fun _k ->
+      let flags = { Syscall.o_rdwr with create = true } in
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/pp.bin", flags))) in
+      ignore (expect_int "pwrite" (sys (Syscall.Pwrite64 (fd, "abcdef", 4))));
+      let d = expect_data "pread" (sys (Syscall.Pread64 (fd, 3, 5))) in
+      check_str "pread content" "bcd" d;
+      (* offset must be untouched by positional I/O *)
+      let whole = expect_data "read" (sys (Syscall.Read (fd, 64))) in
+      check_int "file size" 10 (String.length whole))
+
+let test_pipe_blocking () =
+  (* Reader blocks until the writer thread produces data. *)
+  run_in_kernel (fun _k ->
+      let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
+      let self = Sched.self () in
+      let p = self.Proc.proc in
+      p.Proc.entry_table <-
+        [|
+          (fun () ->
+            Sched.compute (Vtime.ms 2);
+            ignore (sys (Syscall.Write (wfd, "ping"))));
+        |];
+      ignore (expect_int "clone" (sys (Syscall.Clone 0)));
+      let t0 = vnow () in
+      let data = expect_data "read" (sys (Syscall.Read (rfd, 16))) in
+      check_str "pipe data" "ping" data;
+      check_bool "reader waited for writer" true Vtime.(vnow () - t0 >= Vtime.ms 2))
+
+let test_pipe_eof_and_epipe () =
+  run_in_kernel (fun k ->
+      let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
+      ignore (sys (Syscall.Write (wfd, "x")));
+      ignore (sys (Syscall.Close wfd));
+      let d1 = expect_data "read data" (sys (Syscall.Read (rfd, 4))) in
+      check_str "buffered data" "x" d1;
+      let d2 = expect_data "read eof" (sys (Syscall.Read (rfd, 4))) in
+      check_str "eof" "" d2;
+      (* writing to a reader-less pipe: EPIPE + SIGPIPE (ignored here) *)
+      let rfd2, wfd2 = expect_pair "pipe2" (sys Syscall.Pipe) in
+      ignore (sys (Syscall.Rt_sigaction (Sigdefs.sigpipe, Syscall.Sig_ignore)));
+      ignore (sys (Syscall.Close rfd2));
+      expect_err "epipe" Errno.EPIPE (sys (Syscall.Write (wfd2, "y")));
+      ignore k)
+
+let test_nonblock_read () =
+  run_in_kernel (fun _k ->
+      let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
+      ignore
+        (expect_int "fcntl"
+           (sys (Syscall.Fcntl (rfd, Syscall.F_setfl { nonblock = true }))));
+      expect_err "eagain" Errno.EAGAIN (sys (Syscall.Read (rfd, 4)));
+      ignore (sys (Syscall.Write (wfd, "data")));
+      let d = expect_data "read" (sys (Syscall.Read (rfd, 4))) in
+      check_str "nonblocking read succeeds when ready" "data" d)
+
+let test_socket_roundtrip () =
+  (* Server thread accepts one connection and echoes; main connects. *)
+  run_in_kernel (fun k ->
+      let self = Sched.self () in
+      let p = self.Proc.proc in
+      let port = 8080 in
+      p.Proc.entry_table <-
+        [|
+          (fun () ->
+            let sfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+            ignore (expect_int "bind" (sys (Syscall.Bind (sfd, port))));
+            ignore (expect_int "listen" (sys (Syscall.Listen (sfd, 16))));
+            match sys (Syscall.Accept sfd) with
+            | Syscall.Ok_accept { conn_fd; _ } ->
+              let req = expect_data "server read" (sys (Syscall.Read (conn_fd, 64))) in
+              ignore (sys (Syscall.Write (conn_fd, "echo:" ^ req)));
+              ignore (sys (Syscall.Close conn_fd))
+            | _ -> Alcotest.fail "accept");
+        |];
+      ignore (expect_int "clone" (sys (Syscall.Clone 0)));
+      Sched.compute (Vtime.ms 1) (* give the server time to listen *);
+      let cfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+      let t0 = vnow () in
+      ignore (expect_int "connect" (sys (Syscall.Connect (cfd, port))));
+      let handshake = Vtime.sub (vnow ()) t0 in
+      check_bool "connect paid at least 2x one-way latency" true
+        Vtime.(handshake >= Vtime.scale (Kernel.net k).Net.latency 2.);
+      ignore (sys (Syscall.Write (cfd, "hi")));
+      let resp = expect_data "client read" (sys (Syscall.Read (cfd, 64))) in
+      check_str "echoed" "echo:hi" resp)
+
+let test_connect_refused () =
+  run_in_kernel (fun _k ->
+      let cfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+      expect_err "refused" Errno.ECONNREFUSED (sys (Syscall.Connect (cfd, 9999))))
+
+let test_socketpair () =
+  run_in_kernel (fun _k ->
+      let a, b = expect_pair "socketpair" (sys (Syscall.Socketpair (Syscall.Af_unix, Syscall.Sock_stream))) in
+      ignore (sys (Syscall.Write (a, "m1")));
+      let d = expect_data "read" (sys (Syscall.Read (b, 8))) in
+      check_str "socketpair data" "m1" d)
+
+let test_futex_wait_wake () =
+  run_in_kernel (fun _k ->
+      let self = Sched.self () in
+      let p = self.Proc.proc in
+      let addr = 0x7000_0000_0000L in
+      Vm.write_word p.Proc.vm addr 1;
+      p.Proc.entry_table <-
+        [|
+          (fun () ->
+            Sched.compute (Vtime.ms 1);
+            Vm.write_word p.Proc.vm addr 0;
+            ignore
+              (sys (Syscall.Futex (Syscall.Futex_wake { addr; count = 1 }))));
+        |];
+      ignore (expect_int "clone" (sys (Syscall.Clone 0)));
+      let r =
+        sys
+          (Syscall.Futex
+             (Syscall.Futex_wait { addr; expected = 1; timeout_ns = None }))
+      in
+      check_int "futex woke" 0 (expect_int "futex_wait" r);
+      check_int "word updated" 0 (Vm.read_word p.Proc.vm addr))
+
+let test_futex_wrong_value () =
+  run_in_kernel (fun _k ->
+      let addr = 0x7000_0000_1000L in
+      expect_err "eagain" Errno.EAGAIN
+        (sys
+           (Syscall.Futex
+              (Syscall.Futex_wait { addr; expected = 5; timeout_ns = None }))))
+
+let test_futex_timeout () =
+  run_in_kernel (fun _k ->
+      let addr = 0x7000_0000_2000L in
+      let t0 = vnow () in
+      expect_err "timeout" Errno.ETIMEDOUT
+        (sys
+           (Syscall.Futex
+              (Syscall.Futex_wait
+                 { addr; expected = 0; timeout_ns = Some (Vtime.ms 3) })));
+      check_bool "waited" true Vtime.(vnow () - t0 >= Vtime.ms 3))
+
+let test_epoll () =
+  run_in_kernel (fun _k ->
+      let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
+      let epfd = expect_int "epoll_create" (sys Syscall.Epoll_create) in
+      ignore
+        (expect_int "epoll_ctl"
+           (sys
+              (Syscall.Epoll_ctl
+                 {
+                   epfd;
+                   op = Syscall.Epoll_add;
+                   fd = rfd;
+                   events = Syscall.ev_in;
+                   user_data = 0xDEADBEEFL;
+                 })));
+      (* not ready: zero timeout returns empty *)
+      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0L }) with
+      | Syscall.Ok_epoll [] -> ()
+      | _ -> Alcotest.fail "expected no events");
+      let self = Sched.self () in
+      self.Proc.proc.Proc.entry_table <-
+        [|
+          (fun () ->
+            Sched.compute (Vtime.ms 1);
+            ignore (sys (Syscall.Write (wfd, "!"))));
+        |];
+      ignore (expect_int "clone" (sys (Syscall.Clone 0)));
+      match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = None }) with
+      | Syscall.Ok_epoll [ (ud, ev) ] ->
+        check_bool "user data preserved" true (Int64.equal ud 0xDEADBEEFL);
+        check_bool "readable" true ev.Syscall.pollin
+      | _ -> Alcotest.fail "expected one epoll event")
+
+let test_epoll_timeout () =
+  run_in_kernel (fun _k ->
+      let epfd = expect_int "epoll_create" (sys Syscall.Epoll_create) in
+      let t0 = vnow () in
+      (match
+         sys
+           (Syscall.Epoll_wait
+              { epfd; max_events = 4; timeout_ns = Some (Vtime.ms 2) })
+       with
+      | Syscall.Ok_epoll [] -> ()
+      | _ -> Alcotest.fail "expected timeout with no events");
+      check_bool "timeout elapsed" true Vtime.(vnow () - t0 >= Vtime.ms 2))
+
+let test_signal_default_kill () =
+  let k = Kernel.create () in
+  let reached_end = ref false in
+  let p =
+    Kernel.spawn_process k ~name:"victim" ~vm_seed:3 (fun () ->
+        (* SIGTERM arrives mid-nanosleep; default action terminates *)
+        ignore (sys (Syscall.Nanosleep (Vtime.ms 10)));
+        reached_end := true)
+  in
+  Kernel.schedule k ~time:(Vtime.ms 1) (fun () -> Kernel.post_signal k p Sigdefs.sigterm);
+  Kernel.run k;
+  Alcotest.(check bool) "process killed before completing" false !reached_end;
+  Alcotest.(check bool) "process dead" false p.Proc.alive;
+  Alcotest.(check int) "exit code 128+15" 143 p.Proc.exit_code
+
+let test_signal_eintr_and_handler () =
+  let k = Kernel.create () in
+  let observed = ref [] in
+  let p =
+    Kernel.spawn_process k ~name:"handler" ~vm_seed:4 (fun () ->
+        ignore (sys (Syscall.Rt_sigaction (Sigdefs.sigusr1, Syscall.Sig_handler 7)));
+        let r = sys (Syscall.Nanosleep (Vtime.ms 50)) in
+        observed := [ r ];
+        let self = Sched.self () in
+        (* the kernel queued the handler id for the program runtime *)
+        if self.Proc.pending_delivery <> [ Sigdefs.sigusr1 ] then
+          observed := Syscall.Error Errno.EINVAL :: !observed)
+  in
+  Kernel.schedule k ~time:(Vtime.ms 2) (fun () -> Kernel.post_signal k p Sigdefs.sigusr1);
+  Kernel.run k;
+  match !observed with
+  | [ Syscall.Error Errno.EINTR ] -> ()
+  | _ -> Alcotest.fail "expected EINTR with queued handler"
+
+let test_alarm () =
+  let k = Kernel.create () in
+  let fired = ref false in
+  let _p =
+    Kernel.spawn_process k ~name:"alarm" ~vm_seed:5 (fun () ->
+        ignore (sys (Syscall.Rt_sigaction (Sigdefs.sigalrm, Syscall.Sig_handler 1)));
+        ignore (sys (Syscall.Alarm 1));
+        let r = sys (Syscall.Nanosleep (Vtime.s 5)) in
+        (match r with
+        | Syscall.Error Errno.EINTR -> fired := true
+        | _ -> ());
+        ())
+  in
+  Kernel.run k;
+  Alcotest.(check bool) "alarm interrupted the sleep" true !fired
+
+let test_shm_share_words () =
+  (* Two processes attach the same segment and see each other's writes. *)
+  let k = Kernel.create () in
+  let observed = ref (-1) in
+  let _writer =
+    Kernel.spawn_process k ~name:"writer" ~vm_seed:6 (fun () ->
+        let shmid =
+          expect_int "shmget"
+            (sys (Syscall.Shmget { key = 77; size = 4096; create = true }))
+        in
+        match sys (Syscall.Shmat { shmid; readonly = false }) with
+        | Syscall.Ok_int64 addr ->
+          let self = Sched.self () in
+          Vm.write_word self.Proc.proc.Proc.vm addr 4242
+        | _ -> Alcotest.fail "shmat")
+  in
+  let _reader =
+    Kernel.spawn_process k ~name:"reader" ~vm_seed:7 (fun () ->
+        Sched.compute (Vtime.ms 1);
+        let shmid =
+          expect_int "shmget2"
+            (sys (Syscall.Shmget { key = 77; size = 4096; create = true }))
+        in
+        match sys (Syscall.Shmat { shmid; readonly = false }) with
+        | Syscall.Ok_int64 addr ->
+          let self = Sched.self () in
+          observed := Vm.read_word self.Proc.proc.Proc.vm addr
+        | _ -> Alcotest.fail "shmat2")
+  in
+  Kernel.run k;
+  Alcotest.(check int) "shared word visible across processes" 4242 !observed
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_proc_maps () =
+  run_in_kernel (fun _k ->
+      let self = Sched.self () in
+      let p = self.Proc.proc in
+      ignore
+        (Vm.map p.Proc.vm ~len:8192
+           ~prot:{ Syscall.pr = true; pw = true; px = false }
+           ~backing:Vm.Anon ~tag:"test-region");
+      let fd = expect_int "open maps" (sys (Syscall.Open ("/proc/self/maps", Syscall.o_rdonly))) in
+      let content = expect_data "read maps" (sys (Syscall.Read (fd, 65536))) in
+      check_bool "contains our region" true (contains content "test-region"))
+
+let test_dents_and_dirs () =
+  run_in_kernel (fun _k ->
+      ignore (expect_int "mkdir" (sys (Syscall.Mkdir "/tmp/d1")));
+      ignore
+        (expect_int "creat" (sys (Syscall.Creat "/tmp/d1/f1")));
+      ignore
+        (expect_int "creat2" (sys (Syscall.Creat "/tmp/d1/f2")));
+      let fd = expect_int "open dir" (sys (Syscall.Open ("/tmp/d1", Syscall.o_rdonly))) in
+      match sys (Syscall.Getdents fd) with
+      | Syscall.Ok_dents names ->
+        Alcotest.(check (list string)) "entries" [ "f1"; "f2" ] names
+      | _ -> Alcotest.fail "getdents")
+
+let test_select () =
+  run_in_kernel (fun _k ->
+      let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
+      (match
+         sys
+           (Syscall.Select
+              { readfds = [ rfd ]; writefds = [ wfd ]; timeout_ns = Some 0L })
+       with
+      | Syscall.Ok_poll ready ->
+        check_int "only writer ready" 1 (List.length ready);
+        check_int "writer fd" wfd (fst (List.hd ready))
+      | _ -> Alcotest.fail "select");
+      ignore (sys (Syscall.Write (wfd, "z")));
+      match
+        sys (Syscall.Select { readfds = [ rfd ]; writefds = []; timeout_ns = None })
+      with
+      | Syscall.Ok_poll [ (fd, ev) ] ->
+        check_int "reader ready" rfd fd;
+        check_bool "pollin" true ev.Syscall.pollin
+      | _ -> Alcotest.fail "select 2")
+
+let test_nanosleep_duration () =
+  run_in_kernel (fun _k ->
+      let t0 = vnow () in
+      (match sys (Syscall.Nanosleep (Vtime.ms 7)) with
+      | Syscall.Ok_unit -> ()
+      | _ -> Alcotest.fail "nanosleep");
+      check_bool "slept >= 7ms" true Vtime.(vnow () - t0 >= Vtime.ms 7))
+
+let test_dup_shares_offset () =
+  run_in_kernel (fun _k ->
+      let flags = { Syscall.o_rdwr with create = true } in
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/dup.txt", flags))) in
+      ignore (sys (Syscall.Write (fd, "abcdef")));
+      let fd2 = expect_int "dup" (sys (Syscall.Dup fd)) in
+      ignore (expect_int "lseek via dup" (sys (Syscall.Lseek (fd2, 1, Syscall.Seek_set))));
+      let d = expect_data "read via original" (sys (Syscall.Read (fd, 2))) in
+      check_str "offset shared" "bc" d)
+
+let test_wait4 () =
+  let k = Kernel.create () in
+  let waited = ref (-1) in
+  let parent = ref None in
+  let child =
+    Kernel.spawn_process k ~name:"child" ~vm_seed:8 (fun () ->
+        Sched.compute (Vtime.ms 3);
+        ignore (sys (Syscall.Exit_group 0)))
+  in
+  let p =
+    Kernel.spawn_process k ~name:"parent" ~vm_seed:9 (fun () ->
+        waited := expect_int "wait4" (sys (Syscall.Wait4 (-1))))
+  in
+  child.Proc.parent_pid <- p.Proc.pid;
+  parent := Some p;
+  Kernel.run k;
+  Alcotest.(check int) "reaped child pid" child.Proc.pid !waited
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "kernel"
+    [
+      ( "basics",
+        [
+          tc "getpid and virtual time" test_getpid_and_time;
+          tc "file round trip" test_file_roundtrip;
+          tc "pread/pwrite" test_pread_pwrite;
+          tc "getdents" test_dents_and_dirs;
+          tc "dup shares offset" test_dup_shares_offset;
+          tc "nanosleep" test_nanosleep_duration;
+        ] );
+      ( "pipes",
+        [
+          tc "blocking read" test_pipe_blocking;
+          tc "eof and epipe" test_pipe_eof_and_epipe;
+          tc "nonblocking read" test_nonblock_read;
+        ] );
+      ( "sockets",
+        [
+          tc "connect/accept/echo" test_socket_roundtrip;
+          tc "connection refused" test_connect_refused;
+          tc "socketpair" test_socketpair;
+        ] );
+      ( "futex",
+        [
+          tc "wait/wake" test_futex_wait_wake;
+          tc "wrong value" test_futex_wrong_value;
+          tc "timeout" test_futex_timeout;
+        ] );
+      ( "epoll+select",
+        [
+          tc "epoll readiness" test_epoll;
+          tc "epoll timeout" test_epoll_timeout;
+          tc "select" test_select;
+        ] );
+      ( "signals",
+        [
+          tc "default kill" test_signal_default_kill;
+          tc "eintr + handler queue" test_signal_eintr_and_handler;
+          tc "alarm" test_alarm;
+        ] );
+      ( "memory",
+        [ tc "shm words shared" test_shm_share_words; tc "/proc/self/maps" test_proc_maps ] );
+      ("processes", [ tc "wait4" test_wait4 ]);
+    ]

@@ -1,0 +1,436 @@
+(* Second kernel substrate suite: timers, vectored I/O, fd lifecycle
+   corners, socket corners, VFS operations, VM/ASLR properties. *)
+
+open Remon_kernel
+open Remon_sim
+
+let sys = Sched.syscall
+let vnow = Sched.vnow
+
+let expect_int label r =
+  match (r : Syscall.result) with
+  | Syscall.Ok_int n -> n
+  | other ->
+    Alcotest.failf "%s: expected Ok_int, got %s" label
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+let expect_data label r =
+  match (r : Syscall.result) with
+  | Syscall.Ok_data s -> s
+  | other ->
+    Alcotest.failf "%s: expected Ok_data, got %s" label
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+let expect_err label e r =
+  match (r : Syscall.result) with
+  | Syscall.Error e' when e = e' -> ()
+  | other ->
+    Alcotest.failf "%s: expected %s, got %s" label (Errno.to_string e)
+      (Format.asprintf "%a" Syscall.pp_result other)
+
+let run_in_kernel ?(seed = 11) body =
+  let k = Kernel.create ~seed () in
+  let result = ref None in
+  ignore (Kernel.spawn_process k ~name:"t2" ~vm_seed:3 (fun () -> result := Some (body k)));
+  Kernel.run k;
+  match !result with Some v -> v | None -> Alcotest.fail "body did not complete"
+
+(* ---- timers ---- *)
+
+let test_timerfd () =
+  run_in_kernel (fun _ ->
+      let tfd = expect_int "timerfd_create" (sys Syscall.Timerfd_create) in
+      let t0 = vnow () in
+      ignore
+        (expect_int "settime"
+           (sys
+              (Syscall.Timerfd_settime
+                 (tfd, { Syscall.value_ns = Vtime.ms 2; interval_ns = Vtime.ms 1 }))));
+      (match sys (Syscall.Read (tfd, 8)) with
+      | Syscall.Ok_int64 n -> Alcotest.(check bool) "at least one expiration" true (Int64.compare n 1L >= 0)
+      | r -> Alcotest.failf "timerfd read: %s" (Format.asprintf "%a" Syscall.pp_result r));
+      Alcotest.(check bool) "blocked until first expiry" true
+        Vtime.(vnow () - t0 >= Vtime.ms 2);
+      (* interval keeps firing *)
+      match sys (Syscall.Read (tfd, 8)) with
+      | Syscall.Ok_int64 _ -> ()
+      | r -> Alcotest.failf "second read: %s" (Format.asprintf "%a" Syscall.pp_result r))
+
+let test_timerfd_gettime () =
+  run_in_kernel (fun _ ->
+      let tfd = expect_int "timerfd_create" (sys Syscall.Timerfd_create) in
+      (match sys (Syscall.Timerfd_gettime tfd) with
+      | Syscall.Ok_itimer s ->
+        Alcotest.(check bool) "disarmed" true (Int64.equal s.Syscall.value_ns 0L)
+      | _ -> Alcotest.fail "gettime");
+      ignore
+        (sys
+           (Syscall.Timerfd_settime
+              (tfd, { Syscall.value_ns = Vtime.s 5; interval_ns = 0L })));
+      match sys (Syscall.Timerfd_gettime tfd) with
+      | Syscall.Ok_itimer s ->
+        Alcotest.(check bool) "armed" true (Int64.compare s.Syscall.value_ns 0L > 0)
+      | _ -> Alcotest.fail "gettime 2")
+
+let test_setitimer_interval () =
+  run_in_kernel (fun _ ->
+      ignore (sys (Syscall.Rt_sigaction (Sigdefs.sigalrm, Syscall.Sig_handler 3)));
+      ignore
+        (sys
+           (Syscall.Setitimer { Syscall.value_ns = Vtime.ms 1; interval_ns = Vtime.ms 1 }));
+      (* two ticks interrupt two sleeps *)
+      let hits = ref 0 in
+      for _ = 1 to 2 do
+        (match sys (Syscall.Nanosleep (Vtime.ms 10)) with
+        | Syscall.Error Errno.EINTR -> incr hits
+        | _ -> ());
+        ignore (Sched.self ()).Proc.pending_delivery;
+        (Sched.self ()).Proc.pending_delivery <- []
+      done;
+      (* disarm *)
+      ignore (sys (Syscall.Setitimer { Syscall.value_ns = 0L; interval_ns = 0L }));
+      Alcotest.(check int) "both sleeps interrupted" 2 !hits)
+
+(* ---- vectored and positional I/O ---- *)
+
+let test_writev_readv () =
+  run_in_kernel (fun _ ->
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/v.bin", { Syscall.o_rdwr with create = true }))) in
+      let n = expect_int "writev" (sys (Syscall.Writev (fd, [ "ab"; "cd"; "ef" ]))) in
+      Alcotest.(check int) "writev total" 6 n;
+      ignore (sys (Syscall.Lseek (fd, 0, Syscall.Seek_set)));
+      let d = expect_data "readv" (sys (Syscall.Readv (fd, [ 2; 4 ]))) in
+      Alcotest.(check string) "readv gathers" "abcdef" d)
+
+let test_pwritev_preadv () =
+  run_in_kernel (fun _ ->
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/pv.bin", { Syscall.o_rdwr with create = true }))) in
+      ignore (expect_int "pwritev" (sys (Syscall.Pwritev (fd, [ "xx"; "yy" ], 3))));
+      let d = expect_data "preadv" (sys (Syscall.Preadv (fd, [ 4 ], 3))) in
+      Alcotest.(check string) "positional vectored" "xxyy" d;
+      Alcotest.(check int) "offset untouched" 0
+        (expect_int "lseek" (sys (Syscall.Lseek (fd, 0, Syscall.Seek_cur)))))
+
+let test_sendfile () =
+  run_in_kernel (fun _ ->
+      let src = expect_int "open" (sys (Syscall.Open ("/tmp/sf.txt", { Syscall.o_rdwr with create = true }))) in
+      ignore (sys (Syscall.Pwrite64 (src, "sendfile-payload", 0)));
+      ignore (sys (Syscall.Lseek (src, 0, Syscall.Seek_set)));
+      match sys (Syscall.Socketpair (Syscall.Af_unix, Syscall.Sock_stream)) with
+      | Syscall.Ok_pair (a, b) ->
+        let n = expect_int "sendfile" (sys (Syscall.Sendfile { out_fd = a; in_fd = src; count = 16 })) in
+        Alcotest.(check int) "bytes moved" 16 n;
+        let d = expect_data "recv" (sys (Syscall.Recvfrom (b, 32))) in
+        Alcotest.(check string) "payload arrived" "sendfile-payload" d
+      | _ -> Alcotest.fail "socketpair")
+
+let test_recvmmsg_sendmmsg () =
+  run_in_kernel (fun _ ->
+      match sys (Syscall.Socketpair (Syscall.Af_unix, Syscall.Sock_stream)) with
+      | Syscall.Ok_pair (a, b) ->
+        ignore (expect_int "sendmmsg" (sys (Syscall.Sendmmsg (a, [ "111"; "222" ]))));
+        let d = expect_data "recvmmsg" (sys (Syscall.Recvmmsg (b, 2, 3))) in
+        Alcotest.(check string) "batched data" "111222" d
+      | _ -> Alcotest.fail "socketpair")
+
+(* ---- fd lifecycle corners ---- *)
+
+let test_dup2_replaces () =
+  run_in_kernel (fun _ ->
+      let fd1 = expect_int "open1" (sys (Syscall.Creat "/tmp/a.txt")) in
+      let fd2 = expect_int "open2" (sys (Syscall.Creat "/tmp/b.txt")) in
+      ignore (expect_int "dup2" (sys (Syscall.Dup2 (fd1, fd2))));
+      (* fd2 now refers to a.txt *)
+      ignore (expect_int "write" (sys (Syscall.Write (fd2, "via-dup2"))));
+      ignore (sys (Syscall.Close fd1));
+      ignore (sys (Syscall.Close fd2));
+      let fd = expect_int "reopen" (sys (Syscall.Open ("/tmp/a.txt", Syscall.o_rdonly))) in
+      let d = expect_data "read" (sys (Syscall.Read (fd, 64))) in
+      Alcotest.(check string) "write went to a.txt" "via-dup2" d)
+
+let test_dup2_same_fd () =
+  run_in_kernel (fun _ ->
+      let fd = expect_int "open" (sys (Syscall.Creat "/tmp/same.txt")) in
+      Alcotest.(check int) "dup2(fd,fd) is identity" fd
+        (expect_int "dup2" (sys (Syscall.Dup2 (fd, fd))));
+      ignore (expect_int "still usable" (sys (Syscall.Write (fd, "x")))))
+
+let test_fcntl_dupfd () =
+  run_in_kernel (fun _ ->
+      let fd = expect_int "open" (sys (Syscall.Creat "/tmp/dupfd.txt")) in
+      let fd2 = expect_int "f_dupfd" (sys (Syscall.Fcntl (fd, Syscall.F_dupfd 0))) in
+      Alcotest.(check bool) "new fd" true (fd2 <> fd);
+      ignore (expect_int "write via dup" (sys (Syscall.Write (fd2, "y")))))
+
+let test_lowest_free_fd () =
+  run_in_kernel (fun _ ->
+      let a = expect_int "a" (sys (Syscall.Creat "/tmp/f1")) in
+      let b = expect_int "b" (sys (Syscall.Creat "/tmp/f2")) in
+      Alcotest.(check int) "sequential" (a + 1) b;
+      ignore (sys (Syscall.Close a));
+      let c = expect_int "c" (sys (Syscall.Creat "/tmp/f3")) in
+      Alcotest.(check int) "lowest free fd reused" a c)
+
+(* ---- VFS operations ---- *)
+
+let test_rename_unlink () =
+  run_in_kernel (fun k ->
+      ignore (expect_int "creat" (sys (Syscall.Creat "/tmp/old.txt")));
+      ignore (expect_int "rename" (sys (Syscall.Rename ("/tmp/old.txt", "/tmp/new.txt"))));
+      expect_err "old gone" Errno.ENOENT (sys (Syscall.Stat "/tmp/old.txt"));
+      ignore (expect_int "unlink" (sys (Syscall.Unlink "/tmp/new.txt")));
+      expect_err "new gone" Errno.ENOENT (sys (Syscall.Stat "/tmp/new.txt"));
+      ignore k)
+
+let test_rmdir_nonempty () =
+  run_in_kernel (fun _ ->
+      ignore (expect_int "mkdir" (sys (Syscall.Mkdir "/tmp/dir")));
+      ignore (expect_int "creat" (sys (Syscall.Creat "/tmp/dir/f")));
+      expect_err "not empty" Errno.ENOTEMPTY (sys (Syscall.Rmdir "/tmp/dir"));
+      ignore (sys (Syscall.Unlink "/tmp/dir/f"));
+      ignore (expect_int "rmdir ok" (sys (Syscall.Rmdir "/tmp/dir"))))
+
+let test_truncate () =
+  run_in_kernel (fun _ ->
+      let fd = expect_int "open" (sys (Syscall.Open ("/tmp/tr.bin", { Syscall.o_rdwr with create = true }))) in
+      ignore (sys (Syscall.Write (fd, "0123456789")));
+      ignore (expect_int "ftruncate shrink" (sys (Syscall.Ftruncate (fd, 4))));
+      (match sys (Syscall.Fstat fd) with
+      | Syscall.Ok_stat s -> Alcotest.(check int) "shrunk" 4 s.Syscall.st_size
+      | _ -> Alcotest.fail "fstat");
+      ignore (expect_int "truncate grow" (sys (Syscall.Truncate ("/tmp/tr.bin", 8))));
+      match sys (Syscall.Stat "/tmp/tr.bin") with
+      | Syscall.Ok_stat s -> Alcotest.(check int) "zero-extended" 8 s.Syscall.st_size
+      | _ -> Alcotest.fail "stat")
+
+let test_symlink_readlink () =
+  let k = Kernel.create () in
+  ignore (Vfs.create_file (Kernel.vfs k) "/tmp/target.txt" |> Result.get_ok);
+  ignore (Vfs.symlink (Kernel.vfs k) ~target:"/tmp/target.txt" ~path:"/tmp/link" |> Result.get_ok);
+  let got = ref "" in
+  ignore
+    (Kernel.spawn_process k ~name:"sym" ~vm_seed:4 (fun () ->
+         (match sys (Syscall.Readlink "/tmp/link") with
+         | Syscall.Ok_str s -> got := s
+         | _ -> ());
+         (* stat follows the link *)
+         match sys (Syscall.Stat "/tmp/link") with
+         | Syscall.Ok_stat _ -> ()
+         | _ -> got := "stat-failed"));
+  Kernel.run k;
+  Alcotest.(check string) "readlink returns target" "/tmp/target.txt" !got
+
+let test_xattr () =
+  let k = Kernel.create () in
+  let node = Vfs.create_file (Kernel.vfs k) "/tmp/x.txt" |> Result.get_ok in
+  node.Vfs.xattrs <- [ ("user.tag", "blue") ];
+  let got = ref "" in
+  ignore
+    (Kernel.spawn_process k ~name:"xattr" ~vm_seed:5 (fun () ->
+         (match sys (Syscall.Getxattr ("/tmp/x.txt", "user.tag")) with
+         | Syscall.Ok_str v -> got := v
+         | _ -> ());
+         match sys (Syscall.Getxattr ("/tmp/x.txt", "user.nope")) with
+         | Syscall.Error Errno.ENOENT -> ()
+         | _ -> got := "missing-should-fail"));
+  Kernel.run k;
+  Alcotest.(check string) "xattr value" "blue" !got
+
+(* ---- socket corners ---- *)
+
+let test_nonblock_accept () =
+  run_in_kernel (fun _ ->
+      let sfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+      ignore (expect_int "bind" (sys (Syscall.Bind (sfd, 7100))));
+      ignore (expect_int "listen" (sys (Syscall.Listen (sfd, 8))));
+      ignore (expect_int "fcntl" (sys (Syscall.Fcntl (sfd, Syscall.F_setfl { nonblock = true }))));
+      expect_err "empty queue" Errno.EAGAIN (sys (Syscall.Accept sfd)))
+
+let test_getsockname_peername () =
+  run_in_kernel (fun _ ->
+      let self = Sched.self () in
+      self.Proc.proc.Proc.entry_table <-
+        [|
+          (fun () ->
+            let sfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+            ignore (sys (Syscall.Bind (sfd, 7200)));
+            ignore (sys (Syscall.Listen (sfd, 8)));
+            match sys (Syscall.Accept sfd) with
+            | Syscall.Ok_accept { conn_fd; _ } ->
+              ignore (sys (Syscall.Read (conn_fd, 1)))
+            | _ -> ());
+        |];
+      ignore (expect_int "clone" (sys (Syscall.Clone 0)));
+      Sched.compute (Vtime.ms 1);
+      let cfd = expect_int "socket" (sys (Syscall.Socket (Syscall.Af_inet, Syscall.Sock_stream))) in
+      ignore (expect_int "connect" (sys (Syscall.Connect (cfd, 7200))));
+      Alcotest.(check int) "peer port" 7200
+        (expect_int "getpeername" (sys (Syscall.Getpeername cfd)));
+      Alcotest.(check bool) "local ephemeral port" true
+        (expect_int "getsockname" (sys (Syscall.Getsockname cfd)) >= 32768);
+      ignore (sys (Syscall.Sendto (cfd, "!"))))
+
+let test_shutdown_wr_gives_peer_eof () =
+  run_in_kernel (fun _ ->
+      match sys (Syscall.Socketpair (Syscall.Af_unix, Syscall.Sock_stream)) with
+      | Syscall.Ok_pair (a, b) ->
+        ignore (sys (Syscall.Sendto (a, "last")));
+        ignore (expect_int "shutdown" (sys (Syscall.Shutdown (a, Syscall.Shut_wr))));
+        let d1 = expect_data "drain" (sys (Syscall.Recvfrom (b, 16))) in
+        Alcotest.(check string) "buffered data first" "last" d1;
+        let d2 = expect_data "eof" (sys (Syscall.Recvfrom (b, 16))) in
+        Alcotest.(check string) "then EOF" "" d2
+      | _ -> Alcotest.fail "socketpair")
+
+let test_write_to_closed_socket () =
+  run_in_kernel (fun _ ->
+      ignore (sys (Syscall.Rt_sigaction (Sigdefs.sigpipe, Syscall.Sig_ignore)));
+      match sys (Syscall.Socketpair (Syscall.Af_unix, Syscall.Sock_stream)) with
+      | Syscall.Ok_pair (a, b) ->
+        ignore (sys (Syscall.Close b));
+        expect_err "epipe" Errno.EPIPE (sys (Syscall.Sendto (a, "x")))
+      | _ -> Alcotest.fail "socketpair")
+
+(* ---- poll with timeout ---- *)
+
+let test_poll_timeout () =
+  run_in_kernel (fun _ ->
+      match sys Syscall.Pipe with
+      | Syscall.Ok_pair (rfd, _) -> (
+        let t0 = vnow () in
+        match
+          sys
+            (Syscall.Poll
+               { fds = [ (rfd, Syscall.ev_in) ]; timeout_ns = Some (Vtime.ms 3) })
+        with
+        | Syscall.Ok_poll [] ->
+          Alcotest.(check bool) "waited for the timeout" true
+            Vtime.(vnow () - t0 >= Vtime.ms 3)
+        | _ -> Alcotest.fail "expected empty poll")
+      | _ -> Alcotest.fail "pipe")
+
+(* ---- VM / ASLR properties ---- *)
+
+let prop_aslr_layouts_distinct =
+  QCheck2.Test.make ~name:"different seeds give different mmap placements" ~count:50
+    QCheck2.Gen.(pair small_int small_int)
+    (fun (s1, s2) ->
+      QCheck2.assume (s1 <> s2);
+      let place seed =
+        let vm = Vm.create ~rng:(Remon_util.Rng.make seed) in
+        match
+          Vm.map vm ~len:4096
+            ~prot:{ Syscall.pr = true; pw = true; px = false }
+            ~backing:Vm.Anon ~tag:"probe"
+        with
+        | Ok r -> r.Vm.start
+        | Error _ -> 0L
+      in
+      not (Int64.equal (place s1) (place s2)))
+
+let prop_vm_no_overlap =
+  QCheck2.Test.make ~name:"mapped regions never overlap" ~count:50
+    QCheck2.Gen.(list_size (int_range 2 20) (int_range 1 64))
+    (fun sizes ->
+      let vm = Vm.create ~rng:(Remon_util.Rng.make 7) in
+      List.iter
+        (fun pages ->
+          ignore
+            (Vm.map vm ~len:(pages * 4096)
+               ~prot:{ Syscall.pr = true; pw = true; px = false }
+               ~backing:Vm.Anon ~tag:"r"))
+        sizes;
+      let rec check = function
+        | [] | [ _ ] -> true
+        | (a : Vm.region) :: (b :: _ as rest) ->
+          Int64.compare (Int64.add a.Vm.start (Int64.of_int a.Vm.len)) b.Vm.start <= 0
+          && check rest
+      in
+      check vm.Vm.regions)
+
+let prop_futex_key_shared_segments =
+  QCheck2.Test.make ~name:"futex keys: shm words shared, private words not"
+    ~count:30 QCheck2.Gen.(int_range 0 1000)
+    (fun offset_words ->
+      let offset = offset_words * 8 in
+      let seg =
+        match
+          Shm.get (Shm.create ()) ~key:9 ~size:65536 ~create:true
+        with
+        | Ok s -> s
+        | Error _ -> assert false
+      in
+      let mk seed =
+        let vm = Vm.create ~rng:(Remon_util.Rng.make seed) in
+        match
+          Vm.map vm ~len:65536
+            ~prot:{ Syscall.pr = true; pw = true; px = false }
+            ~backing:(Vm.Shm_seg seg) ~tag:"shm"
+        with
+        | Ok r -> (vm, r.Vm.start)
+        | Error _ -> assert false
+      in
+      let vm1, base1 = mk 1 and vm2, base2 = mk 2 in
+      if offset >= 65536 then true
+      else begin
+        let k1 =
+          Vm.futex_key vm1 ~space_id:100 (Int64.add base1 (Int64.of_int offset))
+        in
+        let k2 =
+          Vm.futex_key vm2 ~space_id:200 (Int64.add base2 (Int64.of_int offset))
+        in
+        (* same physical word in both spaces -> same key; private words in
+           different spaces -> different keys *)
+        k1 = k2
+        && Vm.futex_key vm1 ~space_id:100 0x1234L
+           <> Vm.futex_key vm2 ~space_id:200 0x1234L
+      end)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "kernel2"
+    [
+      ( "timers",
+        [
+          tc "timerfd blocking read + interval" `Quick test_timerfd;
+          tc "timerfd_gettime" `Quick test_timerfd_gettime;
+          tc "setitimer interval" `Quick test_setitimer_interval;
+        ] );
+      ( "vectored-io",
+        [
+          tc "writev/readv" `Quick test_writev_readv;
+          tc "pwritev/preadv" `Quick test_pwritev_preadv;
+          tc "sendfile" `Quick test_sendfile;
+          tc "sendmmsg/recvmmsg" `Quick test_recvmmsg_sendmmsg;
+        ] );
+      ( "fd-lifecycle",
+        [
+          tc "dup2 replaces target" `Quick test_dup2_replaces;
+          tc "dup2 same fd" `Quick test_dup2_same_fd;
+          tc "fcntl F_DUPFD" `Quick test_fcntl_dupfd;
+          tc "lowest free fd" `Quick test_lowest_free_fd;
+        ] );
+      ( "vfs",
+        [
+          tc "rename + unlink" `Quick test_rename_unlink;
+          tc "rmdir nonempty" `Quick test_rmdir_nonempty;
+          tc "truncate" `Quick test_truncate;
+          tc "symlink/readlink" `Quick test_symlink_readlink;
+          tc "xattr" `Quick test_xattr;
+        ] );
+      ( "sockets",
+        [
+          tc "nonblocking accept" `Quick test_nonblock_accept;
+          tc "getsockname/getpeername" `Quick test_getsockname_peername;
+          tc "shutdown(WR) -> peer EOF" `Quick test_shutdown_wr_gives_peer_eof;
+          tc "EPIPE on closed peer" `Quick test_write_to_closed_socket;
+          tc "poll timeout" `Quick test_poll_timeout;
+        ] );
+      ( "vm",
+        [
+          QCheck_alcotest.to_alcotest prop_aslr_layouts_distinct;
+          QCheck_alcotest.to_alcotest prop_vm_no_overlap;
+          QCheck_alcotest.to_alcotest prop_futex_key_shared_segments;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Security tests: every mechanism of the paper's Section 4 analysis has an
+   attack that must be contained, plus the negative results the paper
+   predicts for weaker configurations (VARAN detects but does not prevent;
+   undiversified replicas cannot diverge). *)
+
+open Remon_core
+
+let cfg backend =
+  { Mvee.default_config with Mvee.backend; nreplicas = 2 }
+
+(* Divergent syscall under ReMon: prevented (no effect) and detected. *)
+let test_divergent_remon () =
+  let r = Attack.divergent_syscall ~config:(cfg Mvee.Remon) () in
+  Alcotest.(check bool) "attack had no external effect" false r.Attack.attack_effect;
+  Alcotest.(check bool) "divergence detected" true (r.Attack.detected <> None)
+
+(* Same attack when the compromised replica is a slave. *)
+let test_divergent_slave_remon () =
+  let r = Attack.divergent_syscall ~config:(cfg Mvee.Remon) ~compromised:1 () in
+  Alcotest.(check bool) "attack had no external effect" false r.Attack.attack_effect;
+  Alcotest.(check bool) "divergence detected" true (r.Attack.detected <> None)
+
+(* Under GHUMVEE alone: also prevented. *)
+let test_divergent_ghumvee () =
+  let r = Attack.divergent_syscall ~config:(cfg Mvee.Ghumvee_only) () in
+  Alcotest.(check bool) "prevented" false r.Attack.attack_effect;
+  Alcotest.(check bool) "detected" true (r.Attack.detected <> None)
+
+(* Under VARAN: the master runs ahead, so the malicious call *executes*
+   before the slave's cross-check catches it — detection without
+   prevention, exactly the weakness the paper describes. *)
+let test_divergent_varan_detects_but_does_not_prevent () =
+  let r = Attack.divergent_syscall ~config:(cfg Mvee.Varan) () in
+  Alcotest.(check bool) "attack DID take effect (master ran ahead)" true
+    r.Attack.attack_effect;
+  Alcotest.(check bool) "but was detected afterwards" true (r.Attack.detected <> None)
+
+(* Forged authorization tokens never enable unmonitored execution. *)
+let test_forged_token () =
+  let r = Attack.forged_token ~config:(cfg Mvee.Remon) () in
+  Alcotest.(check bool) "no unmonitored execution" false r.Attack.attack_effect;
+  Alcotest.(check string) "verifier rejected the token"
+    "IK-B verifier rejected the forged token" r.Attack.notes
+
+(* GHUMVEE filters the maps file: the RB cannot be located through it. *)
+let test_rb_hidden_from_maps () =
+  let r = Attack.rb_discovery ~config:(cfg Mvee.Remon) () in
+  Alcotest.(check bool) "RB not visible in /proc/self/maps" false
+    r.Attack.attack_effect;
+  Alcotest.(check bool) "benign probe is not flagged" true (r.Attack.detected = None)
+
+(* Without GHUMVEE (VARAN), the maps file is not filtered: the shared
+   buffer region is visible — one reason VARAN's IP monitors are easier to
+   attack. *)
+let test_rb_visible_without_ghumvee () =
+  let r = Attack.rb_discovery ~config:(cfg Mvee.Varan) () in
+  Alcotest.(check bool) "RB region visible without maps filtering" true
+    r.Attack.attack_effect
+
+(* Blind guessing is hopeless at 24+ bits of placement entropy. *)
+let test_rb_guessing () =
+  let r = Attack.rb_guessing ~config:(cfg Mvee.Remon) ~probes:20_000 () in
+  Alcotest.(check bool) "no probe found the RB" false r.Attack.attack_effect
+
+(* Address-dependent payloads: with DCL the gadget address is valid in at
+   most one replica, so the attack produces divergence and is killed. *)
+let test_payload_spray_dcl () =
+  let r = Attack.payload_spray ~config:(cfg Mvee.Remon) () in
+  Alcotest.(check bool) "payload contained" false r.Attack.attack_effect;
+  Alcotest.(check bool) "crash/divergence detected" true (r.Attack.detected <> None)
+
+(* Negative control: with diversity disabled every replica has the same
+   layout, the payload works in all of them consistently, and the MVEE has
+   nothing to observe — the known limitation of consistent compromise. *)
+let test_payload_spray_no_diversity () =
+  let config =
+    {
+      (cfg Mvee.Remon) with
+      Mvee.diversity = { Diversity.default with Diversity.aslr = false; dcl = false };
+    }
+  in
+  let r = Attack.payload_spray ~config () in
+  Alcotest.(check bool) "payload succeeded everywhere (no diversity)" true
+    r.Attack.attack_effect;
+  Alcotest.(check bool) "and nothing diverged" true (r.Attack.detected = None)
+
+(* Shared-memory policy: ordinary writable SysV segments are rejected
+   (bi-directional channels); the MVEE's own RB keys are allowed. *)
+let test_shm_rejection () =
+  let kernel = Remon_kernel.Kernel.create () in
+  let attempted = ref None in
+  let body (_ : Mvee.env) =
+    attempted :=
+      Some
+        (Remon_kernel.Sched.syscall
+           (Remon_kernel.Syscall.Shmget { key = 1234; size = 4096; create = true }))
+  in
+  let h = Mvee.launch kernel (cfg Mvee.Remon) ~name:"shm-attack" ~body in
+  Remon_kernel.Kernel.run kernel;
+  ignore (Mvee.finish h);
+  match !attempted with
+  | Some (Remon_kernel.Syscall.Error Remon_kernel.Errno.EACCES) -> ()
+  | Some r ->
+    Alcotest.failf "expected EACCES, got %s"
+      (Format.asprintf "%a" Remon_kernel.Syscall.pp_result r)
+  | None -> Alcotest.fail "shmget never completed"
+
+(* Diversity invariants. *)
+let test_dcl_disjoint () =
+  let kernel = Remon_kernel.Kernel.create () in
+  let h =
+    Mvee.launch kernel
+      { (cfg Mvee.Remon) with Mvee.nreplicas = 4 }
+      ~name:"dcl" ~body:(fun _ -> ())
+  in
+  Remon_kernel.Kernel.run kernel;
+  ignore (Mvee.finish h);
+  Alcotest.(check bool) "code ranges pairwise disjoint" true
+    (Diversity.code_ranges_disjoint (Array.to_list h.Mvee.group.Context.replicas))
+
+let test_aslr_distinct_layouts () =
+  let kernel = Remon_kernel.Kernel.create () in
+  let h = Mvee.launch kernel (cfg Mvee.Remon) ~name:"aslr" ~body:(fun _ -> ()) in
+  Remon_kernel.Kernel.run kernel;
+  ignore (Mvee.finish h);
+  let bases =
+    Array.to_list h.Mvee.group.Context.replicas
+    |> List.filter_map Diversity.heap_base
+  in
+  Alcotest.(check int) "all replicas have heaps" 2 (List.length bases);
+  Alcotest.(check bool) "heap bases differ across replicas" true
+    (List.sort_uniq compare bases |> List.length = 2)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "divergence-containment",
+        [
+          tc "remon: prevented+detected (master)" `Quick test_divergent_remon;
+          tc "remon: prevented+detected (slave)" `Quick test_divergent_slave_remon;
+          tc "ghumvee: prevented+detected" `Quick test_divergent_ghumvee;
+          tc "varan: detected but NOT prevented" `Quick
+            test_divergent_varan_detects_but_does_not_prevent;
+        ] );
+      ( "token",
+        [ tc "forged token rejected" `Quick test_forged_token ] );
+      ( "rb-secrecy",
+        [
+          tc "maps filtered under remon" `Quick test_rb_hidden_from_maps;
+          tc "maps unfiltered under varan" `Quick test_rb_visible_without_ghumvee;
+          tc "blind guessing fails" `Quick test_rb_guessing;
+        ] );
+      ( "diversity",
+        [
+          tc "payload contained under DCL" `Quick test_payload_spray_dcl;
+          tc "payload wins without diversity" `Quick test_payload_spray_no_diversity;
+          tc "DCL code ranges disjoint" `Quick test_dcl_disjoint;
+          tc "ASLR layouts differ" `Quick test_aslr_distinct_layouts;
+        ] );
+      ("shared-memory", [ tc "writable shm rejected" `Quick test_shm_rejection ]);
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the simulation core: virtual time, event queue, cost model. *)
+
+open Remon_sim
+
+let test_vtime_units () =
+  Alcotest.(check int64) "us" 1_000L (Vtime.us 1);
+  Alcotest.(check int64) "ms" 1_000_000L (Vtime.ms 1);
+  Alcotest.(check int64) "s" 1_000_000_000L (Vtime.s 1);
+  Alcotest.(check int64) "add" 3L Vtime.(ns 1 + ns 2);
+  Alcotest.(check bool) "ordering" true Vtime.(ms 1 < s 1)
+
+let test_vtime_scale () =
+  Alcotest.(check int64) "scale" 1_500L (Vtime.scale (Vtime.us 1) 1.5)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  let add time tag = ignore (Event_queue.add q ~time (fun () -> order := tag :: !order)) in
+  add (Vtime.ms 3) "c";
+  add (Vtime.ms 1) "a";
+  add (Vtime.ms 2) "b";
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+      f ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Event_queue.add q ~time:(Vtime.ms 1) (fun () -> order := i :: !order))
+  done;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+      f ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_event_queue_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.add q ~time:(Vtime.ms 1) (fun () -> fired := true) in
+  Event_queue.cancel h;
+  Alcotest.(check int) "no live events" 0 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cancelled event popped");
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_event_queue_peek () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:(Vtime.ms 9) ());
+  let h = Event_queue.add q ~time:(Vtime.ms 2) () in
+  Alcotest.(check (option int64)) "peek earliest" (Some (Vtime.ms 2))
+    (Event_queue.peek_time q);
+  Event_queue.cancel h;
+  Alcotest.(check (option int64)) "peek skips cancelled" (Some (Vtime.ms 9))
+    (Event_queue.peek_time q)
+
+let test_cost_model_orderings () =
+  let c = Cost_model.default in
+  Alcotest.(check bool) "ptrace stop is microseconds" true
+    (Cost_model.ptrace_stop_ns c > 1_000);
+  Alcotest.(check bool) "RB ops are far cheaper than ptrace" true
+    (c.rb_write_fixed_ns * 10 < Cost_model.ptrace_stop_ns c);
+  Alcotest.(check bool) "token check is nanoseconds" true (c.token_check_ns < 100);
+  Alcotest.(check bool) "copy grows with size" true
+    (Cost_model.copy_ns c ~bytes:65536 > Cost_model.copy_ns c ~bytes:64)
+
+let test_cost_model_ablation_preset () =
+  Alcotest.(check bool) "cheap switches narrow the gap" true
+    (Cost_model.ptrace_stop_ns Cost_model.cheap_switches
+    < Cost_model.ptrace_stop_ns Cost_model.default)
+
+let prop_event_queue_sorted =
+  QCheck2.Test.make ~name:"pop yields nondecreasing times" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:(Vtime.ns t) ())) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> Vtime.(t >= last) && drain t
+      in
+      drain Vtime.zero)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sim"
+    [
+      ("vtime", [ tc "units" test_vtime_units; tc "scale" test_vtime_scale ]);
+      ( "event-queue",
+        [
+          tc "order" test_event_queue_order;
+          tc "fifo ties" test_event_queue_fifo_ties;
+          tc "cancel" test_event_queue_cancel;
+          tc "peek" test_event_queue_peek;
+          QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+        ] );
+      ( "cost-model",
+        [
+          tc "structural orderings" test_cost_model_orderings;
+          tc "ablation preset" test_cost_model_ablation_preset;
+        ] );
+    ]

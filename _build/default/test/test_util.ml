@@ -1,0 +1,127 @@
+(* Unit + property tests for the utility library. *)
+
+open Remon_util
+
+let test_rng_determinism () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_split_independence () =
+  let parent = Rng.make 7 in
+  let child = Rng.split parent in
+  (* drawing from the child must not affect the parent's future draws *)
+  let parent2 = Rng.make 7 in
+  ignore (Rng.split parent2);
+  ignore (Rng.bits child);
+  Alcotest.(check int) "parent unaffected by child draws" (Rng.bits parent2)
+    (Rng.bits parent)
+
+let test_rng_bounds () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of range"
+  done
+
+let test_rng_weighted () =
+  let rng = Rng.make 3 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Rng.weighted rng [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight bucket never drawn" 0 counts.(1);
+  Alcotest.(check bool) "heavier bucket drawn more" true (counts.(2) > counts.(0))
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean singleton" 3. (Stats.geomean [ 3. ])
+
+let test_stats_percentile () =
+  let xs = [ 5.; 1.; 3.; 2.; 4. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5. (Stats.percentile xs 100.)
+
+let test_stats_overhead () =
+  Alcotest.(check (float 1e-9)) "10% overhead" 0.1
+    (Stats.overhead ~baseline:100. ~measured:110.);
+  Alcotest.(check (float 1e-9)) "ratio" 1.1
+    (Stats.ratio ~baseline:100. ~measured:110.)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"demo" ~header:[ "name"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "alpha"; "1.00" ];
+  Table.add_separator t;
+  Table.add_row t [ "geomean"; "2.00" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "mentions rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> l <> ""))
+
+let test_table_mismatch () =
+  let t = Table.create ~title:"" ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_fmt_helpers () =
+  Alcotest.(check string) "pct" "11.2%" (Table.fmt_pct 0.112);
+  Alcotest.(check string) "ratio" "1.09" (Table.fmt_ratio 1.09);
+  Alcotest.(check string) "ns" "1.500 us" (Table.fmt_ns 1500L)
+
+(* property tests *)
+let prop_geomean_scale =
+  QCheck2.Test.make ~name:"geomean scales linearly" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.1 100.))
+    (fun xs ->
+      let g = Stats.geomean xs in
+      let g2 = Stats.geomean (List.map (fun x -> 2. *. x) xs) in
+      abs_float (g2 -. (2. *. g)) < 1e-6 *. (1. +. g))
+
+let prop_percentile_bounds =
+  QCheck2.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range (-50.) 50.))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let p = Stats.percentile xs 37. in
+      p >= lo && p <= hi)
+
+let prop_rng_int_range =
+  QCheck2.Test.make ~name:"int_in_range inclusive bounds" ~count:500
+    QCheck2.Gen.(pair small_int (int_range 0 100))
+    (fun (seed, width) ->
+      let rng = Rng.make seed in
+      let v = Rng.int_in_range rng ~lo:5 ~hi:(5 + width) in
+      v >= 5 && v <= 5 + width)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          tc "determinism" test_rng_determinism;
+          tc "split independence" test_rng_split_independence;
+          tc "bounds" test_rng_bounds;
+          tc "weighted" test_rng_weighted;
+          QCheck_alcotest.to_alcotest prop_rng_int_range;
+        ] );
+      ( "stats",
+        [
+          tc "geomean" test_stats_geomean;
+          tc "percentile" test_stats_percentile;
+          tc "overhead" test_stats_overhead;
+          QCheck_alcotest.to_alcotest prop_geomean_scale;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+        ] );
+      ( "table",
+        [
+          tc "render" test_table_render;
+          tc "arity check" test_table_mismatch;
+          tc "formatters" test_fmt_helpers;
+        ] );
+    ]
