@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig3     # one experiment
      dune exec bench/main.exe -- quick    # everything, smaller fig5 sweep
 
-   Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro *)
+   Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults *)
 
 let experiments =
   [
@@ -17,6 +17,7 @@ let experiments =
     ("dense", fun ~quick:_ () -> Dense.run ());
     ("ablations", fun ~quick:_ () -> Ablations.run ());
     ("micro", fun ~quick:_ () -> Micro.run ());
+    ("faults", fun ~quick () -> Faults.run ~quick ());
   ]
 
 let () =

@@ -67,7 +67,67 @@ let latency_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
-let config_of backend nreplicas level seed =
+let faults_conv =
+  let parse s =
+    match Fault.of_string s with Ok p -> Ok p | Error msg -> Error (`Msg msg)
+  in
+  let print fmt p = Format.pp_print_string fmt (Fault.to_string p) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv []
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault-injection plan: comma-separated \
+           KIND@AT[:VARIANT][=PARAM] specs, e.g. \
+           'crash@12:1,delay@30:1=5ms,droprb@5'. Kinds: crash, kill, args, \
+           delay, sockerr, again, droprb, corruptrb.")
+
+let on_failure_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "kill-group" ] | [ "kill" ] -> Ok Mvee.Kill_group
+    | [ "quarantine" ] -> Ok Mvee.Quarantine
+    | "respawn" :: rest -> (
+      let max_respawns =
+        match rest with
+        | [] -> Some 3
+        | [ n ] -> int_of_string_opt n
+        | _ -> None
+      in
+      match max_respawns with
+      | Some max_respawns ->
+        Ok (Mvee.Respawn { max_respawns; backoff_ns = Vtime.ms 1 })
+      | None -> Error (`Msg (Printf.sprintf "bad respawn budget in %S" s)))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown failure policy %S (kill-group, quarantine, respawn[:N])"
+              s))
+  in
+  let print fmt = function
+    | Mvee.Kill_group -> Format.pp_print_string fmt "kill-group"
+    | Mvee.Quarantine -> Format.pp_print_string fmt "quarantine"
+    | Mvee.Respawn { max_respawns; _ } ->
+      Format.fprintf fmt "respawn:%d" max_respawns
+  in
+  Arg.conv (parse, print)
+
+let on_failure_arg =
+  Arg.(
+    value
+    & opt on_failure_conv Mvee.Kill_group
+    & info [ "on-failure" ] ~docv:"POLICY"
+        ~doc:
+          "Recovery policy for non-master replica faults: kill-group (the \
+           paper's behavior), quarantine (detach and continue degraded), or \
+           respawn[:N] (quarantine, then replay the journal to bring a fresh \
+           replica back; at most N respawns, default 3).")
+
+let config_of backend nreplicas level seed faults on_failure =
   {
     Mvee.default_config with
     Mvee.backend;
@@ -77,6 +137,8 @@ let config_of backend nreplicas level seed =
       (match level with
       | Some l -> Policy.spatial l
       | None -> Policy.monitor_everything);
+    faults;
+    on_failure;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -90,13 +152,14 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List registered workloads.") Term.(const run $ const ())
 
-let run_workload name backend nreplicas level latency seed trace_lines =
+let run_workload name backend nreplicas level latency seed faults on_failure
+    trace_lines =
   match Registry.find name with
   | None ->
     Printf.eprintf "unknown workload %S; try `remon list`\n" name;
     exit 2
   | Some workload -> (
-    let config = config_of backend nreplicas level seed in
+    let config = config_of backend nreplicas level seed faults on_failure in
     let latency = Vtime.of_float_ns (latency *. 1e6) in
     let dump_trace kernel =
       if trace_lines > 0 then begin
@@ -111,7 +174,7 @@ let run_workload name backend nreplicas level latency seed trace_lines =
       (Mvee.backend_to_string backend)
       nreplicas
       (Policy.to_string config.Mvee.policy);
-    match workload with
+    try match workload with
     | Registry.Profile_workload profile ->
       let native = Runner.run_profile profile { config with Mvee.backend = Mvee.Native } in
       let under =
@@ -136,7 +199,17 @@ let run_workload name backend nreplicas level latency seed trace_lines =
         o.Mvee.syscalls o.Mvee.monitored o.Mvee.ipmon_fastpath;
       Printf.printf "ptrace stops       : %d, rendezvous %d\n" o.Mvee.ptrace_stops
         o.Mvee.rendezvous;
-      Printf.printf "rb records/resets  : %d/%d\n" o.Mvee.rb_records o.Mvee.rb_resets
+      Printf.printf "rb records/resets  : %d/%d\n" o.Mvee.rb_records o.Mvee.rb_resets;
+      (match o.Mvee.verdict with
+      | Some v -> Printf.printf "verdict            : %s\n" (Divergence.to_string v)
+      | None -> ());
+      if faults <> [] || o.Mvee.faults_injected > 0 then begin
+        Printf.printf "faults injected    : %d (plan: %s)\n" o.Mvee.faults_injected
+          (Fault.to_string faults);
+        Printf.printf "quarantines        : %d, respawns %d, watchdog retries %d\n"
+          o.Mvee.quarantines o.Mvee.respawns o.Mvee.watchdog_retries;
+        Printf.printf "degraded time      : %s\n" (Vtime.to_string o.Mvee.degraded_ns)
+      end
     | Registry.Server_workload (server, client) ->
       let native =
         Runner.run_server_bench ~latency ~server ~client
@@ -151,7 +224,12 @@ let run_workload name backend nreplicas level latency seed trace_lines =
            (Vtime.to_float_ns under.Runner.client_duration
             /. Vtime.to_float_ns native.Runner.client_duration
            -. 1.));
-      Printf.printf "responses          : %d\n" under.Runner.responses)
+      Printf.printf "responses          : %d\n" under.Runner.responses
+    with Runner.Mvee_terminated v ->
+      (* a fatal verdict (e.g. under --faults with the kill-group policy)
+         is a legitimate outcome, not a crash *)
+      Printf.printf "mvee terminated    : %s\n" (Divergence.to_string v);
+      exit 1)
 
 let run_cmd =
   let name_arg =
@@ -169,11 +247,11 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload under an MVEE configuration.")
     Term.(
       const run_workload $ name_arg $ backend_arg $ replicas_arg $ level_arg
-      $ latency_arg $ seed_arg $ trace_arg)
+      $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_arg)
 
 let attack_cmd =
   let run backend nreplicas level seed =
-    let config = config_of backend nreplicas level seed in
+    let config = config_of backend nreplicas level seed [] Mvee.Kill_group in
     List.iter
       (fun r -> Format.printf "%a@." Attack.pp_report r)
       (Attack.all_scenarios ~config ())

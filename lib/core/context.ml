@@ -1,9 +1,23 @@
 (* Shared state of one replica set ("group"): the monitors, the replication
-   machinery, and the divergence verdict. Wired up by [Mvee]. *)
+   machinery, the divergence verdict, and the recovery-policy state. Wired
+   up by [Mvee]. *)
 
 open Remon_kernel
+open Remon_sim
 
 type slave_wait = Wait_auto | Wait_spin_only | Wait_futex_only
+
+(* What happens when a non-master replica diverges, crashes or stalls.
+   [Kill_group] is the paper's behavior: any fault is treated as an attack
+   and the whole replica set dies. The other two trade some security margin
+   for availability: the faulty replica is detached and the group continues
+   degraded (the master keeps serving I/O); [Respawn] additionally replays
+   the record log to bring a fresh replica back into the group, with
+   exponential backoff and a bounded respawn budget. *)
+type failure_policy =
+  | Kill_group
+  | Quarantine
+  | Respawn of { max_respawns : int; backoff_ns : Vtime.t }
 
 type mode = {
   use_token : bool; (* IK-B authorization (off in the VARAN baseline) *)
@@ -51,6 +65,16 @@ type group = {
   mutable shutdown : bool;
   mutable ipmon_calls : int;
   mutable ipmon_fallbacks : int;
+  (* recovery-policy state *)
+  quarantined : bool array; (* per variant; index 0 never set *)
+  mutable replica_fault_handler : (variant:int -> Divergence.t -> bool) option;
+      (* installed by [Mvee]; returns true when the fault was absorbed
+         (replica quarantined / respawn scheduled) instead of escalating *)
+  mutable quarantines : int;
+  mutable respawns : int;
+  mutable watchdog_retries : int;
+  mutable degraded_since : Vtime.t option; (* start of current degraded span *)
+  mutable degraded_ns : Vtime.t; (* completed degraded spans *)
 }
 
 (* SysV keys at or above this value are treated as MVEE-internal (RB / file
@@ -63,3 +87,56 @@ let replica_variant (p : Proc.process) =
   match p.Proc.replica_info with
   | Some { Proc.variant_index; _ } -> Some variant_index
   | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Recovery-policy state *)
+
+let is_quarantined g variant =
+  variant >= 0 && variant < Array.length g.quarantined && g.quarantined.(variant)
+
+let active_count g =
+  let n = ref 0 in
+  Array.iter (fun q -> if not q then incr n) g.quarantined;
+  !n
+
+let active_variants g =
+  List.filter (fun v -> not g.quarantined.(v)) (List.init g.nreplicas Fun.id)
+
+(* Mark [variant] quarantined and start the degraded clock. The caller is
+   responsible for the kernel-side consequences (killing the process,
+   purging rendezvous state, deactivating RB streams). *)
+let quarantine g ~variant =
+  if variant > 0 && not g.quarantined.(variant) then begin
+    g.quarantined.(variant) <- true;
+    g.quarantines <- g.quarantines + 1;
+    if g.degraded_since = None then
+      g.degraded_since <- Some (Kernel.now g.kernel)
+  end
+
+(* A respawned replica finished its replay and re-entered the group. *)
+let rejoin g ~variant =
+  if g.quarantined.(variant) then begin
+    g.quarantined.(variant) <- false;
+    if active_count g = g.nreplicas then begin
+      (match g.degraded_since with
+      | Some t0 ->
+        g.degraded_ns <-
+          Vtime.add g.degraded_ns (Vtime.sub (Kernel.now g.kernel) t0)
+      | None -> ());
+      g.degraded_since <- None
+    end
+  end
+
+(* Total degraded time, closing any still-open span at [until]. *)
+let degraded_total g ~until =
+  match g.degraded_since with
+  | Some t0 when Vtime.(until > t0) -> Vtime.add g.degraded_ns (Vtime.sub until t0)
+  | _ -> g.degraded_ns
+
+(* Route a non-master replica fault to the recovery policy. Returns true
+   when it was absorbed; false means the caller must escalate (the paper's
+   kill-the-group verdict). *)
+let replica_fault g ~variant verdict =
+  match g.replica_fault_handler with
+  | Some f -> f ~variant verdict
+  | None -> false

@@ -1,0 +1,58 @@
+(** Deterministic fault injection.
+
+    A fault plan names what goes wrong, where and when: replica crash
+    signals, corrupted syscall-argument captures, stalled rendezvous
+    arrivals, dropped or tampered replication-buffer records, and
+    transient socket errors. The plan is installed into the kernel's
+    syscall-dispatch hook and the RB's tamper hook; the monitors detect
+    the injected failures through their normal code paths, so the
+    recovery layer ([Mvee.config.on_failure]) is exercised end to end.
+
+    All injection is deterministic: identical seeds and plans reproduce
+    identical outcomes. *)
+
+open Remon_kernel
+open Remon_sim
+
+type kind =
+  | Crash of int  (** the replica dies as if killed by this signal *)
+  | Corrupt_args  (** the kernel captures perturbed syscall arguments *)
+  | Delay of Vtime.t  (** the arrival stalls before routing *)
+  | Drop_rb  (** the master's RB record loses its payload *)
+  | Corrupt_rb  (** the master's RB record is tampered with *)
+  | Sock_err of Errno.t  (** transient socket error (ECONNRESET/EAGAIN) *)
+
+type spec = {
+  kind : kind;
+  variant : int;  (** target replica; ignored for RB faults *)
+  at : int;  (** syscall index (kernel faults) / n-th RB record (RB faults) *)
+  mutable fired : bool;
+}
+
+type plan = spec list
+
+type t
+
+val spec : kind:kind -> variant:int -> at:int -> spec
+val make : seed:int -> plan -> t
+
+val injected : t -> int
+(** Faults actually fired so far. *)
+
+val install : t -> kernel:Kernel.t -> rb:Replication_buffer.t -> unit
+(** Wire the plan into the kernel dispatch hook and the RB tamper hook. *)
+
+val random_plan :
+  seed:int -> rate:float -> horizon:int -> nreplicas:int -> plan
+(** Scatter faults over the first [horizon] syscall indices with
+    probability [rate] per index; deterministic in [seed]. Used by the
+    resilience bench. *)
+
+val to_string : plan -> string
+
+val of_string : string -> (plan, string) result
+(** Parse the [--faults] syntax: comma-separated [KIND@AT[:VARIANT][=PARAM]]
+    specs, e.g. ["crash@12:1,delay@30:1=5ms,droprb@5"]. Kinds: [crash]
+    (SIGSEGV), [kill] (SIGKILL), [args], [delay] (needs [=DURATION] such as
+    [5ms]/[200us]), [sockerr] (ECONNRESET), [again] (EAGAIN), [droprb],
+    [corruptrb]. *)

@@ -6,7 +6,7 @@
      1. every replica's matching thread (same rank) must arrive at the
         syscall-entry stop — the rendezvous;
      2. the deep-compared arguments must be equivalent (divergence kills
-        the MVEE);
+        the MVEE, unless the recovery policy absorbs it);
      3. for I/O calls only the master executes; results are copied into the
         slaves (transparent I/O replication, Section 2.1);
      4. deferred asynchronous signals are injected while all replicas sit
@@ -14,7 +14,18 @@
 
    The monitor is a separate "process": its per-stop work is serialized
    through [busy_until], so heavy multi-threaded syscall traffic queues up
-   behind the monitor exactly as it does behind a real ptrace-based MVEE. *)
+   behind the monitor exactly as it does behind a real ptrace-based MVEE.
+
+   Recovery support. Divergences, crashes and rendezvous stalls of
+   non-master replicas are first offered to the group's recovery policy via
+   [Context.replica_fault]; only when the policy declines (the default
+   [Kill_group]) does the monitor shut the whole set down. A quarantined
+   variant's rendezvous state is purged so the remaining replicas keep
+   running degraded. Under [Respawn], a fresh replica re-executes from the
+   start with every call forced onto the monitored path; GHUMVEE satisfies
+   each from the master syscall journal (skip-with-result for I/O calls,
+   pass-through for replicated calls) and splices the replica back into the
+   group when it catches up with the journal at a live rendezvous point. *)
 
 open Remon_kernel
 open Remon_sim
@@ -36,6 +47,11 @@ type t = {
   mutable busy_until : Vtime.t;
   deferred_signals : int Queue.t;
   watchdog_ns : Vtime.t;
+  max_watchdog_retries : int;
+  replaying : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* respawned variant -> per-rank journal replay position *)
+  waiting_replay : (int * int, arrival) Hashtbl.t;
+      (* (rank, variant) -> replaying arrival parked at the journal head *)
   mutable exits_seen : (int * int) list; (* variant, exit code *)
   mutable shutting_down : bool;
   (* statistics *)
@@ -45,9 +61,11 @@ type t = {
   mutable signals_injected : int;
   mutable maps_filtered : int;
   mutable shm_rejected : int;
+  mutable replayed_records : int;
 }
 
-let create (g : Context.group) ?(watchdog_ns = Vtime.s 10) () =
+let create (g : Context.group) ?(watchdog_ns = Vtime.s 10)
+    ?(watchdog_retries = 2) () =
   {
     g;
     kernel = g.Context.kernel;
@@ -56,6 +74,9 @@ let create (g : Context.group) ?(watchdog_ns = Vtime.s 10) () =
     busy_until = Vtime.zero;
     deferred_signals = Queue.create ();
     watchdog_ns;
+    max_watchdog_retries = watchdog_retries;
+    replaying = Hashtbl.create 4;
+    waiting_replay = Hashtbl.create 4;
     exits_seen = [];
     shutting_down = false;
     rendezvous_count = 0;
@@ -64,6 +85,7 @@ let create (g : Context.group) ?(watchdog_ns = Vtime.s 10) () =
     signals_injected = 0;
     maps_filtered = 0;
     shm_rejected = 0;
+    replayed_records = 0;
   }
 
 let rank_state t rank =
@@ -82,6 +104,8 @@ let variant_of (p : Proc.process) =
   match p.Proc.replica_info with
   | Some { Proc.variant_index; _ } -> variant_index
   | None -> -1
+
+let journal t = t.g.Context.rb.Replication_buffer.sync_log
 
 (* Charges the monitor's serialized processing time starting no earlier
    than [earliest], and returns the completion instant. *)
@@ -104,11 +128,23 @@ let shutdown t verdict =
       t.g.Context.replicas
   end
 
+(* Offer a non-master replica fault to the recovery policy; escalate to the
+   group-killing verdict when the policy declines. *)
+let recover_or_shutdown t ~variant verdict =
+  if variant = 0 || not (Context.replica_fault t.g ~variant verdict) then
+    shutdown t verdict
+
 (* Called via process-exit waiters when a replica dies abnormally (e.g. the
-   intentional crash IP-MON uses to signal divergence). *)
+   intentional crash IP-MON uses to signal divergence, or an injected crash
+   fault). Quarantined and replaying replicas die under monitor control;
+   their exits are not faults. *)
 let replica_died t ~variant ~code =
-  if (not t.shutting_down) && code >= 128 then
-    shutdown t (Divergence.Replica_crash { variant; signal = code - 128 })
+  if
+    (not t.shutting_down) && code >= 128
+    && not (Context.is_quarantined t.g variant)
+  then
+    recover_or_shutdown t ~variant
+      (Divergence.Replica_crash { variant; signal = code - 128 })
 
 (* ------------------------------------------------------------------ *)
 (* Monitored-call handling *)
@@ -181,8 +217,10 @@ let inject_deferred t (arrivals : arrival list) =
   done;
   t.g.Context.rb.Replication_buffer.signals_pending <- false
 
-(* The rendezvous is complete: compare, decide, resume. *)
-let process_rendezvous t rank (arrivals : arrival list) =
+(* The rendezvous is complete: compare, decide, resume. When a slave's
+   arguments diverge, the recovery policy may quarantine it, in which case
+   the rendezvous is re-run with the survivors. *)
+let rec process_rendezvous t rank (arrivals : arrival list) =
   t.rendezvous_count <- t.rendezvous_count + 1;
   let arrivals =
     List.sort (fun a b -> compare a.variant b.variant) arrivals
@@ -211,16 +249,23 @@ let process_rendezvous t rank (arrivals : arrival list) =
   in
   match mismatch with
   | Some bad ->
-    shutdown t
-      (Divergence.Args_mismatch
-         {
-           rank;
-           index = bad.th.Proc.syscall_index;
-           expected = Divergence.render_call call;
-           got = Divergence.render_call bad.call;
-           variant = bad.variant;
-           detector = Divergence.By_ghumvee;
-         })
+    let verdict =
+      Divergence.Args_mismatch
+        {
+          rank;
+          index = bad.th.Proc.syscall_index;
+          expected = Divergence.render_call call;
+          got = Divergence.render_call bad.call;
+          variant = bad.variant;
+          detector = Divergence.By_ghumvee;
+        }
+    in
+    if Context.replica_fault t.g ~variant:bad.variant verdict then
+      (* the bad replica was quarantined (and killed); the survivors still
+         sit at their entry stops — re-run the rendezvous without it *)
+      process_rendezvous t rank
+        (List.filter (fun a -> a.variant <> bad.variant) arrivals)
+    else shutdown t verdict
   | None -> (
     (* equivalent states: temporal-policy feedback + deferred signals *)
     Ikb.note_approval t.g.Context.ikb (Syscall.number call);
@@ -240,6 +285,8 @@ let process_rendezvous t rank (arrivals : arrival list) =
     | Some denial ->
       (* rejection is a policy action, not a divergence: deny in all *)
       t.shm_rejected <- t.shm_rejected + 1;
+      Record_log.journal_append (journal t) ~rank
+        ~call:(Callinfo.normalize call) ~result:denial;
       set_state t rank Idle;
       List.iter
         (fun a -> Kernel.resume t.kernel a.th (Proc.Resume_skip denial))
@@ -256,109 +303,297 @@ let process_rendezvous t rank (arrivals : arrival list) =
         Kernel.resume t.kernel master_arrival.th Proc.Resume_continue))
 
 (* ------------------------------------------------------------------ *)
+(* Quarantine support *)
+
+(* Remove a quarantined variant from all in-flight rendezvous state so the
+   surviving replicas are not stranded waiting for it. Called by the
+   recovery handler right after the variant's process is killed. *)
+let purge_variant t ~variant =
+  Hashtbl.remove t.replaying variant;
+  let stale =
+    Hashtbl.fold
+      (fun ((_, v) as key) _ acc -> if v = variant then key :: acc else acc)
+      t.waiting_replay []
+  in
+  List.iter (Hashtbl.remove t.waiting_replay) stale;
+  let ranks = Hashtbl.fold (fun r _ acc -> r :: acc) t.rendezvous [] in
+  List.iter
+    (fun rank ->
+      match rank_state t rank with
+      | Idle -> ()
+      | Collecting arrivals -> (
+        let arrivals = List.filter (fun a -> a.variant <> variant) arrivals in
+        match arrivals with
+        | [] -> set_state t rank Idle
+        | _ ->
+          if List.length arrivals >= Context.active_count t.g then begin
+            set_state t rank Idle;
+            process_rendezvous t rank arrivals
+          end
+          else set_state t rank (Collecting arrivals))
+      | Master_running { arrivals } ->
+        set_state t rank
+          (Master_running
+             { arrivals = List.filter (fun a -> a.variant <> variant) arrivals })
+      | Await_slave_exits st ->
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then set_state t rank Idle
+      | All_running st ->
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then set_state t rank Idle)
+    ranks
+
+(* ------------------------------------------------------------------ *)
 (* Stop-event handlers *)
 
-let arm_watchdog t rank =
+(* Bounded retry with doubled delay: a stalled arrival (e.g. an injected
+   rendezvous delay) gets [max_watchdog_retries] grace periods before the
+   monitor escalates. Escalation quarantines the missing slaves when the
+   policy allows; a missing master (or a declined policy) kills the group. *)
+let rec arm_watchdog ?(attempt = 0) t rank =
   let seq = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
+  let delay = Vtime.scale t.watchdog_ns (2. ** float_of_int attempt) in
   Kernel.schedule t.kernel
-    ~time:(Vtime.add (Kernel.now t.kernel) t.watchdog_ns)
+    ~time:(Vtime.add (Kernel.now t.kernel) delay)
     (fun () ->
       let cur = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
       if (not t.shutting_down) && cur = seq then begin
         match rank_state t rank with
         | Collecting arrivals ->
-          let present = List.map (fun a -> a.variant) arrivals in
-          let missing =
-            List.filter
-              (fun v -> not (List.mem v present))
-              (List.init t.g.Context.nreplicas (fun i -> i))
-          in
-          let a = List.hd arrivals in
-          shutdown t
-            (Divergence.Rendezvous_timeout
-               { rank; index = a.th.Proc.syscall_index; missing })
+          if attempt < t.max_watchdog_retries then begin
+            t.g.Context.watchdog_retries <- t.g.Context.watchdog_retries + 1;
+            arm_watchdog ~attempt:(attempt + 1) t rank
+          end
+          else begin
+            let present = List.map (fun a -> a.variant) arrivals in
+            let missing =
+              List.filter
+                (fun v -> not (List.mem v present))
+                (Context.active_variants t.g)
+            in
+            let a = List.hd arrivals in
+            let index = a.th.Proc.syscall_index in
+            let verdict =
+              Divergence.Rendezvous_timeout { rank; index; missing }
+            in
+            if List.mem 0 missing then shutdown t verdict
+            else if
+              not
+                (List.for_all
+                   (fun v ->
+                     Context.replica_fault t.g ~variant:v
+                       (Divergence.Rendezvous_timeout
+                          { rank; index; missing = [ v ] }))
+                   missing)
+            then shutdown t verdict
+          end
         | _ -> ()
       end)
 
-let handle_entry t (th : Proc.thread) (call : Syscall.call) =
+(* A respawned variant finished its journal replay: splice it back in. *)
+let rejoin_variant t ~variant =
+  Hashtbl.remove t.replaying variant;
+  Ikb.set_replaying t.g.Context.ikb ~variant false;
+  Replication_buffer.reactivate t.g.Context.rb ~variant;
+  Context.rejoin t.g ~variant
+
+let rec handle_entry t (th : Proc.thread) (call : Syscall.call) =
   if t.shutting_down then () (* replicas are being killed; leave it stopped *)
   else begin
     let rank = th.Proc.rank in
     let variant = variant_of th.Proc.proc in
-    let arrival = { variant; th; call } in
-    match rank_state t rank with
-    | Idle ->
-      set_state t rank (Collecting [ arrival ]);
-      if t.g.Context.nreplicas = 1 then
-        process_rendezvous t rank [ arrival ]
-      else arm_watchdog t rank
-    | Collecting arrivals ->
-      let arrivals = arrival :: arrivals in
-      if List.length arrivals = t.g.Context.nreplicas then begin
-        set_state t rank Idle;
-        process_rendezvous t rank arrivals
-      end
-      else set_state t rank (Collecting arrivals)
-    | Master_running _ | Await_slave_exits _ | All_running _ ->
-      (* a thread re-entered the kernel while its rank's previous call is
-         still being processed: possible under attack; treat as sequence
-         divergence *)
-      shutdown t
-        (Divergence.Sequence_mismatch
-           {
-             rank;
-             index = th.Proc.syscall_index;
-             calls = [ Divergence.render_call call ];
-           })
+    match Hashtbl.find_opt t.replaying variant with
+    | Some positions -> replay_entry t th call ~variant ~positions
+    | None ->
+      (* replaying variants parked at the journal head rejoin at the
+         master's next monitored entry: their parked call is this very
+         rendezvous *)
+      if variant = 0 then flush_waiting_rejoin t ~rank;
+      let arrival = { variant; th; call } in
+      (match rank_state t rank with
+      | Idle ->
+        set_state t rank (Collecting [ arrival ]);
+        if Context.active_count t.g = 1 then process_rendezvous t rank [ arrival ]
+        else arm_watchdog t rank
+      | Collecting arrivals ->
+        let arrivals = arrival :: arrivals in
+        if List.length arrivals >= Context.active_count t.g then begin
+          set_state t rank Idle;
+          process_rendezvous t rank arrivals
+        end
+        else set_state t rank (Collecting arrivals)
+      | Master_running _ | Await_slave_exits _ | All_running _ ->
+        (* a thread re-entered the kernel while its rank's previous call is
+           still being processed: possible under attack; treat as sequence
+           divergence *)
+        shutdown t
+          (Divergence.Sequence_mismatch
+             {
+               rank;
+               index = th.Proc.syscall_index;
+               calls = [ Divergence.render_call call ];
+             }))
   end
+
+(* One replayed call of a respawned replica: verify it against the journal
+   and satisfy it the way the original execution went. *)
+and replay_entry t (th : Proc.thread) (call : Syscall.call) ~variant ~positions
+    =
+  let rank = th.Proc.rank in
+  let log = journal t in
+  let pos =
+    match Hashtbl.find_opt positions rank with Some p -> p | None -> 0
+  in
+  match Record_log.journal_nth log ~rank pos with
+  | Some { Record_log.jcall; jresult } ->
+    if not (Callinfo.equal_normalized call jcall) then begin
+      (* the replay diverged from the journal: the respawn failed; the
+         replica dies and stays quarantined *)
+      Hashtbl.remove t.replaying variant;
+      Ikb.set_replaying t.g.Context.ikb ~variant false;
+      Kernel.kill_process t.kernel th.Proc.proc ~code:134
+    end
+    else begin
+      Hashtbl.replace positions rank (pos + 1);
+      t.replayed_records <- t.replayed_records + 1;
+      let cost = Kernel.cost t.kernel in
+      (* the follower replays in-process from its journal copy — it pays
+         no ptrace round trip and does not serialize through the monitor;
+         refund the entry-stop charge and bill the cheap replay step, or
+         the follower could never outpace the master and catch up *)
+      th.Proc.clock <-
+        Vtime.add
+          (Vtime.sub th.Proc.clock (Vtime.ns (Cost_model.ptrace_stop_ns cost)))
+          (Vtime.ns cost.Cost_model.replay_record_ns);
+      match Callinfo.disposition jcall with
+      | Callinfo.Master_call ->
+        let r =
+          translate_for_slave t ~arrival:{ variant; th; call } ~call jresult
+        in
+        Kernel.resume t.kernel th (Proc.Resume_skip r)
+      | Callinfo.All_call -> Kernel.resume t.kernel th Proc.Resume_continue
+    end
+  | None -> (
+    (* caught up with everything the master has done *)
+    match rank_state t rank with
+    | Collecting _ ->
+      (* a live rendezvous is pending on this rank: this very call is the
+         one being collected — rejoin and take part *)
+      rejoin_variant t ~variant;
+      handle_entry t th call
+    | _ ->
+      (* park until the journal grows or the master reaches a rendezvous *)
+      Hashtbl.replace t.waiting_replay (rank, variant) { variant; th; call })
+
+(* The journal gained a record on [rank]: parked replaying arrivals can
+   consume it. Wired to [Record_log.set_on_journal_append]. *)
+and feed_waiting t ~rank =
+  let parked =
+    Hashtbl.fold
+      (fun (r, _) a acc -> if r = rank then a :: acc else acc)
+      t.waiting_replay []
+  in
+  List.iter
+    (fun (a : arrival) ->
+      if Hashtbl.mem t.replaying a.variant then begin
+        Hashtbl.remove t.waiting_replay (rank, a.variant);
+        handle_entry t a.th a.call
+      end)
+    parked
+
+(* The master reached a monitored entry on [rank]: parked arrivals that
+   drained the journal are synchronized with it — rejoin them first so the
+   rendezvous counts them. *)
+and flush_waiting_rejoin t ~rank =
+  let parked =
+    Hashtbl.fold
+      (fun (r, _) a acc -> if r = rank then a :: acc else acc)
+      t.waiting_replay []
+  in
+  List.iter
+    (fun (a : arrival) ->
+      if Hashtbl.mem t.replaying a.variant then begin
+        Hashtbl.remove t.waiting_replay (rank, a.variant);
+        rejoin_variant t ~variant:a.variant;
+        handle_entry t a.th a.call
+      end)
+    parked
+
+(* Install the journal feed; idempotent, called when Respawn is armed. *)
+let enable_replay_feed t =
+  Record_log.set_on_journal_append (journal t) (fun ~rank -> feed_waiting t ~rank)
+
+(* A respawned variant starts replaying the journal from the beginning. *)
+let begin_replay t ~variant =
+  enable_replay_feed t;
+  Hashtbl.replace t.replaying variant (Hashtbl.create 4);
+  Ikb.set_replaying t.g.Context.ikb ~variant true
 
 let handle_exit t (th : Proc.thread) (call : Syscall.call)
     (result : Syscall.result) =
   if t.shutting_down then ()
   else begin
     let rank = th.Proc.rank in
-    let cost = Kernel.cost t.kernel in
-    match rank_state t rank with
-    | Master_running { arrivals } when variant_of th.Proc.proc = 0 ->
-      (* master finished: replicate results to the waiting slaves *)
-      master_side_effects t ~call result;
-      let slaves = List.filter (fun a -> a.variant <> 0) arrivals in
-      let bytes = Syscall.result_bytes result in
-      let done_at =
-        monitor_work t ~earliest:th.Proc.clock
-          ~work_ns:(cost.Cost_model.monitor_work_ns + Cost_model.copy_ns cost ~bytes)
-      in
-      th.Proc.clock <- Vtime.max th.Proc.clock done_at;
-      (* transition the rank state *before* resuming anyone: the slaves'
-         skip-exit stops arrive synchronously and must find it *)
-      (match slaves with
-      | [] -> set_state t rank Idle
-      | _ -> set_state t rank (Await_slave_exits { remaining = List.length slaves }));
-      List.iter
-        (fun a ->
-          let r = translate_for_slave t ~arrival:a ~call:a.call result in
-          a.th.Proc.clock <-
-            Vtime.add
-              (Vtime.max a.th.Proc.clock done_at)
-              (Vtime.ns (Cost_model.copy_ns cost ~bytes));
-          (Kernel.stats t.kernel).Kstate.bytes_copied_xproc <-
-            (Kernel.stats t.kernel).Kstate.bytes_copied_xproc + bytes;
-          t.results_copied <- t.results_copied + 1;
-          Kernel.resume t.kernel a.th (Proc.Resume_skip r))
-        slaves;
+    let variant = variant_of th.Proc.proc in
+    if Hashtbl.mem t.replaying variant || Context.is_quarantined t.g variant
+    then begin
+      (* replayed All_calls run to completion outside any rendezvous; the
+         exit stop is ptrace-free for the in-process follower too *)
+      if Hashtbl.mem t.replaying variant then
+        th.Proc.clock <-
+          Vtime.sub th.Proc.clock
+            (Vtime.ns (Cost_model.ptrace_stop_ns (Kernel.cost t.kernel)));
       Kernel.resume t.kernel th Proc.Resume_continue
-    | Await_slave_exits st ->
-      st.remaining <- st.remaining - 1;
-      if st.remaining = 0 then set_state t rank Idle;
-      Kernel.resume t.kernel th Proc.Resume_continue
-    | All_running st ->
-      st.remaining <- st.remaining - 1;
-      if st.remaining = 0 then set_state t rank Idle;
-      Kernel.resume t.kernel th Proc.Resume_continue
-    | Idle | Collecting _ | Master_running _ ->
-      (* exit stop with no rendezvous in flight (e.g. after a skip/fallback
-         path): just let it through *)
-      Kernel.resume t.kernel th Proc.Resume_continue
+    end
+    else begin
+      let cost = Kernel.cost t.kernel in
+      match rank_state t rank with
+      | Master_running { arrivals } when variant = 0 ->
+        (* master finished: replicate results to the waiting slaves *)
+        master_side_effects t ~call result;
+        Record_log.journal_append (journal t) ~rank
+          ~call:(Callinfo.normalize call) ~result;
+        let slaves = List.filter (fun a -> a.variant <> 0) arrivals in
+        let bytes = Syscall.result_bytes result in
+        let done_at =
+          monitor_work t ~earliest:th.Proc.clock
+            ~work_ns:(cost.Cost_model.monitor_work_ns + Cost_model.copy_ns cost ~bytes)
+        in
+        th.Proc.clock <- Vtime.max th.Proc.clock done_at;
+        (* transition the rank state *before* resuming anyone: the slaves'
+           skip-exit stops arrive synchronously and must find it *)
+        (match slaves with
+        | [] -> set_state t rank Idle
+        | _ -> set_state t rank (Await_slave_exits { remaining = List.length slaves }));
+        List.iter
+          (fun a ->
+            let r = translate_for_slave t ~arrival:a ~call:a.call result in
+            a.th.Proc.clock <-
+              Vtime.add
+                (Vtime.max a.th.Proc.clock done_at)
+                (Vtime.ns (Cost_model.copy_ns cost ~bytes));
+            (Kernel.stats t.kernel).Kstate.bytes_copied_xproc <-
+              (Kernel.stats t.kernel).Kstate.bytes_copied_xproc + bytes;
+            t.results_copied <- t.results_copied + 1;
+            Kernel.resume t.kernel a.th (Proc.Resume_skip r))
+          slaves;
+        Kernel.resume t.kernel th Proc.Resume_continue
+      | Await_slave_exits st ->
+        st.remaining <- st.remaining - 1;
+        if st.remaining = 0 then set_state t rank Idle;
+        Kernel.resume t.kernel th Proc.Resume_continue
+      | All_running st ->
+        if variant = 0 then
+          Record_log.journal_append (journal t) ~rank
+            ~call:(Callinfo.normalize call) ~result;
+        st.remaining <- st.remaining - 1;
+        if st.remaining = 0 then set_state t rank Idle;
+        Kernel.resume t.kernel th Proc.Resume_continue
+      | Idle | Collecting _ | Master_running _ ->
+        (* exit stop with no rendezvous in flight (e.g. after a skip/fallback
+           path): just let it through *)
+        Kernel.resume t.kernel th Proc.Resume_continue
+    end
   end
 
 let handle_signal t (th : Proc.thread) sg =
@@ -387,15 +622,26 @@ let handle_signal t (th : Proc.thread) sg =
 
 let handle_death t (th : Proc.thread) code =
   let variant = variant_of th.Proc.proc in
-  t.exits_seen <- (variant, code) :: t.exits_seen;
-  if not t.shutting_down then begin
-    (* when all replicas have exited, verify the exit codes agree *)
-    let exited = List.sort_uniq compare (List.map fst t.exits_seen) in
-    if List.length exited = t.g.Context.nreplicas then begin
-      let codes = List.sort_uniq compare (List.map snd t.exits_seen) in
-      if List.length codes > 1 then
-        Context.set_divergence t.g
-          (Divergence.Exit_mismatch { codes = List.rev t.exits_seen })
+  (* quarantined / replaying replicas die under monitor control: their
+     exits don't take part in the exit-code agreement check *)
+  if
+    not
+      (Context.is_quarantined t.g variant || Hashtbl.mem t.replaying variant)
+  then begin
+    t.exits_seen <- (variant, code) :: t.exits_seen;
+    if not t.shutting_down then begin
+      (* when all active replicas have exited, verify the exit codes agree *)
+      let active = Context.active_variants t.g in
+      let seen_active =
+        List.filter (fun (v, _) -> List.mem v active) t.exits_seen
+      in
+      let exited = List.sort_uniq compare (List.map fst seen_active) in
+      if List.length exited = Context.active_count t.g then begin
+        let codes = List.sort_uniq compare (List.map snd seen_active) in
+        if List.length codes > 1 then
+          Context.set_divergence t.g
+            (Divergence.Exit_mismatch { codes = List.rev seen_active })
+      end
     end
   end;
   Kernel.resume t.kernel th Proc.Resume_continue

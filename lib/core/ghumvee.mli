@@ -2,7 +2,11 @@
     replica via the simulated ptrace API; monitored calls execute in
     lockstep (rendezvous -> deep argument comparison -> master-only I/O with
     result replication), asynchronous signals are deferred to rendezvous
-    points, and any divergence shuts the whole replica set down. *)
+    points, and any divergence shuts the whole replica set down — unless the
+    group's recovery policy ([Context.failure_policy]) absorbs the fault by
+    quarantining the offending non-master replica, after which the group
+    keeps running degraded. Under [Respawn], a fresh replica resynchronizes
+    by replaying the master syscall journal through the monitored path. *)
 
 open Remon_kernel
 open Remon_sim
@@ -25,6 +29,13 @@ type t = {
       (** monitor serialization: concurrent stops queue behind it *)
   deferred_signals : int Queue.t;
   watchdog_ns : Vtime.t;
+  max_watchdog_retries : int;
+      (** stalled rendezvous grace periods (each doubling the delay) before
+          the watchdog escalates *)
+  replaying : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (** respawned variant -> per-rank journal replay position *)
+  waiting_replay : (int * int, arrival) Hashtbl.t;
+      (** (rank, variant) -> replaying arrival parked at the journal head *)
   mutable exits_seen : (int * int) list;
   mutable shutting_down : bool;
   mutable rendezvous_count : int;
@@ -33,15 +44,27 @@ type t = {
   mutable signals_injected : int;
   mutable maps_filtered : int;
   mutable shm_rejected : int;
+  mutable replayed_records : int;
 }
 
-val create : Context.group -> ?watchdog_ns:Vtime.t -> unit -> t
+val create :
+  Context.group -> ?watchdog_ns:Vtime.t -> ?watchdog_retries:int -> unit -> t
 
 val attach : t -> Proc.process -> unit
 (** ptrace-attach to a replica and watch for abnormal death. *)
 
 val shutdown : t -> Divergence.t -> unit
 (** Record the verdict and kill every replica. *)
+
+val purge_variant : t -> variant:int -> unit
+(** Remove a quarantined variant from all in-flight rendezvous state so the
+    survivors are not stranded. Called by the recovery handler after the
+    variant's process is killed. *)
+
+val begin_replay : t -> variant:int -> unit
+(** Start journal replay for a freshly respawned variant: its calls are
+    verified against the master syscall journal and satisfied the way the
+    original execution went, until it catches up and rejoins the group. *)
 
 val tracer : t -> Proc.tracer
 (** The raw stop-event handler (exposed for tests). *)

@@ -44,6 +44,9 @@ type t = {
   mutable master_proc : Proc.process option;
       (* the broker lives in the kernel: descriptor classification uses the
          authoritative (master) fd table, since slave tables hold stubs *)
+  replaying : (int, unit) Hashtbl.t;
+      (* variants resynchronizing from the journal: every call they make is
+         forced onto the monitored path so GHUMVEE can replay-verify it *)
   mutable revocations : int;
   mutable rejected : int;
   mutable grants : int;
@@ -61,6 +64,7 @@ let create ~kernel ~policy ~seed =
     rb = None;
     route_all = false;
     master_proc = None;
+    replaying = Hashtbl.create 4;
     revocations = 0;
     rejected = 0;
     grants = 0;
@@ -129,6 +133,8 @@ let classify t (th : Proc.thread) (call : Syscall.call) : K.route =
   else
     match p.Proc.replica_info with
     | None -> default () (* not a managed replica: IK-B stays out of the way *)
+    | Some { Proc.variant_index = v; _ } when Hashtbl.mem t.replaying v ->
+      default () (* resynchronizing: force the monitored (replay) path *)
     | Some _ -> (
       match p.Proc.ipmon_registered with
       | None -> default ()
@@ -212,6 +218,12 @@ let consume_token t (th : Proc.thread) =
   match Hashtbl.find_opt t.tokens th.tid with
   | Some tr -> tr.live <- false
   | None -> ()
+
+(* Respawn support: while a variant replays the journal, the broker routes
+   all of its calls monitored (see [classify]). *)
+let set_replaying t ~variant flag =
+  if flag then Hashtbl.replace t.replaying variant ()
+  else Hashtbl.remove t.replaying variant
 
 let was_temporal_grant t (th : Proc.thread) ~token =
   match Hashtbl.find_opt t.tokens th.tid with

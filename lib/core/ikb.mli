@@ -28,6 +28,8 @@ type t = {
   mutable route_all : bool; (** VARAN baseline: forward everything *)
   mutable master_proc : Proc.process option;
       (** authoritative fd table for classification (slaves hold stubs) *)
+  replaying : (int, unit) Hashtbl.t;
+      (** variants resynchronizing from the journal: forced monitored *)
   mutable revocations : int;
   mutable rejected : int;
   mutable grants : int;
@@ -49,6 +51,10 @@ val destroy_token : t -> Proc.thread -> unit
 
 val consume_token : t -> Proc.thread -> unit
 (** Silent invalidation for calls IP-MON aborts without restarting. *)
+
+val set_replaying : t -> variant:int -> bool -> unit
+(** While on, every call from [variant] is routed monitored so GHUMVEE can
+    replay-verify it against the journal. *)
 
 val was_temporal_grant : t -> Proc.thread -> token:int64 -> bool
 val note_approval : t -> Sysno.t -> unit

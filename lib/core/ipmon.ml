@@ -138,6 +138,10 @@ and master_path inst th ~token ~call ~return ~fallback ~bytes =
         (cost.Cost_model.rb_write_fixed_ns
         + Cost_model.local_copy_ns cost ~bytes:(Syscall.result_bytes r));
       let need_wake = Rb.master_publish g.Context.rb entry logical in
+      (* Respawn support: fast-path calls also land in the master syscall
+         journal (no-op unless Mvee enabled it) *)
+      Record_log.journal_append g.Context.rb.Rb.sync_log ~rank:th.Proc.rank
+        ~call:(Callinfo.normalize call) ~result:r;
       (* slaves pulling the record bounce its cache lines back and forth *)
       charge th ((g.Context.nreplicas - 1) * cost.Cost_model.cacheline_bounce_ns);
       (* per-record condvars (Section 3.7): skip the wake when nobody
@@ -191,7 +195,12 @@ and slave_path inst th ~token ~call ~return ~fallback =
         (cost.Cost_model.rb_read_fixed_ns
         + Cost_model.compare_ns cost ~bytes:(Syscall.arg_bytes call));
       match entry.Rb.call with
-      | None -> fallback ()
+      | None ->
+        (* the record carries no payload (lost/dropped): nothing to verify
+           against — consume the slot and bounce to the monitored path,
+           where GHUMVEE's watchdog catches a master that never shows up *)
+        Rb.slave_advance g.Context.rb ~rank ~variant;
+        fallback ()
       | Some recorded when entry.Rb.flags.Rb.forwarded_to_monitor ->
         (* master bounced this call to GHUMVEE; follow it *)
         ignore recorded;
@@ -199,21 +208,29 @@ and slave_path inst th ~token ~call ~return ~fallback =
         fallback ()
       | Some recorded ->
         if not (Syscall.equal_call (Callinfo.normalize call) recorded) then begin
-          (* PRECALL sanity check failed: argument divergence. Crash
-             intentionally so GHUMVEE observes it via ptrace and shuts the
-             MVEE down (Section 3.3). *)
-          Context.set_divergence g
-            (Divergence.Args_mismatch
-               {
-                 rank;
-                 index = th.Proc.syscall_index;
-                 expected = Divergence.render_call recorded;
-                 got = Divergence.render_call call;
-                 variant;
-                 detector = Divergence.By_ipmon;
-               });
-          Kernel.post_signal k inst.proc Sigdefs.sigsegv;
-          return (err Errno.EINTR)
+          (* PRECALL sanity check failed: argument divergence. *)
+          let verdict =
+            Divergence.Args_mismatch
+              {
+                rank;
+                index = th.Proc.syscall_index;
+                expected = Divergence.render_call recorded;
+                got = Divergence.render_call call;
+                variant;
+                detector = Divergence.By_ipmon;
+              }
+          in
+          if Context.replica_fault g ~variant verdict then
+            (* the recovery policy quarantined (and killed) this replica:
+               the continuation dies with it *)
+            ()
+          else begin
+            (* default: crash intentionally so GHUMVEE observes it via
+               ptrace and shuts the MVEE down (Section 3.3) *)
+            Context.set_divergence g verdict;
+            Kernel.post_signal k inst.proc Sigdefs.sigsegv;
+            return (err Errno.EINTR)
+          end
         end
         else begin
           note_epoll inst call;

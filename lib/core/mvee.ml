@@ -23,6 +23,12 @@ let backend_to_string = function
   | Varan -> "varan"
   | Remon -> "remon"
 
+(* Re-exported so callers can say [Mvee.Quarantine]. *)
+type failure_policy = Context.failure_policy =
+  | Kill_group
+  | Quarantine
+  | Respawn of { max_respawns : int; backoff_ns : Vtime.t }
+
 type config = {
   backend : backend;
   nreplicas : int;
@@ -31,12 +37,17 @@ type config = {
   rb_size : int;
   seed : int;
   watchdog_ns : Vtime.t;
+  watchdog_retries : int;
+      (* stalled-rendezvous grace periods (each doubling the delay) before
+         the watchdog escalates *)
   record_replay : bool;
   mode_override : Context.mode option; (* ablations; None = backend default *)
   rb_migration_interval : Vtime.t option;
       (* Section 4 extension: IK-B periodically moves the RB to a fresh
          virtual address by remapping the replicas' page tables, further
          lowering the odds of a successful guessing attack *)
+  on_failure : failure_policy;
+  faults : Fault.plan; (* deterministic fault-injection plan; [] = none *)
 }
 
 let default_config =
@@ -48,9 +59,12 @@ let default_config =
     rb_size = Replication_buffer.default_size;
     seed = 42;
     watchdog_ns = Vtime.s 30;
+    watchdog_retries = 2;
     record_replay = true;
     mode_override = None;
     rb_migration_interval = None;
+    on_failure = Kill_group;
+    faults = [];
   }
 
 (* The replica's view of the MVEE runtime, handed to program bodies. *)
@@ -72,6 +86,7 @@ type handle = {
   group : Context.group;
   ghumvee : Ghumvee.t option;
   agent : Record_replay.t;
+  mutable fault : Fault.t option;
   mutable master_exit_ns : Vtime.t option;
   mutable exit_codes : (int * int) list; (* variant, code *)
   mutable heap_bases : int64 array;
@@ -91,6 +106,12 @@ type outcome = {
   rb_records : int;
   tokens_granted : int;
   tokens_rejected : int;
+  (* resilience telemetry *)
+  faults_injected : int;
+  quarantines : int;
+  respawns : int;
+  degraded_ns : Vtime.t; (* time spent with at least one replica detached *)
+  watchdog_retries : int;
 }
 
 let shm_key_counter = ref 0
@@ -124,6 +145,13 @@ let make_group kernel (config : config) nreplicas =
     shutdown = false;
     ipmon_calls = 0;
     ipmon_fallbacks = 0;
+    quarantined = Array.make nreplicas false;
+    replica_fault_handler = None;
+    quarantines = 0;
+    respawns = 0;
+    watchdog_retries = 0;
+    degraded_since = None;
+    degraded_ns = Vtime.zero;
   }
 
 let make_env (h : handle) ~variant ~nreplicas : env =
@@ -183,7 +211,9 @@ let launch (kernel : Kernel.t) (config : config) ~name
   let ghumvee =
     match config.backend with
     | Ghumvee_only | Remon ->
-      Some (Ghumvee.create group ~watchdog_ns:config.watchdog_ns ())
+      Some
+        (Ghumvee.create group ~watchdog_ns:config.watchdog_ns
+           ~watchdog_retries:config.watchdog_retries ())
     | Native | Varan -> None
   in
   (match config.backend with
@@ -193,6 +223,12 @@ let launch (kernel : Kernel.t) (config : config) ~name
     Record_replay.create ~kernel ~log:group.Context.rb.Replication_buffer.sync_log
       ~enabled:(config.record_replay && nreplicas > 1)
   in
+  (* the Respawn policy needs the master syscall journal to resynchronize a
+     fresh replica; the other policies skip its memory cost *)
+  (match config.on_failure with
+  | Context.Respawn _ ->
+    Record_log.enable_journal group.Context.rb.Replication_buffer.sync_log
+  | Context.Kill_group | Context.Quarantine -> ());
   let handle =
     {
       kernel;
@@ -200,39 +236,148 @@ let launch (kernel : Kernel.t) (config : config) ~name
       group;
       ghumvee;
       agent;
+      fault = None;
       master_exit_ns = None;
       exit_codes = [];
       heap_bases = Array.make nreplicas 0L;
     }
   in
+  (* wire the deterministic fault plan into the kernel + RB hooks *)
+  if config.faults <> [] then begin
+    let f = Fault.make ~seed:config.seed config.faults in
+    Fault.install f ~kernel ~rb:group.Context.rb;
+    handle.fault <- Some f
+  end;
+  (* spawn parameters are factored out so a Respawn can relaunch a variant
+     bit-identically: same vm seed, same body *)
+  let vm_seed_for variant =
+    if config.diversity.Diversity.aslr then
+      (config.seed * 7919) + (variant * 104729) + 13
+    else config.seed
+  in
+  let replica_main variant () =
+    let th = Sched.self () in
+    let proc = th.Proc.proc in
+    (match Diversity.apply config.diversity proc ~variant with
+    | Ok (_code_base, heap_base) -> handle.heap_bases.(variant) <- heap_base
+    | Error e -> failwith ("diversity layout failed: " ^ Errno.to_string e));
+    (match config.backend with
+    | Varan -> ignore (Ipmon.init ~calls:Sysno.all group ~variant)
+    | Remon -> ignore (Ipmon.init group ~variant)
+    | Native | Ghumvee_only -> ());
+    let env = make_env handle ~variant ~nreplicas in
+    body env;
+    ignore (Sched.syscall (Syscall.Exit_group 0))
+  in
+  (* Master-crash containment (all backends, including Native and Varan):
+     an abnormal master exit must surface as a [Replica_crash] verdict with
+     the rest of the group torn down — not hang until the watchdog. Slave
+     crashes are first offered to the recovery policy. *)
+  let watch_exit variant (p : Proc.process) =
+    Kernel.on_process_exit p (fun code ->
+        handle.exit_codes <- (variant, code) :: handle.exit_codes;
+        if variant = 0 then handle.master_exit_ns <- Some (Kernel.now kernel);
+        if
+          code >= 128
+          && (not group.Context.shutdown)
+          && not (Context.is_quarantined group variant)
+        then begin
+          let verdict = Divergence.Replica_crash { variant; signal = code - 128 } in
+          if variant = 0 then begin
+            (* dead master: tear the group down; pending I/O of the other
+               replicas is drained by their kills *)
+            group.Context.shutdown <- true;
+            Context.set_divergence group verdict;
+            Array.iter
+              (fun (q : Proc.process) ->
+                if q != p && q.Proc.alive then
+                  Kernel.kill_process kernel q ~code:134)
+              group.Context.replicas
+          end
+          else if not (Context.replica_fault group ~variant verdict) then
+            (* slave crash, policy declined: record the fatal verdict.
+               GHUMVEE backends additionally kill the group from their own
+               exit waiter; lockstep-free backends (VARAN) keep the master
+               running — detection without prevention, as the paper says *)
+            Context.set_divergence group verdict
+        end)
+  in
   let replicas =
     Array.init nreplicas (fun variant ->
-        let vm_seed =
-          if config.diversity.Diversity.aslr then (config.seed * 7919) + (variant * 104729) + 13
-          else config.seed
-        in
-        let main () =
-          let th = Sched.self () in
-          let proc = th.Proc.proc in
-          (match Diversity.apply config.diversity proc ~variant with
-          | Ok (_code_base, heap_base) -> handle.heap_bases.(variant) <- heap_base
-          | Error e ->
-            failwith ("diversity layout failed: " ^ Errno.to_string e));
-          (match config.backend with
-          | Varan -> ignore (Ipmon.init ~calls:Sysno.all group ~variant)
-          | Remon -> ignore (Ipmon.init group ~variant)
-          | Native | Ghumvee_only -> ());
-          let env = make_env handle ~variant ~nreplicas in
-          body env;
-          ignore (Sched.syscall (Syscall.Exit_group 0))
-        in
         Kernel.spawn_process kernel
           ~replica_info:{ Proc.variant_index = variant; group_id = group.Context.shm_key }
           ~name:(Printf.sprintf "%s-v%d" name variant)
-          ~vm_seed main)
+          ~vm_seed:(vm_seed_for variant) (replica_main variant))
   in
   group.Context.replicas <- replicas;
   group.Context.ikb.Ikb.master_proc <- Some replicas.(0);
+  (* the recovery policy: what [Context.replica_fault] dispatches to *)
+  let respawn_attempts = Array.make nreplicas 0 in
+  let do_respawn variant =
+    match ghumvee with
+    | None -> ()
+    | Some g ->
+      if (not group.Context.shutdown) && Context.is_quarantined group variant
+      then begin
+        group.Context.respawns <- group.Context.respawns + 1;
+        (* the replica re-consumes the whole sync-event history *)
+        Record_log.reset_variant group.Context.rb.Replication_buffer.sync_log
+          ~variant;
+        Ghumvee.begin_replay g ~variant;
+        (* spawning and re-diversifying a fresh replica is monitor work *)
+        g.Ghumvee.busy_until <-
+          Vtime.add
+            (Vtime.max g.Ghumvee.busy_until (Kernel.now kernel))
+            (Vtime.ns (Kernel.cost kernel).Cost_model.respawn_spawn_ns);
+        let p =
+          Kernel.spawn_process kernel
+            ~replica_info:
+              { Proc.variant_index = variant; group_id = group.Context.shm_key }
+            ~name:
+              (Printf.sprintf "%s-v%d-r%d" name variant
+                 respawn_attempts.(variant))
+            ~vm_seed:(vm_seed_for variant)
+            ~start_clock:(Kernel.now kernel) (replica_main variant)
+        in
+        group.Context.replicas.(variant) <- p;
+        Ghumvee.attach g p;
+        watch_exit variant p
+      end
+  in
+  let schedule_respawn variant ~max_respawns ~backoff_ns =
+    if respawn_attempts.(variant) < max_respawns then begin
+      let attempt = respawn_attempts.(variant) in
+      respawn_attempts.(variant) <- attempt + 1;
+      (* exponential backoff: 1x, 2x, 4x, ... the configured interval *)
+      let delay = Vtime.scale backoff_ns (2. ** float_of_int attempt) in
+      Kernel.schedule kernel
+        ~time:(Vtime.add (Kernel.now kernel) delay)
+        (fun () -> do_respawn variant)
+    end
+  in
+  (match config.on_failure with
+  | Context.Kill_group -> () (* the paper's behavior: no handler installed *)
+  | Context.Quarantine | Context.Respawn _ ->
+    group.Context.replica_fault_handler <-
+      Some
+        (fun ~variant _verdict ->
+          if variant = 0 || group.Context.shutdown then false
+          else if Context.is_quarantined group variant then true
+          else begin
+            Context.quarantine group ~variant;
+            Replication_buffer.deactivate group.Context.rb ~variant;
+            let p = group.Context.replicas.(variant) in
+            if p.Proc.alive then Kernel.kill_process kernel p ~code:134;
+            (match ghumvee with
+            | Some g -> Ghumvee.purge_variant g ~variant
+            | None -> ());
+            (match config.on_failure with
+            | Context.Respawn { max_respawns; backoff_ns } when ghumvee <> None
+              ->
+              schedule_respawn variant ~max_respawns ~backoff_ns
+            | _ -> ());
+            true
+          end));
   (* Section 4 extension: periodic RB migration. The broker remaps every
      replica's shared segments to fresh randomized addresses; IP-MON's
      register-held pointer is updated atomically (it never lived in
@@ -281,12 +426,7 @@ let launch (kernel : Kernel.t) (config : config) ~name
   (match ghumvee with
   | Some g -> Array.iter (fun p -> Ghumvee.attach g p) replicas
   | None -> ());
-  Array.iteri
-    (fun variant p ->
-      Kernel.on_process_exit p (fun code ->
-          handle.exit_codes <- (variant, code) :: handle.exit_codes;
-          if variant = 0 then handle.master_exit_ns <- Some (Kernel.now kernel)))
-    replicas;
+  Array.iteri watch_exit replicas;
   handle
 
 (* Collects the outcome after [Kernel.run] has drained the simulation. *)
@@ -306,6 +446,16 @@ let finish (h : handle) : outcome =
     rb_records = h.group.Context.rb.Replication_buffer.total_records;
     tokens_granted = st.Kstate.tokens_granted;
     tokens_rejected = st.Kstate.tokens_rejected;
+    faults_injected = (match h.fault with Some f -> Fault.injected f | None -> 0);
+    quarantines = h.group.Context.quarantines;
+    respawns = h.group.Context.respawns;
+    degraded_ns =
+      Context.degraded_total h.group
+        ~until:
+          (match h.master_exit_ns with
+          | Some t -> t
+          | None -> Kernel.now h.kernel);
+    watchdog_retries = h.group.Context.watchdog_retries;
   }
 
 (* One-shot convenience: fresh kernel, launch, run to completion. *)

@@ -12,6 +12,17 @@ type backend =
 
 val backend_to_string : backend -> string
 
+(** What happens when a non-master replica diverges, crashes or stalls
+    (re-export of {!Context.failure_policy}): [Kill_group] is the paper's
+    treat-every-fault-as-an-attack behavior; [Quarantine] detaches the
+    faulty replica and continues degraded; [Respawn] additionally replays
+    the master syscall journal to bring a fresh replica back, with
+    exponential backoff and a bounded respawn budget. *)
+type failure_policy = Context.failure_policy =
+  | Kill_group
+  | Quarantine
+  | Respawn of { max_respawns : int; backoff_ns : Vtime.t }
+
 type config = {
   backend : backend;
   nreplicas : int;
@@ -20,11 +31,16 @@ type config = {
   rb_size : int;
   seed : int;
   watchdog_ns : Vtime.t; (** rendezvous-stall detection *)
+  watchdog_retries : int;
+      (** stalled-rendezvous grace periods (each doubling the delay)
+          before the watchdog escalates *)
   record_replay : bool; (** enable the user-space sync agent *)
   mode_override : Context.mode option; (** ablations; [None] = backend default *)
   rb_migration_interval : Vtime.t option;
       (** Section 4 extension: periodically remap the RB to fresh
           randomized addresses *)
+  on_failure : failure_policy;
+  faults : Fault.plan; (** deterministic fault-injection plan; [[]] = none *)
 }
 
 val default_config : config
@@ -49,6 +65,7 @@ type handle = {
   group : Context.group;
   ghumvee : Ghumvee.t option;
   agent : Record_replay.t;
+  mutable fault : Fault.t option;
   mutable master_exit_ns : Vtime.t option;
   mutable exit_codes : (int * int) list;
   mutable heap_bases : int64 array;
@@ -68,6 +85,11 @@ type outcome = {
   rb_records : int;
   tokens_granted : int;
   tokens_rejected : int;
+  faults_injected : int; (** fault-plan specs that actually fired *)
+  quarantines : int; (** replicas detached by the recovery policy *)
+  respawns : int; (** replicas relaunched under [Respawn] *)
+  degraded_ns : Vtime.t; (** time with at least one replica detached *)
+  watchdog_retries : int; (** rendezvous grace periods granted *)
 }
 
 val launch : Kernel.t -> config -> name:string -> body:(env -> unit) -> handle

@@ -4,18 +4,44 @@
    acquire user-space locks in the order the master acquired them, removing
    scheduling non-determinism that would otherwise make replicas issue
    different syscall sequences. The master appends (lock, thread-rank)
-   events; each slave consumes them in order, gating its own acquisitions. *)
+   events; each slave consumes them in order, gating its own acquisitions.
+
+   Under the Respawn recovery policy the log additionally carries a
+   master-side *syscall journal*: one (normalized call, result) record per
+   replicated call, per thread rank. A freshly respawned replica replays
+   the journal — its calls are verified against the master's stream and
+   satisfied from the recorded results — until it has caught up and can
+   rejoin the group at the next rendezvous. *)
+
+open Remon_kernel
 
 type event = { lock_id : int; thread_rank : int }
+
+(* One replicated master call, as the journal stores it. *)
+type callrec = { jcall : Syscall.call; jresult : Syscall.result }
+
+type jstream = { mutable recs : callrec array; mutable jlen : int }
 
 type t = {
   mutable events : event array;
   mutable len : int;
   consumed : int array; (* per variant; index 0 unused *)
+  journal : (int, jstream) Hashtbl.t; (* thread rank -> master call stream *)
+  mutable journal_enabled : bool;
+  mutable on_journal_append : (rank:int -> unit) option;
+      (* fired after each journal append; GHUMVEE uses it to feed records
+         to replaying replicas waiting at the head of the stream *)
 }
 
 let create ~nreplicas =
-  { events = Array.make 64 { lock_id = 0; thread_rank = 0 }; len = 0; consumed = Array.make nreplicas 0 }
+  {
+    events = Array.make 64 { lock_id = 0; thread_rank = 0 };
+    len = 0;
+    consumed = Array.make nreplicas 0;
+    journal = Hashtbl.create 4;
+    journal_enabled = false;
+    on_journal_append = None;
+  }
 
 let length t = t.len
 
@@ -34,3 +60,43 @@ let peek t ~variant =
   if pos < t.len then Some t.events.(pos) else None
 
 let advance t ~variant = t.consumed.(variant) <- t.consumed.(variant) + 1
+
+(* A respawned replica restarts from the beginning: it must re-consume the
+   whole lock-order history to reproduce the master's schedule. *)
+let reset_variant t ~variant = t.consumed.(variant) <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Master syscall journal (Respawn replay) *)
+
+let enable_journal t = t.journal_enabled <- true
+let set_on_journal_append t f = t.on_journal_append <- Some f
+
+let jstream t rank =
+  match Hashtbl.find_opt t.journal rank with
+  | Some s -> s
+  | None ->
+    let s = { recs = [||]; jlen = 0 } in
+    Hashtbl.replace t.journal rank s;
+    s
+
+let journal_append t ~rank ~call ~result =
+  if t.journal_enabled then begin
+    let s = jstream t rank in
+    if s.jlen = Array.length s.recs then begin
+      let cap = max 64 (2 * s.jlen) in
+      let bigger = Array.make cap { jcall = call; jresult = result } in
+      Array.blit s.recs 0 bigger 0 s.jlen;
+      s.recs <- bigger
+    end;
+    s.recs.(s.jlen) <- { jcall = call; jresult = result };
+    s.jlen <- s.jlen + 1;
+    match t.on_journal_append with Some f -> f ~rank | None -> ()
+  end
+
+let journal_length t ~rank =
+  match Hashtbl.find_opt t.journal rank with Some s -> s.jlen | None -> 0
+
+let journal_nth t ~rank n =
+  match Hashtbl.find_opt t.journal rank with
+  | Some s when n >= 0 && n < s.jlen -> Some s.recs.(n)
+  | _ -> None

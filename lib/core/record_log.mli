@@ -1,8 +1,18 @@
 (** Shared log of user-space synchronization events (Section 2.3): the
     master appends lock-acquisition events; each slave consumes them in
-    order to replay the master's acquisition order. *)
+    order to replay the master's acquisition order.
+
+    Under the Respawn recovery policy the log also carries a master-side
+    syscall journal — one (normalized call, result) record per replicated
+    call per thread rank — that a freshly respawned replica replays to
+    resynchronize with the group. *)
+
+open Remon_kernel
 
 type event = { lock_id : int; thread_rank : int }
+
+(** One replicated master call, as the journal stores it. *)
+type callrec = { jcall : Syscall.call; jresult : Syscall.result }
 
 type t
 
@@ -14,3 +24,25 @@ val peek : t -> variant:int -> event option
 (** Next unconsumed event for [variant], if the master has produced it. *)
 
 val advance : t -> variant:int -> unit
+
+val reset_variant : t -> variant:int -> unit
+(** Rewind [variant]'s consumption position to the beginning; a respawned
+    replica re-consumes the whole lock-order history. *)
+
+(** {1 Master syscall journal (Respawn replay)} *)
+
+val enable_journal : t -> unit
+(** Start journaling replicated master calls. Off by default: the journal
+    costs memory proportional to the run, so [Mvee] enables it only under
+    the [Respawn] recovery policy. *)
+
+val set_on_journal_append : t -> (rank:int -> unit) -> unit
+(** Callback fired after each journal append; GHUMVEE uses it to feed
+    fresh records to replaying replicas waiting at the head of a stream. *)
+
+val journal_append :
+  t -> rank:int -> call:Syscall.call -> result:Syscall.result -> unit
+(** No-op unless journaling is enabled. *)
+
+val journal_length : t -> rank:int -> int
+val journal_nth : t -> rank:int -> int -> callrec option

@@ -43,6 +43,12 @@ type t = {
   mutable used_bytes : int;
   mutable signals_pending : bool; (* set by GHUMVEE (Section 3.8) *)
   mutable generation : int; (* bumped at each reset *)
+  active : bool array;
+      (* per variant; quarantined replicas stop counting towards drains so
+         the master can keep publishing while the group runs degraded *)
+  mutable tamper : (entry -> unit) option;
+      (* fault-injection hook: may drop (call <- None) or corrupt a freshly
+         appended record before the slaves see it *)
   (* statistics *)
   mutable total_records : int;
   mutable resets : int;
@@ -65,6 +71,8 @@ let create ~size_bytes ~nreplicas =
     used_bytes = 0;
     signals_pending = false;
     generation = 0;
+    active = Array.make nreplicas true;
+    tamper = None;
     total_records = 0;
     resets = 0;
     wakes_issued = 0;
@@ -97,13 +105,16 @@ let would_overflow t ~bytes = t.used_bytes + bytes > t.size_bytes
 
 let fits_at_all t ~bytes = bytes <= t.size_bytes
 
-(* All slaves have consumed every record: safe to reset. *)
+(* All active slaves have consumed every record: safe to reset. Quarantined
+   variants no longer pull records and must not wedge the master. *)
 let fully_drained t =
   Hashtbl.fold
     (fun _ s acc ->
-      acc
-      && Array.for_all (fun pos -> pos >= s.master_next)
-           (Array.sub s.slave_next 1 (t.nreplicas - 1)))
+      let ok = ref acc in
+      for v = 1 to t.nreplicas - 1 do
+        if t.active.(v) && s.slave_next.(v) < s.master_next then ok := false
+      done;
+      !ok)
     t.streams true
 
 (* GHUMVEE-arbitrated reset: clears all records and reclaims the space.
@@ -133,6 +144,7 @@ let master_append t ~rank ~call ~expect_block ~forwarded =
   s.master_next <- s.master_next + 1;
   t.used_bytes <- t.used_bytes + bytes;
   t.total_records <- t.total_records + 1;
+  (match t.tamper with Some f -> f e | None -> ());
   e
 
 (* Master side: publish the result and decide whether a FUTEX_WAKE is
@@ -167,6 +179,23 @@ let lag t ~rank =
   let s = stream t rank in
   let slowest = ref s.master_next in
   for v = 1 to t.nreplicas - 1 do
-    if s.slave_next.(v) < !slowest then slowest := s.slave_next.(v)
+    if t.active.(v) && s.slave_next.(v) < !slowest then slowest := s.slave_next.(v)
   done;
   s.master_next - !slowest
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine / rejoin support *)
+
+(* Stop counting [variant] towards drains and run-ahead windows. *)
+let deactivate t ~variant = if variant > 0 then t.active.(variant) <- false
+
+(* Re-admit a (respawned) replica: it resumes consumption at the master's
+   current position — its backlog was satisfied from the journal, not the
+   buffer, so the stale positions are fast-forwarded. *)
+let reactivate t ~variant =
+  if variant > 0 then begin
+    t.active.(variant) <- true;
+    Hashtbl.iter (fun _ s -> s.slave_next.(variant) <- s.master_next) t.streams
+  end
+
+let is_active t ~variant = t.active.(variant)

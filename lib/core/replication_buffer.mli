@@ -35,6 +35,10 @@ type t = {
   mutable used_bytes : int;
   mutable signals_pending : bool; (** set by GHUMVEE (Section 3.8) *)
   mutable generation : int;
+  active : bool array;
+      (** per variant; quarantined replicas stop counting towards drains *)
+  mutable tamper : (entry -> unit) option;
+      (** fault-injection hook applied to freshly appended records *)
   mutable total_records : int;
   mutable resets : int;
   mutable wakes_issued : int;
@@ -78,4 +82,16 @@ val slave_lookup : t -> rank:int -> variant:int -> entry option
 val slave_advance : t -> rank:int -> variant:int -> unit
 
 val lag : t -> rank:int -> int
-(** Records the master is ahead of the slowest slave on this stream. *)
+(** Records the master is ahead of the slowest active slave on this
+    stream. *)
+
+val deactivate : t -> variant:int -> unit
+(** Quarantine support: stop counting [variant] towards drains and
+    run-ahead windows. No-op for the master. *)
+
+val reactivate : t -> variant:int -> unit
+(** Re-admit a respawned replica, fast-forwarding its consumption
+    positions to the master's current positions (its backlog was satisfied
+    from the journal, not the buffer). *)
+
+val is_active : t -> variant:int -> bool

@@ -1574,39 +1574,64 @@ let handle k (th : Proc.thread) call ~return =
     k.K.stats.traps <- k.K.stats.traps + 1;
     K.count_sysno k.K.stats (Syscall.number call);
     charge th k.K.cost.syscall_trap_ns;
-    match k.K.broker with
-    | None -> (
-      match p.tracer with
-      | None ->
-        k.K.stats.plain <- k.K.stats.plain + 1;
-        trace_route k th call "plain";
-        plain_exec k th call ~done_:(fun r -> finish k th r ~return)
-      | Some _ ->
-        trace_route k th call "monitored";
-        monitor_path k th call ~return)
-    | Some broker -> (
-      match broker.classify th call with
-      | K.Route_plain ->
-        k.K.stats.plain <- k.K.stats.plain + 1;
-        trace_route k th call "plain";
-        plain_exec k th call ~done_:(fun r -> finish k th r ~return)
-      | K.Route_monitor ->
-        trace_route k th call "monitored";
-        monitor_path k th call ~return
-      | K.Route_ipmon token -> (
-        match p.ipmon_registered with
+    let route call =
+      match k.K.broker with
+      | None -> (
+        match p.tracer with
         | None ->
-          (* broker misconfiguration: fall back to the monitored path *)
+          k.K.stats.plain <- k.K.stats.plain + 1;
+          trace_route k th call "plain";
+          plain_exec k th call ~done_:(fun r -> finish k th r ~return)
+        | Some _ ->
+          trace_route k th call "monitored";
+          monitor_path k th call ~return)
+      | Some broker -> (
+        match broker.classify th call with
+        | K.Route_plain ->
+          k.K.stats.plain <- k.K.stats.plain + 1;
+          trace_route k th call "plain";
+          plain_exec k th call ~done_:(fun r -> finish k th r ~return)
+        | K.Route_monitor ->
+          trace_route k th call "monitored";
           monitor_path k th call ~return
-        | Some reg ->
-          k.K.stats.ipmon_fastpath <- k.K.stats.ipmon_fastpath + 1;
-          k.K.stats.tokens_granted <- k.K.stats.tokens_granted + 1;
-          trace_route k th call "ipmon";
-          charge th k.K.cost.ipmon_forward_ns;
-          th.in_ipmon <- true;
-          reg.Proc.invoke th ~token ~call ~return:(fun r ->
-              th.in_ipmon <- false;
-              finish k th r ~return)))
+        | K.Route_ipmon token -> (
+          match p.ipmon_registered with
+          | None ->
+            (* broker misconfiguration: fall back to the monitored path *)
+            monitor_path k th call ~return
+          | Some reg ->
+            k.K.stats.ipmon_fastpath <- k.K.stats.ipmon_fastpath + 1;
+            k.K.stats.tokens_granted <- k.K.stats.tokens_granted + 1;
+            trace_route k th call "ipmon";
+            charge th k.K.cost.ipmon_forward_ns;
+            th.in_ipmon <- true;
+            reg.Proc.invoke th ~token ~call ~return:(fun r ->
+                th.in_ipmon <- false;
+                finish k th r ~return)))
+    in
+    match (match k.K.fault_hook with Some f -> f th call | None -> K.Fault_none) with
+    | K.Fault_none -> route call
+    | K.Fault_rewrite call' ->
+      (* the corrupted capture flows through the normal routing/detection
+         paths; the monitors see it as an argument divergence *)
+      th.current_call <- Some call';
+      trace_route k th call' "fault:rewrite";
+      route call'
+    | K.Fault_result r ->
+      (* transient kernel-level failure (e.g. ECONNRESET): complete now *)
+      trace_route k th call "fault:result";
+      finish k th r ~return
+    | K.Fault_crash sg ->
+      trace_route k th call "fault:crash";
+      kill_process k p ~code:(128 + sg)
+    | K.Fault_delay ns ->
+      (* stall the arrival: the rendezvous watchdog can observe it *)
+      trace_route k th call "fault:delay";
+      block k th ~what:"fault: injected stall" ~timeout_ns:ns ~intr:false
+        ~poll:(fun () -> (None : unit option))
+        ~on_ready:(fun () -> ())
+        ~complete:(fun (_ : Syscall.result) -> route call)
+        ()
   end
 
 (* ------------------------------------------------------------------ *)

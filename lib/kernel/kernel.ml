@@ -135,6 +135,8 @@ let kill_process (k : t) p ~code = Dispatch.kill_process k p ~code
 
 let set_broker (k : t) broker = k.K.broker <- Some broker
 let clear_broker (k : t) = k.K.broker <- None
+let set_fault_hook (k : t) f = k.K.fault_hook <- Some f
+let clear_fault_hook (k : t) = k.K.fault_hook <- None
 
 let prepare_ipmon (k : t) ~pid (reg : Proc.ipmon_registration) =
   Hashtbl.replace k.K.pending_ipmon pid reg

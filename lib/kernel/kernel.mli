@@ -82,6 +82,15 @@ val kill_process : t -> Proc.process -> code:int -> unit
 val set_broker : t -> Kstate.broker -> unit
 val clear_broker : t -> unit
 
+val set_fault_hook :
+  t -> (Proc.thread -> Syscall.call -> Kstate.fault_decision) -> unit
+(** Install the fault-injection hook consulted once per syscall entry,
+    before broker routing. The MVEE's fault layer uses this to inject
+    crashes, corrupted captures, stalls and transient errors that the
+    monitors then detect through their normal paths. *)
+
+val clear_fault_hook : t -> unit
+
 val prepare_ipmon : t -> pid:int -> Proc.ipmon_registration -> unit
 (** Stage the registration (including the invoke closure, which cannot
     travel through the syscall interface) before the replica issues

@@ -61,6 +61,17 @@ type broker = {
       (* IK-B verifier: may the forwarded call complete? One-time. *)
 }
 
+(* Fault-injection decision, consulted once per syscall entry before broker
+   routing. Installed by the MVEE's fault layer; the kernel stays agnostic
+   of fault *plans* and only knows how to apply a decision, so the monitors
+   observe injected failures through their normal detection paths. *)
+type fault_decision =
+  | Fault_none
+  | Fault_crash of int (* kill the process as if a fatal signal hit mid-call *)
+  | Fault_rewrite of Syscall.call (* corrupted argument capture *)
+  | Fault_delay of Vtime.t (* stall this arrival before routing it *)
+  | Fault_result of Syscall.result (* complete immediately (transient errors) *)
+
 (* Futex wait queues, keyed by physical backing (shared segments give the
    same key in every attached process). *)
 type futex_waiter = {
@@ -83,6 +94,7 @@ type t = {
   futexes : (Vm.futex_key, futex_waiter Queue.t) Hashtbl.t;
   stats : counters;
   mutable broker : broker option;
+  mutable fault_hook : (Proc.thread -> Syscall.call -> fault_decision) option;
   flocks : (int, int) Hashtbl.t;
       (* advisory exclusive file locks: inode -> holder pid *)
   pending_ipmon : (int, Proc.ipmon_registration) Hashtbl.t;
@@ -109,6 +121,7 @@ let create ?(cost = Cost_model.default) ?(seed = 42)
     futexes = Hashtbl.create 32;
     stats = make_counters ();
     broker = None;
+    fault_hook = None;
     flocks = Hashtbl.create 8;
     pending_ipmon = Hashtbl.create 8;
     epoch_offset_ns = 1_600_000_000_000_000_000L;

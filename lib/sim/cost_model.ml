@@ -40,6 +40,12 @@ type t = {
   cacheline_bounce_ns : int;
       (* one cross-core cache-line transfer; the master pays one per slave
          per published RB record (the slaves' reads steal the lines) *)
+  respawn_spawn_ns : int;
+      (* monitor-side cost of forking + attaching a replacement replica
+         under the Respawn recovery policy *)
+  replay_record_ns : int;
+      (* per-record cost of satisfying a respawned replica's syscall from
+         the master's journal during resynchronization *)
 }
 
 let default =
@@ -63,6 +69,8 @@ let default =
     nic_overhead_ns = 4_500;
     wire_ns_per_byte = 8.0;
     cacheline_bounce_ns = 45;
+    respawn_spawn_ns = 450_000;
+    replay_record_ns = 400;
   }
 
 (* A hypothetical machine with very cheap context switches: used by the

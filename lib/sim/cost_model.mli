@@ -25,6 +25,10 @@ type t = {
   nic_overhead_ns : int;
   wire_ns_per_byte : float;
   cacheline_bounce_ns : int;
+  respawn_spawn_ns : int;
+      (** monitor-side cost of forking + attaching a replacement replica *)
+  replay_record_ns : int;
+      (** per-record cost of journal-driven resynchronization replay *)
 }
 
 val default : t

@@ -120,15 +120,27 @@ let accept fd =
   | Syscall.Error e -> fail "accept" e
   | _ -> fail "accept" Errno.EINVAL
 
-(* Blocking connect with retry while the server is not yet listening. *)
-let rec connect_retry ?(attempts = 50) fd port =
-  match Sched.syscall (Syscall.Connect (fd, port)) with
-  | Syscall.Ok_int _ | Syscall.Ok_unit -> ()
-  | Syscall.Error (Errno.ECONNREFUSED | Errno.EINTR) when attempts > 0 ->
-    nanosleep 200_000;
-    connect_retry ~attempts:(attempts - 1) fd port
-  | Syscall.Error e -> fail "connect" e
-  | _ -> fail "connect" Errno.EINVAL
+exception Connect_retries_exhausted of { port : int; attempts : int }
+
+(* Blocking connect with retry while the server is not yet listening:
+   exponential backoff from 200us, doubling up to a 50ms cap. Exhausting
+   the budget raises [Connect_retries_exhausted] — distinguishable from an
+   outright refusal ([Sys_error ECONNREFUSED] on a non-transient error). *)
+let connect_retry ?(attempts = 50) fd port =
+  let cap_ns = 50_000_000 in
+  let rec go ~left ~delay_ns =
+    match Sched.syscall (Syscall.Connect (fd, port)) with
+    | Syscall.Ok_int _ | Syscall.Ok_unit -> ()
+    | Syscall.Error (Errno.ECONNREFUSED | Errno.EINTR) ->
+      if left <= 0 then raise (Connect_retries_exhausted { port; attempts })
+      else begin
+        nanosleep delay_ns;
+        go ~left:(left - 1) ~delay_ns:(min cap_ns (2 * delay_ns))
+      end
+    | Syscall.Error e -> fail "connect" e
+    | _ -> fail "connect" Errno.EINVAL
+  in
+  go ~left:attempts ~delay_ns:200_000
 
 let send fd data = int_of "send" (retrying "send" (Syscall.Sendto (fd, data)))
 let recv fd count = data_of "recv" (retrying "recv" (Syscall.Recvfrom (fd, count)))

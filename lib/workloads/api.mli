@@ -50,8 +50,13 @@ val bind : int -> int -> unit
 val listen : int -> int -> unit
 val accept : int -> Syscall.accept_info
 
+exception Connect_retries_exhausted of { port : int; attempts : int }
+(** [connect_retry] ran out of attempts while the port still refused. *)
+
 val connect_retry : ?attempts:int -> int -> int -> unit
-(** Blocking connect, retrying while the server is not yet listening. *)
+(** Blocking connect, retrying while the server is not yet listening, with
+    exponential backoff (200us doubling, capped at 50ms). Raises
+    {!Connect_retries_exhausted} when the attempt budget runs out. *)
 
 val send : int -> string -> int
 val recv : int -> int -> string

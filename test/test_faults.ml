@@ -1,0 +1,250 @@
+(* Fault injection and recovery: deterministic replay of fault plans,
+   quarantine / kill-group / respawn policies, master-crash containment
+   and the connect-retry budget. *)
+
+open Remon_kernel
+open Remon_core
+open Remon_sim
+open Remon_workloads
+
+let sys = Sched.syscall
+
+let config ?(backend = Mvee.Remon) ?(nreplicas = 2) ?(faults = [])
+    ?(on_failure = Mvee.Kill_group) () =
+  {
+    Mvee.default_config with
+    backend;
+    nreplicas;
+    policy = Policy.spatial Classification.Socket_rw_level;
+    faults;
+    on_failure;
+  }
+
+let all_backends =
+  [ Mvee.Native; Mvee.Ghumvee_only; Mvee.Varan; Mvee.Remon ]
+
+(* A mixed workload: mostly exempt calls (gettimeofday) with a monitored
+   open/close rendezvous every few iterations, so the master's syscall
+   stream contains both fast-path records and lockstep entries. *)
+let mixed_body ?(iters = 60) ?(compute_us = 40) () (_env : Mvee.env) =
+  for i = 1 to iters do
+    ignore (sys Syscall.Gettimeofday);
+    Sched.compute (Vtime.us compute_us);
+    if i mod 5 = 0 then begin
+      match sys (Syscall.Open ("/tmp/faults.txt", { Syscall.o_rdwr with create = true })) with
+      | Syscall.Ok_int fd ->
+        ignore (sys (Syscall.Write (fd, "x")));
+        ignore (sys (Syscall.Close fd))
+      | _ -> ()
+    end
+  done
+
+let run_once cfg body =
+  let kernel = Kernel.create ~seed:cfg.Mvee.seed () in
+  let h = Mvee.launch kernel cfg ~name:"faulted" ~body in
+  Kernel.run kernel;
+  Mvee.finish h
+
+(* The spec list carries mutable [fired] flags, so each run needs a fresh
+   plan — this is also what [Mvee.launch] expects from [of_string]. *)
+let crash_slave_plan () =
+  [ Fault.spec ~kind:(Fault.Crash Sigdefs.sigsegv) ~variant:1 ~at:12 ]
+
+let noisy_plan () =
+  [
+    Fault.spec ~kind:(Fault.Crash Sigdefs.sigsegv) ~variant:1 ~at:14;
+    Fault.spec ~kind:(Fault.Delay (Vtime.us 300)) ~variant:1 ~at:7;
+    Fault.spec ~kind:(Fault.Sock_err Errno.EAGAIN) ~variant:0 ~at:22;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: identical seed + plan => structurally identical outcome,
+   on every backend. *)
+
+let test_determinism backend () =
+  let run () =
+    run_once
+      (config ~backend ~faults:(noisy_plan ()) ~on_failure:Mvee.Quarantine ())
+      (mixed_body ())
+  in
+  let o1 = run () and o2 = run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: identical outcomes" (Mvee.backend_to_string backend))
+    true (o1 = o2)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine: an injected slave crash detaches the replica; the group
+   finishes degraded with no verdict and the master's exit preserved. *)
+
+let test_quarantine_slave_crash () =
+  let o =
+    run_once
+      (config ~faults:(crash_slave_plan ()) ~on_failure:Mvee.Quarantine ())
+      (mixed_body ())
+  in
+  (match o.Mvee.verdict with
+  | None -> ()
+  | Some v -> Alcotest.failf "unexpected verdict: %s" (Divergence.to_string v));
+  Alcotest.(check int) "fault fired" 1 o.Mvee.faults_injected;
+  Alcotest.(check int) "one quarantine" 1 o.Mvee.quarantines;
+  Alcotest.(check int) "no respawn" 0 o.Mvee.respawns;
+  Alcotest.(check bool) "degraded time accrued" true
+    (Vtime.compare o.Mvee.degraded_ns Vtime.zero > 0);
+  Alcotest.(check (option int))
+    "master exit preserved" (Some 0)
+    (List.assoc_opt 0 o.Mvee.exit_codes)
+
+(* Kill-group (the paper's policy): the same plan is a fatal verdict. *)
+let test_kill_group_fatal () =
+  let o =
+    run_once
+      (config ~faults:(crash_slave_plan ()) ~on_failure:Mvee.Kill_group ())
+      (mixed_body ())
+  in
+  match o.Mvee.verdict with
+  | Some (Divergence.Replica_crash { variant = 1; signal }) ->
+    Alcotest.(check int) "SIGSEGV" Sigdefs.sigsegv signal
+  | Some v -> Alcotest.failf "wrong verdict: %s" (Divergence.to_string v)
+  | None -> Alcotest.fail "expected a fatal verdict under kill-group"
+
+(* Respawn: the crashed slave is relaunched, replays the master journal
+   and rejoins lockstep — so the degraded window closes before the run
+   ends. *)
+let test_respawn_rejoins () =
+  let o =
+    run_once
+      (config ~faults:(crash_slave_plan ())
+         ~on_failure:
+           (Mvee.Respawn { max_respawns = 2; backoff_ns = Vtime.us 200 })
+         ())
+      (mixed_body ~iters:200 ~compute_us:5 ())
+  in
+  (match o.Mvee.verdict with
+  | None -> ()
+  | Some v -> Alcotest.failf "unexpected verdict: %s" (Divergence.to_string v));
+  Alcotest.(check int) "one quarantine" 1 o.Mvee.quarantines;
+  Alcotest.(check int) "one respawn" 1 o.Mvee.respawns;
+  Alcotest.(check bool) "was degraded for a while" true
+    (Vtime.compare o.Mvee.degraded_ns Vtime.zero > 0);
+  (* the window must really close mid-run: a follower that never caught up
+     would stay degraded until master exit (almost the whole duration) *)
+  Alcotest.(check bool) "rejoined well before the end" true
+    (Vtime.compare
+       (Vtime.add o.Mvee.degraded_ns o.Mvee.degraded_ns)
+       o.Mvee.duration
+    < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Master crash containment: a crash of variant 0 mid-run must tear the
+   group down with a [Replica_crash] verdict — pending I/O drained, no
+   rendezvous-watchdog hang — on every backend. *)
+
+let test_master_crash backend () =
+  let o =
+    run_once
+      (config ~backend
+         ~faults:
+           [ Fault.spec ~kind:(Fault.Crash Sigdefs.sigsegv) ~variant:0 ~at:10 ]
+         ())
+      (mixed_body ())
+  in
+  match o.Mvee.verdict with
+  | Some (Divergence.Replica_crash { variant = 0; signal }) ->
+    Alcotest.(check int) "SIGSEGV" Sigdefs.sigsegv signal;
+    Alcotest.(check bool) "finite duration" true
+      (Vtime.compare o.Mvee.duration Vtime.zero > 0)
+  | Some v -> Alcotest.failf "wrong verdict: %s" (Divergence.to_string v)
+  | None -> Alcotest.fail "expected a master-crash verdict"
+
+(* ------------------------------------------------------------------ *)
+(* connect_retry: budget exhaustion raises the dedicated exception
+   instead of looping forever or reporting a generic refusal. *)
+
+let test_connect_retry_exhausted () =
+  let outcome = ref `Nothing in
+  let body (_env : Mvee.env) =
+    let fd = Api.socket () in
+    (try
+       Api.connect_retry ~attempts:3 fd 9999;
+       outcome := `Connected
+     with
+    | Api.Connect_retries_exhausted { port; attempts } ->
+      outcome := `Exhausted (port, attempts)
+    | Api.Sys_error (e, _) -> outcome := `Error e);
+    Api.close fd
+  in
+  let o = run_once (config ~backend:Mvee.Native ~nreplicas:1 ()) body in
+  (match o.Mvee.verdict with
+  | None -> ()
+  | Some v -> Alcotest.failf "unexpected verdict: %s" (Divergence.to_string v));
+  match !outcome with
+  | `Exhausted (9999, 3) -> ()
+  | `Exhausted (p, a) -> Alcotest.failf "wrong payload: port %d attempts %d" p a
+  | `Connected -> Alcotest.fail "connect unexpectedly succeeded"
+  | `Error e -> Alcotest.failf "generic error instead: %s" (Errno.to_string e)
+  | `Nothing -> Alcotest.fail "no outcome recorded"
+
+(* And the success path still works after a listener shows up late. *)
+let test_connect_retry_eventual_success () =
+  let connected = ref false in
+  let body (env : Mvee.env) =
+    if env.Mvee.variant = 0 then begin
+      let tid =
+        env.Mvee.spawn_thread (fun () ->
+            (* server comes up only after the client's first refusals *)
+            Api.nanosleep 2_000_000;
+            let s = Api.socket () in
+            Api.bind s 7777;
+            Api.listen s 8;
+            let a = Api.accept s in
+            Api.close a.Syscall.conn_fd;
+            Api.close s)
+      in
+      ignore tid;
+      let fd = Api.socket () in
+      Api.connect_retry ~attempts:20 fd 7777;
+      connected := true;
+      Api.close fd
+    end
+  in
+  let o = run_once (config ~backend:Mvee.Native ~nreplicas:1 ()) body in
+  (match o.Mvee.verdict with
+  | None -> ()
+  | Some v -> Alcotest.failf "unexpected verdict: %s" (Divergence.to_string v));
+  Alcotest.(check bool) "eventually connected" true !connected
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "determinism",
+        List.map
+          (fun b ->
+            Alcotest.test_case
+              (Printf.sprintf "same seed+plan, %s" (Mvee.backend_to_string b))
+              `Quick (test_determinism b))
+          all_backends );
+      ( "recovery",
+        [
+          Alcotest.test_case "quarantine detaches slave" `Quick
+            test_quarantine_slave_crash;
+          Alcotest.test_case "kill-group is fatal" `Quick test_kill_group_fatal;
+          Alcotest.test_case "respawn replays and rejoins" `Quick
+            test_respawn_rejoins;
+        ] );
+      ( "master-crash",
+        List.map
+          (fun b ->
+            Alcotest.test_case
+              (Printf.sprintf "contained on %s" (Mvee.backend_to_string b))
+              `Quick (test_master_crash b))
+          all_backends );
+      ( "connect-retry",
+        [
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_connect_retry_exhausted;
+          Alcotest.test_case "eventual success" `Quick
+            test_connect_retry_eventual_success;
+        ] );
+    ]
