@@ -16,7 +16,7 @@ let dense_profile =
   Profile.make ~name:"ablation.dense" ~threads:4 ~density_hz:120_000. ~calls:3000
     ~mix:Profile.mix_file_rw ~description:"syscall-dense ablation workload" ()
 
-let run () =
+let run ?domains () =
   print_endline "=== Ablations ===\n";
 
   (* a) context-switch cost sensitivity *)
@@ -26,13 +26,22 @@ let run () =
       ~header:[ "machine"; "ptrace stop"; "GHUMVEE (CP)"; "ReMon (hybrid)"; "CP/hybrid gap" ]
       ()
   in
-  List.iter
-    (fun (label, cost) ->
-      let cp = Runner.normalized_time ~cost dense_profile (Runner.cfg_ghumvee ()) in
-      let hy =
-        Runner.normalized_time ~cost dense_profile
-          (Runner.cfg_remon Classification.Nonsocket_rw_level)
-      in
+  let machines =
+    [ ("paper testbed", Cost_model.default); ("cheap switches", Cost_model.cheap_switches) ]
+  in
+  let pairs =
+    Pool.map ?domains
+      (fun (_, cost) ->
+        let cp = Runner.normalized_time ~cost dense_profile (Runner.cfg_ghumvee ()) in
+        let hy =
+          Runner.normalized_time ~cost dense_profile
+            (Runner.cfg_remon Classification.Nonsocket_rw_level)
+        in
+        (cp, hy))
+      machines
+  in
+  List.iter2
+    (fun (label, cost) (cp, hy) ->
       Table.add_row t
         [
           label;
@@ -41,7 +50,7 @@ let run () =
           Table.fmt_ratio hy;
           Printf.sprintf "%.1fx" ((cp -. 1.) /. Float.max 0.001 (hy -. 1.));
         ])
-    [ ("paper testbed", Cost_model.default); ("cheap switches", Cost_model.cheap_switches) ];
+    machines pairs;
   Table.print t;
   print_newline ();
 
@@ -51,27 +60,37 @@ let run () =
       ~header:[ "strategy"; "normalized time"; "notes" ]
       ()
   in
-  let with_mode mode label notes =
-    let config =
-      {
-        (Runner.cfg_remon Classification.Nonsocket_rw_level) with
-        Mvee.mode_override = Some mode;
-      }
-    in
-    let v = Runner.normalized_time dense_profile config in
-    Table.add_row t [ label; Table.fmt_ratio v; notes ]
+  let strategies =
+    [
+      ( Context.remon_mode,
+        "per-record condvar + auto spin (ReMon)",
+        "wakes skipped when nobody waits" );
+      ( { Context.remon_mode with Context.per_call_condvar = false },
+        "single condition variable",
+        "every publish pays a FUTEX_WAKE" );
+      ( { Context.remon_mode with Context.slave_wait = Context.Wait_futex_only },
+        "condvar always",
+        "futex wait even for non-blocking calls" );
+      ( { Context.remon_mode with Context.slave_wait = Context.Wait_spin_only },
+        "spin always",
+        "lowest latency; burns slave CPU (not modeled)" );
+    ]
   in
-  with_mode Context.remon_mode "per-record condvar + auto spin (ReMon)"
-    "wakes skipped when nobody waits";
-  with_mode
-    { Context.remon_mode with Context.per_call_condvar = false }
-    "single condition variable" "every publish pays a FUTEX_WAKE";
-  with_mode
-    { Context.remon_mode with Context.slave_wait = Context.Wait_futex_only }
-    "condvar always" "futex wait even for non-blocking calls";
-  with_mode
-    { Context.remon_mode with Context.slave_wait = Context.Wait_spin_only }
-    "spin always" "lowest latency; burns slave CPU (not modeled)";
+  let times =
+    Pool.map ?domains
+      (fun (mode, _, _) ->
+        let config =
+          {
+            (Runner.cfg_remon Classification.Nonsocket_rw_level) with
+            Mvee.mode_override = Some mode;
+          }
+        in
+        Runner.normalized_time dense_profile config)
+      strategies
+  in
+  List.iter2
+    (fun (_, label, notes) v -> Table.add_row t [ label; Table.fmt_ratio v; notes ])
+    strategies times;
   Table.print t;
   print_newline ();
 
@@ -98,22 +117,26 @@ let run () =
       ~header:[ "window (records)"; "normalized time"; "unchecked calls at detection" ]
       ()
   in
-  List.iter
-    (fun window ->
-      let mode = { Context.varan_mode with Context.runahead_window = window } in
-      let config = { (Runner.cfg_varan ()) with Mvee.mode_override = Some mode } in
-      let v = Runner.normalized_time dense_profile config in
-      let attack = Attack.divergent_syscall ~config () in
+  let windows = [ Some 1; Some 4; Some 16; Some 64; None ] in
+  let window_rows =
+    Pool.map ?domains
+      (fun window ->
+        let mode = { Context.varan_mode with Context.runahead_window = window } in
+        let config = { (Runner.cfg_varan ()) with Mvee.mode_override = Some mode } in
+        let v = Runner.normalized_time dense_profile config in
+        let attack = Attack.divergent_syscall ~config () in
+        (v, attack.Attack.notes))
+      windows
+  in
+  List.iter2
+    (fun window (v, notes) ->
       Table.add_row t
         [
           (match window with None -> "unbounded" | Some w -> string_of_int w);
           Table.fmt_ratio v;
-          (let n = attack.Attack.notes in
-           match String.index_opt n 'm' with
-           | Some _ -> n
-           | None -> n);
+          notes;
         ])
-    [ Some 1; Some 4; Some 16; Some 64; None ];
+    windows window_rows;
   Table.print t;
   print_newline ();
 
@@ -125,28 +148,38 @@ let run () =
       ~header:[ "exempt probability"; "normalized time"; "ipmon calls"; "monitored" ]
       ()
   in
-  List.iter
-    (fun prob ->
-      let policy =
-        if prob <= 0. then Policy.spatial Classification.Base_level
-        else
-          Policy.with_temporal
-            (Policy.spatial Classification.Base_level)
-            { Policy.default_temporal with Policy.exempt_probability = prob }
-      in
-      let config = { (Runner.cfg_remon Classification.Base_level) with Mvee.policy } in
-      let native = Runner.run_profile dense_profile (Runner.cfg_native ()) in
-      let under = Runner.run_profile dense_profile config in
-      let v =
-        Vtime.to_float_ns under.Runner.duration /. Vtime.to_float_ns native.Runner.duration
-      in
+  let probs = [ 0.0; 0.25; 0.5; 0.75; 0.95 ] in
+  let prob_rows =
+    Pool.map ?domains
+      (fun prob ->
+        let policy =
+          if prob <= 0. then Policy.spatial Classification.Base_level
+          else
+            Policy.with_temporal
+              (Policy.spatial Classification.Base_level)
+              { Policy.default_temporal with Policy.exempt_probability = prob }
+        in
+        let config = { (Runner.cfg_remon Classification.Base_level) with Mvee.policy } in
+        let native = Runner.run_profile dense_profile (Runner.cfg_native ()) in
+        let under = Runner.run_profile dense_profile config in
+        let v =
+          Vtime.to_float_ns under.Runner.duration
+          /. Vtime.to_float_ns native.Runner.duration
+        in
+        ( v,
+          under.Runner.outcome.Mvee.ipmon_fastpath,
+          under.Runner.outcome.Mvee.monitored ))
+      probs
+  in
+  List.iter2
+    (fun prob (v, fastpath, monitored) ->
       Table.add_row t
         [
           Printf.sprintf "%.0f%%" (prob *. 100.);
           Table.fmt_ratio v;
-          string_of_int under.Runner.outcome.Mvee.ipmon_fastpath;
-          string_of_int under.Runner.outcome.Mvee.monitored;
+          string_of_int fastpath;
+          string_of_int monitored;
         ])
-    [ 0.0; 0.25; 0.5; 0.75; 0.95 ];
+    probs prob_rows;
   Table.print t;
   print_newline ()

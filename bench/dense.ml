@@ -6,7 +6,7 @@ open Remon_core
 open Remon_util
 open Remon_workloads
 
-let run () =
+let run ?domains () =
   print_endline "=== Dense-benchmark deep dive (Section 5.1) ===\n";
   let cases =
     [
@@ -31,21 +31,21 @@ let run () =
           "ipmon calls"; "monitored"; "rb resets"; "wakes skipped" ]
       ()
   in
-  List.iter
-    (fun (name, (profile : Profile.t), (paper_cp, paper_ip)) ->
-      let cp = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
-      let level =
-        if name = "network-loopback" then Classification.Socket_rw_level
-        else Classification.Nonsocket_rw_level
-      in
-      let native = Runner.run_profile profile (Runner.cfg_native ()) in
-      let under = Runner.run_profile profile (Runner.cfg_remon level) in
-      let ip =
-        Remon_sim.Vtime.to_float_ns under.Runner.duration
-        /. Remon_sim.Vtime.to_float_ns native.Runner.duration
-      in
-      let o = under.Runner.outcome in
-      Table.add_row t
+  let rows =
+    Pool.map ?domains
+      (fun (name, (profile : Profile.t), (paper_cp, paper_ip)) ->
+        let cp = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
+        let level =
+          if name = "network-loopback" then Classification.Socket_rw_level
+          else Classification.Nonsocket_rw_level
+        in
+        let native = Runner.run_profile profile (Runner.cfg_native ()) in
+        let under = Runner.run_profile profile (Runner.cfg_remon level) in
+        let ip =
+          Remon_sim.Vtime.to_float_ns under.Runner.duration
+          /. Remon_sim.Vtime.to_float_ns native.Runner.duration
+        in
+        let o = under.Runner.outcome in
         [
           name;
           Printf.sprintf "%.0f Hz" profile.Profile.density_hz;
@@ -58,6 +58,8 @@ let run () =
           string_of_int o.Mvee.rb_resets;
           "-";
         ])
-    cases;
+      cases
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t;
   print_newline ()

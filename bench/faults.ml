@@ -82,12 +82,49 @@ let availability cfg =
   in
   frac *. max 0.0 healthy
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?domains () =
   print_endline "=== Resilience: availability vs fault rate (extension) ===\n";
   let trials = if quick then 2 else 5 in
   let rates = if quick then [ 0.0; 0.003; 0.01 ] else rates in
+  (* a job = all trials of one (policy, rate, backend) cell; seeds depend
+     only on the trial number, so cells are independent of execution order *)
+  let jobs =
+    List.concat_map
+      (fun (_, policy) ->
+        List.concat_map
+          (fun rate ->
+            List.map
+              (fun (_, backend, nreplicas) -> (policy, rate, backend, nreplicas))
+              backends)
+          rates)
+      policies
+  in
+  let cells =
+    Pool.map ?domains
+      (fun (policy, rate, backend, nreplicas) ->
+        let total = ref 0.0 in
+        for trial = 1 to trials do
+          let seed = 1000 + (137 * trial) in
+          let faults =
+            Fault.random_plan ~seed:(seed + 7) ~rate ~horizon ~nreplicas
+          in
+          total :=
+            !total
+            +. availability (config backend nreplicas ~seed ~faults ~on_failure:policy)
+        done;
+        Printf.sprintf "%.1f%%" (100.0 *. !total /. float_of_int trials))
+      jobs
+  in
+  let cells = ref cells in
+  let next_cell () =
+    match !cells with
+    | c :: rest ->
+      cells := rest;
+      c
+    | [] -> assert false
+  in
   List.iter
-    (fun (pname, policy) ->
+    (fun (pname, _) ->
       let t =
         Table.create
           ~title:
@@ -99,25 +136,8 @@ let run ?(quick = false) () =
       in
       List.iter
         (fun rate ->
-          let cells =
-            List.map
-              (fun (_, backend, nreplicas) ->
-                let total = ref 0.0 in
-                for trial = 1 to trials do
-                  let seed = 1000 + (137 * trial) in
-                  let faults =
-                    Fault.random_plan ~seed:(seed + 7) ~rate ~horizon ~nreplicas
-                  in
-                  total :=
-                    !total
-                    +. availability
-                         (config backend nreplicas ~seed ~faults
-                            ~on_failure:policy)
-                done;
-                Printf.sprintf "%.1f%%" (100.0 *. !total /. float_of_int trials))
-              backends
-          in
-          Table.add_row t (Printf.sprintf "%.3f" rate :: cells))
+          let row = List.map (fun _ -> next_cell ()) backends in
+          Table.add_row t (Printf.sprintf "%.3f" rate :: row))
         rates;
       Table.print t;
       print_newline ())

@@ -6,7 +6,7 @@ open Remon_core
 open Remon_util
 open Remon_workloads
 
-let run_suite title (entries : (string * float * float * Profile.t) list) =
+let run_suite ?domains title (entries : (string * float * float * Profile.t) list) =
   let t =
     Table.create ~title
       ~header:
@@ -14,15 +14,23 @@ let run_suite title (entries : (string * float * float * Profile.t) list) =
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
       ()
   in
+  (* each entry's two runs are one independent job; results come back in
+     entry order, so the printed table is identical for any domain count *)
+  let results =
+    Pool.map ?domains
+      (fun (_, _, _, profile) ->
+        let sim_no = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
+        let sim_ip =
+          Runner.normalized_time profile
+            (Runner.cfg_remon Classification.Nonsocket_rw_level)
+        in
+        (sim_no, sim_ip))
+      entries
+  in
   let sims_no = ref [] and sims_ip = ref [] in
   let papers_no = ref [] and papers_ip = ref [] in
-  List.iter
-    (fun (name, paper_no, paper_ip, profile) ->
-      let sim_no = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
-      let sim_ip =
-        Runner.normalized_time profile
-          (Runner.cfg_remon Classification.Nonsocket_rw_level)
-      in
+  List.iter2
+    (fun (name, paper_no, paper_ip, _) (sim_no, sim_ip) ->
       sims_no := sim_no :: !sims_no;
       sims_ip := sim_ip :: !sims_ip;
       papers_no := paper_no :: !papers_no;
@@ -35,7 +43,7 @@ let run_suite title (entries : (string * float * float * Profile.t) list) =
           Table.fmt_ratio paper_ip;
           Table.fmt_ratio sim_ip;
         ])
-    entries;
+    entries results;
   Table.add_separator t;
   Table.add_row t
     [
@@ -49,7 +57,7 @@ let run_suite title (entries : (string * float * float * Profile.t) list) =
   print_newline ();
   (Stats.geomean !sims_no, Stats.geomean !sims_ip)
 
-let run () =
+let run ?domains () =
   print_endline
     "=== Figure 3: PARSEC 2.1 + SPLASH-2x, 2 replicas, 4 worker threads ===\n";
   let parsec =
@@ -58,14 +66,14 @@ let run () =
         (e.bench, e.paper_no_ipmon, e.paper_ipmon, e.profile))
       Parsec.all
   in
-  let gp_no, gp_ip = run_suite "PARSEC 2.1" parsec in
+  let gp_no, gp_ip = run_suite ?domains "PARSEC 2.1" parsec in
   let splash =
     List.map
       (fun (e : Splash.entry) ->
         (e.bench, e.paper_no_ipmon, e.paper_ipmon, e.profile))
       Splash.all
   in
-  let gs_no, gs_ip = run_suite "SPLASH-2x" splash in
+  let gs_no, gs_ip = run_suite ?domains "SPLASH-2x" splash in
   Printf.printf
     "Paper: PARSEC overhead 21.9%% -> 11.2%% with IP-MON; SPLASH 29.2%% -> 10.4%%.\n";
   Printf.printf "Sim:   PARSEC overhead %s -> %s with IP-MON; SPLASH %s -> %s.\n\n"

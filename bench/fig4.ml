@@ -4,7 +4,7 @@
 open Remon_util
 open Remon_workloads
 
-let run () =
+let run ?domains () =
   print_endline "=== Figure 4: Phoronix suite, spatial policy sweep, 2 replicas ===\n";
   let header =
     [ "benchmark"; "series"; "no-IPMON"; "BASE"; "NS_RO"; "NS_RW"; "SOCK_RO"; "SOCK_RW" ]
@@ -19,21 +19,28 @@ let run () =
   (* geomean accumulators: index 0 = no-IPMON, 1..5 = levels *)
   let sims = Array.make 6 [] in
   let papers = Array.make 6 [] in
-  List.iter
-    (fun (e : Phoronix.entry) ->
-      let sim_no = Runner.normalized_time e.profile (Runner.cfg_ghumvee ()) in
-      let sim_levels =
-        List.map
-          (fun lvl -> Runner.normalized_time e.profile (Runner.cfg_remon lvl))
-          Phoronix.levels
-      in
-      let sim_series = sim_no :: sim_levels in
+  (* one job per benchmark: the six policy runs of an entry stay ordered
+     inside it, and results are collected in entry order *)
+  let series =
+    Pool.map ?domains
+      (fun (e : Phoronix.entry) ->
+        let sim_no = Runner.normalized_time e.profile (Runner.cfg_ghumvee ()) in
+        let sim_levels =
+          List.map
+            (fun lvl -> Runner.normalized_time e.profile (Runner.cfg_remon lvl))
+            Phoronix.levels
+        in
+        sim_no :: sim_levels)
+      Phoronix.all
+  in
+  List.iter2
+    (fun (e : Phoronix.entry) sim_series ->
       List.iteri (fun i v -> sims.(i) <- v :: sims.(i)) sim_series;
       Array.iteri (fun i v -> papers.(i) <- v :: papers.(i)) e.paper;
       Table.add_row t
         (e.bench :: "paper" :: List.map Table.fmt_ratio (Array.to_list e.paper));
       Table.add_row t ("" :: "sim" :: List.map Table.fmt_ratio sim_series))
-    Phoronix.all;
+    Phoronix.all series;
   Table.add_separator t;
   Table.add_row t
     ("GEOMEAN" :: "paper"

@@ -24,12 +24,42 @@ let scenarios =
 
 let replica_counts = [ 2; 3; 4; 5; 6; 7 ]
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?domains () =
   print_endline
     "=== Figure 5: server benchmarks, 2 latency scenarios, 2-7 replicas ===\n";
   let replica_counts = if quick then [ 2; 4; 7 ] else replica_counts in
-  List.iter
-    (fun (scenario, latency) ->
+  (* flatten both scenarios into one job list (a job = all replica counts of
+     one bench under one latency) so the pool sees the full sweep at once *)
+  let jobs =
+    List.concat_map
+      (fun (_, latency) -> List.map (fun bench -> (latency, bench)) benches)
+      scenarios
+  in
+  let rows =
+    Pool.map ?domains
+      (fun (latency, (server, client)) ->
+        let native =
+          Runner.run_server_bench ~latency ~server ~client (Runner.cfg_native ())
+        in
+        let base = Vtime.to_float_ns native.Runner.client_duration in
+        let overhead config =
+          let r = Runner.run_server_bench ~latency ~server ~client config in
+          (Vtime.to_float_ns r.Runner.client_duration /. base) -. 1.
+        in
+        let no_ipmon = overhead (Runner.cfg_ghumvee ()) in
+        let with_ipmon =
+          List.map
+            (fun n ->
+              overhead (Runner.cfg_remon ~nreplicas:n Classification.Socket_rw_level))
+            replica_counts
+        in
+        server.Servers.name :: Table.fmt_pct no_ipmon
+        :: List.map Table.fmt_pct with_ipmon)
+      jobs
+  in
+  let nbenches = List.length benches in
+  List.iteri
+    (fun si (scenario, _) ->
       let t =
         Table.create
           ~title:(Printf.sprintf "normalized runtime overhead, %s" scenario)
@@ -41,27 +71,9 @@ let run ?(quick = false) () =
             :: List.map (fun _ -> Table.Right) replica_counts)
           ()
       in
-      List.iter
-        (fun (server, client) ->
-          let native =
-            Runner.run_server_bench ~latency ~server ~client (Runner.cfg_native ())
-          in
-          let base = Vtime.to_float_ns native.Runner.client_duration in
-          let overhead config =
-            let r = Runner.run_server_bench ~latency ~server ~client config in
-            (Vtime.to_float_ns r.Runner.client_duration /. base) -. 1.
-          in
-          let no_ipmon = overhead (Runner.cfg_ghumvee ()) in
-          let with_ipmon =
-            List.map
-              (fun n ->
-                overhead (Runner.cfg_remon ~nreplicas:n Classification.Socket_rw_level))
-              replica_counts
-          in
-          Table.add_row t
-            (server.Servers.name :: Table.fmt_pct no_ipmon
-            :: List.map Table.fmt_pct with_ipmon))
-        benches;
+      List.iteri
+        (fun i row -> if i / nbenches = si then Table.add_row t row)
+        rows;
       Table.print t;
       print_newline ())
     scenarios;

@@ -1,29 +1,58 @@
 (* Reproduction harness: regenerates every table and figure of the paper's
    evaluation, plus design-choice ablations and microbenchmarks.
 
-     dune exec bench/main.exe             # everything
-     dune exec bench/main.exe -- fig3     # one experiment
-     dune exec bench/main.exe -- quick    # everything, smaller fig5 sweep
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- fig3          # one experiment
+     dune exec bench/main.exe -- quick         # everything, smaller sweeps
+     dune exec bench/main.exe -- --domains 4   # fan runs out over 4 domains
 
-   Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults *)
+   Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults
+   selfperf
+
+   Simulation runs are independent (own kernel, clock, seeded RNG), so the
+   drivers fan them out across OCaml 5 domains via [Pool.map] and print the
+   collected results in order: stdout is byte-identical for any --domains
+   value. Wall-time reporting goes to stderr so stdout stays diffable. *)
 
 let experiments =
   [
-    ("table1", fun ~quick:_ () -> Table1.run ());
-    ("fig3", fun ~quick:_ () -> Fig3.run ());
-    ("fig4", fun ~quick:_ () -> Fig4.run ());
-    ("fig5", fun ~quick () -> Fig5.run ~quick ());
-    ("table2", fun ~quick:_ () -> Table2.run ());
-    ("dense", fun ~quick:_ () -> Dense.run ());
-    ("ablations", fun ~quick:_ () -> Ablations.run ());
-    ("micro", fun ~quick:_ () -> Micro.run ());
-    ("faults", fun ~quick () -> Faults.run ~quick ());
+    ("table1", fun ~quick:_ ~domains () -> Table1.run ~domains ());
+    ("fig3", fun ~quick:_ ~domains () -> Fig3.run ~domains ());
+    ("fig4", fun ~quick:_ ~domains () -> Fig4.run ~domains ());
+    ("fig5", fun ~quick ~domains () -> Fig5.run ~quick ~domains ());
+    ("table2", fun ~quick:_ ~domains () -> Table2.run ~domains ());
+    ("dense", fun ~quick:_ ~domains () -> Dense.run ~domains ());
+    ("ablations", fun ~quick:_ ~domains () -> Ablations.run ~domains ());
+    ("micro", fun ~quick:_ ~domains:_ () -> Micro.run ());
+    ("faults", fun ~quick ~domains () -> Faults.run ~quick ~domains ());
+    ("selfperf", fun ~quick ~domains () -> Selfperf.run ~quick ~domains ());
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
-  let selected = List.filter (fun a -> a <> "quick") args in
+  let rec parse_domains = function
+    | "--domains" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 -> Some d
+      | _ ->
+        Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+        exit 2)
+    | _ :: rest -> parse_domains rest
+    | [] -> None
+  in
+  let domains =
+    match parse_domains args with
+    | Some d -> d
+    | None -> Remon_util.Pool.default_domains ()
+  in
+  let rec strip = function
+    | "--domains" :: _ :: rest -> strip rest
+    | "quick" :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let selected = strip args in
   let to_run =
     if selected = [] then experiments
     else
@@ -41,5 +70,12 @@ let () =
   print_endline "paper: Secure and Efficient Application Monitoring and Replication";
   print_endline "       (Volckaert et al., USENIX ATC 2016)\n";
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ~quick ()) to_run;
-  Printf.printf "total harness wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun (name, f) ->
+      let te = Unix.gettimeofday () in
+      f ~quick ~domains ();
+      Printf.eprintf "[%s] wall time: %.2f s\n%!" name (Unix.gettimeofday () -. te))
+    to_run;
+  Printf.eprintf "total harness wall time: %.1f s (domains=%d)\n%!"
+    (Unix.gettimeofday () -. t0)
+    domains

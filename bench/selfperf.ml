@@ -1,0 +1,158 @@
+(* Self-performance benchmark: measures the simulator itself, not the
+   simulated system. Runs a fixed workload matrix, reports host-side
+   throughput (simulated events/sec and syscalls/sec), peak heap, and the
+   sequential-vs-parallel harness speedup, and writes everything to
+   BENCH_selfperf.json so CI can track regressions across commits.
+
+   The same matrix runs twice — once with one domain, once with the
+   requested domain count — so the reported speedup is a like-for-like
+   wall-clock ratio on identical work. *)
+
+open Remon_core
+open Remon_kernel
+open Remon_util
+open Remon_workloads
+
+type job = { wname : string; backend : string; profile : Profile.t; config : Mvee.config }
+
+type sample = {
+  job : job;
+  sim_ns : float; (* simulated master lifetime *)
+  events : int; (* scheduler events processed *)
+  syscalls : int; (* simulated syscall invocations *)
+}
+
+let profiles ~quick =
+  let calls = if quick then 800 else 3000 in
+  [
+    Profile.make ~name:"selfperf.dense" ~threads:4 ~density_hz:120_000. ~calls
+      ~mix:Profile.mix_file_rw ~description:"syscall-dense self-benchmark" ();
+    Profile.make ~name:"selfperf.compute" ~threads:2 ~density_hz:10_000.
+      ~calls:(calls / 2) ~mix:Profile.mix_file_rw
+      ~description:"compute-heavy self-benchmark" ();
+  ]
+
+let backends =
+  [
+    ("native", fun () -> Runner.cfg_native ());
+    ("ghumvee", fun () -> Runner.cfg_ghumvee ());
+    ("varan", fun () -> Runner.cfg_varan ());
+    ("remon", fun () -> Runner.cfg_remon Classification.Nonsocket_rw_level);
+  ]
+
+let matrix ~quick =
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun (backend, cfg) ->
+          { wname = profile.Profile.name; backend; profile; config = cfg () })
+        backends)
+    (profiles ~quick)
+
+(* One matrix cell: a fresh kernel so the scheduler's event counter and the
+   kernel's syscall counter cover exactly this run. *)
+let run_job job =
+  let kernel = Kernel.create ~seed:job.config.Mvee.seed ~net_latency:(Remon_sim.Vtime.us 50) () in
+  let h =
+    Mvee.launch kernel job.config ~name:job.wname ~body:(Profile.body job.profile)
+  in
+  Kernel.run kernel;
+  let outcome = Mvee.finish h in
+  {
+    job;
+    sim_ns = Remon_sim.Vtime.to_float_ns outcome.Mvee.duration;
+    events = (Kernel.sched kernel).Sched.events_processed;
+    syscalls = (Kernel.stats kernel).Kstate.syscalls;
+  }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run ?(quick = false) ?domains () =
+  print_endline "=== Self-performance: simulator throughput and harness speedup ===\n";
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
+  let jobs = matrix ~quick in
+  (* warm-up: fault in code paths and grow the heap once, outside timing *)
+  ignore (run_job (List.hd jobs));
+  let seq_samples, seq_wall = timed (fun () -> Pool.map ~domains:1 run_job jobs) in
+  let _, par_wall = timed (fun () -> Pool.map ~domains run_job jobs) in
+  let gc = Gc.quick_stat () in
+  let total_events =
+    List.fold_left (fun acc s -> acc + s.events) 0 seq_samples
+  in
+  let total_syscalls =
+    List.fold_left (fun acc s -> acc + s.syscalls) 0 seq_samples
+  in
+  let events_per_sec = float_of_int total_events /. seq_wall in
+  let syscalls_per_sec = float_of_int total_syscalls /. seq_wall in
+  let speedup = seq_wall /. Float.max 1e-9 par_wall in
+  let t =
+    Table.create ~title:"workload matrix (sequential pass)"
+      ~header:[ "workload"; "backend"; "sim time"; "events"; "syscalls" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.job.wname;
+          s.job.backend;
+          Printf.sprintf "%.1f ms" (s.sim_ns /. 1e6);
+          string_of_int s.events;
+          string_of_int s.syscalls;
+        ])
+    seq_samples;
+  Table.print t;
+  Printf.printf
+    "\nsequential: %.2f s wall, %.0f events/s, %.0f syscalls/s\n\
+     parallel (%d domains): %.2f s wall, speedup %.2fx\n\
+     peak heap: %d words\n\n"
+    seq_wall events_per_sec syscalls_per_sec domains par_wall speedup
+    gc.Gc.top_heap_words;
+  let oc = open_out "BENCH_selfperf.json" in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"remon-selfperf/1\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"backend\": \"%s\", \"sim_ns\": %.0f, \
+            \"events\": %d, \"syscalls\": %d}%s\n"
+           (json_escape s.job.wname) (json_escape s.job.backend) s.sim_ns
+           s.events s.syscalls
+           (if i = List.length seq_samples - 1 then "" else ",")))
+    seq_samples;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sequential\": {\"wall_s\": %.4f, \"events_per_sec\": %.0f, \
+        \"syscalls_per_sec\": %.0f},\n"
+       seq_wall events_per_sec syscalls_per_sec);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"parallel\": {\"domains\": %d, \"wall_s\": %.4f, \"speedup\": %.3f},\n"
+       domains par_wall speedup);
+  Buffer.add_string b
+    (Printf.sprintf "  \"peak_live_words\": %d\n" gc.Gc.top_heap_words);
+  Buffer.add_string b "}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  print_endline "wrote BENCH_selfperf.json\n"

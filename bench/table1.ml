@@ -15,24 +15,35 @@ let wrap width names =
   in
   go "" [] names
 
-let run () =
+let run ?domains () =
   print_endline "=== Table 1: monitor levels for spatial system call exemption ===";
   print_endline "(regenerated from Classification.classify)\n";
+  (* no simulation here, but the per-level blocks are still rendered as an
+     explicit job list: each job returns its text, printed in level order *)
+  let blocks =
+    Pool.map ?domains
+      (fun (lvl, uncond, cond) ->
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf (Classification.level_to_string lvl);
+        Buffer.add_char buf '\n';
+        let show label calls =
+          if calls <> [] then begin
+            Buffer.add_string buf (Printf.sprintf "  %s:\n" label);
+            List.iter
+              (fun line -> Buffer.add_string buf (Printf.sprintf "    %s\n" line))
+              (wrap 68 (List.map Sysno.to_string calls))
+          end
+        in
+        show "unconditionally allowed" uncond;
+        show "conditionally allowed (file type / op type)" cond;
+        Buffer.contents buf)
+      (Classification.table1 ())
+  in
   List.iter
-    (fun (lvl, uncond, cond) ->
-      Printf.printf "%s\n" (Classification.level_to_string lvl);
-      let show label calls =
-        if calls <> [] then begin
-          Printf.printf "  %s:\n" label;
-          List.iter
-            (fun line -> Printf.printf "    %s\n" line)
-            (wrap 68 (List.map Sysno.to_string calls))
-        end
-      in
-      show "unconditionally allowed" uncond;
-      show "conditionally allowed (file type / op type)" cond;
+    (fun block ->
+      print_string block;
       print_newline ())
-    (Classification.table1 ());
+    blocks;
   let monitored =
     List.filter
       (fun no -> Classification.classify no = Classification.Always_monitored)

@@ -87,7 +87,7 @@ let spec_overheads config =
     Spec.all
   |> Stats.geomean
 
-let run () =
+let run ?domains () =
   print_endline "=== Table 2: comparison with other MVEEs (2 replicas) ===\n";
   let t =
     Table.create
@@ -98,27 +98,45 @@ let run () =
           "ReMon 5ms"; "sim VARAN"; "sim ReMon gig"; "sim ReMon 5ms" ]
       ()
   in
-  List.iter
-    (fun row ->
-      match (row.server, row.client) with
-      | Some server, Some client ->
-        let sim_varan = measure_server server client (Vtime.us 100) (Runner.cfg_varan ()) in
-        let sim_gig =
-          measure_server server client (Vtime.us 100)
-            (Runner.cfg_remon Classification.Socket_rw_level)
-        in
-        let sim_5ms =
-          measure_server server client (Vtime.ms 5)
-            (Runner.cfg_remon Classification.Socket_rw_level)
-        in
+  let sims =
+    Pool.map ?domains
+      (fun row ->
+        match (row.server, row.client) with
+        | Some server, Some client ->
+          let sim_varan =
+            measure_server server client (Vtime.us 100) (Runner.cfg_varan ())
+          in
+          let sim_gig =
+            measure_server server client (Vtime.us 100)
+              (Runner.cfg_remon Classification.Socket_rw_level)
+          in
+          let sim_5ms =
+            measure_server server client (Vtime.ms 5)
+              (Runner.cfg_remon Classification.Socket_rw_level)
+          in
+          Some (sim_varan, sim_gig, sim_5ms)
+        | _ -> None)
+      rows
+  in
+  List.iter2
+    (fun row sim ->
+      match sim with
+      | Some (sim_varan, sim_gig, sim_5ms) ->
         Table.add_row t
           (row.bench :: row.reported
           @ [ Table.fmt_pct sim_varan; Table.fmt_pct sim_gig; Table.fmt_pct sim_5ms ])
-      | _ -> Table.add_row t ((row.bench :: row.reported) @ [ "-"; "-"; "-" ]))
-    rows;
+      | None -> Table.add_row t ((row.bench :: row.reported) @ [ "-"; "-"; "-" ]))
+    rows sims;
   Table.add_separator t;
-  let spec_remon = spec_overheads (Runner.cfg_remon Classification.Socket_rw_level) in
-  let spec_ghumvee = spec_overheads (Runner.cfg_ghumvee ()) in
+  let spec =
+    Pool.map ?domains spec_overheads
+      [
+        Runner.cfg_remon Classification.Socket_rw_level; Runner.cfg_ghumvee ();
+      ]
+  in
+  let spec_remon, spec_ghumvee =
+    match spec with [ a; b ] -> (a, b) | _ -> assert false
+  in
   let si g = Table.fmt_pct (g -. 1.) in
   Table.add_row t
     [ "SPEC CPU2006"; "-"; "-"; "14.2%"; "17.6%"; "3.1%"; "-"; "-"; si spec_remon;

@@ -152,8 +152,64 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List registered workloads.") Term.(const run $ const ())
 
+(* --repeat mode: fan consecutive seeds out over the domain pool and print
+   one summary row per seed, in seed order. *)
+let run_repeated workload config latency ~repeat ~domains =
+  let seeds = List.init repeat (fun i -> config.Mvee.seed + i) in
+  Printf.printf "running %d seeds (%d..%d) over %d domain(s)\n\n" repeat
+    config.Mvee.seed
+    (config.Mvee.seed + repeat - 1)
+    domains;
+  (match workload with
+  | Registry.Profile_workload profile ->
+    let rows =
+      Remon_util.Pool.map ~domains
+        (fun seed ->
+          let config = { config with Mvee.seed = seed } in
+          try
+            let native =
+              Runner.run_profile profile { config with Mvee.backend = Mvee.Native }
+            in
+            let under = Runner.run_profile profile config in
+            let o = under.Runner.outcome in
+            Printf.sprintf "seed %-6d normalized %.3f  syscalls %-7d faults %-3d verdict %s"
+              seed
+              (Vtime.to_float_ns under.Runner.duration
+              /. Vtime.to_float_ns native.Runner.duration)
+              o.Mvee.syscalls o.Mvee.faults_injected
+              (match o.Mvee.verdict with
+              | None -> "clean"
+              | Some v -> Divergence.to_string v)
+          with Runner.Mvee_terminated v ->
+            Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v))
+        seeds
+    in
+    List.iter print_endline rows
+  | Registry.Server_workload (server, client) ->
+    let rows =
+      Remon_util.Pool.map ~domains
+        (fun seed ->
+          let config = { config with Mvee.seed = seed } in
+          try
+            let native =
+              Runner.run_server_bench ~latency ~server ~client
+                { config with Mvee.backend = Mvee.Native }
+            in
+            let under = Runner.run_server_bench ~latency ~server ~client config in
+            Printf.sprintf "seed %-6d overhead %-8s responses %d" seed
+              (Remon_util.Table.fmt_pct
+                 (Vtime.to_float_ns under.Runner.client_duration
+                  /. Vtime.to_float_ns native.Runner.client_duration
+                 -. 1.))
+              under.Runner.responses
+          with Runner.Mvee_terminated v ->
+            Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v))
+        seeds
+    in
+    List.iter print_endline rows)
+
 let run_workload name backend nreplicas level latency seed faults on_failure
-    trace_lines =
+    trace_lines repeat domains =
   match Registry.find name with
   | None ->
     Printf.eprintf "unknown workload %S; try `remon list`\n" name;
@@ -161,6 +217,15 @@ let run_workload name backend nreplicas level latency seed faults on_failure
   | Some workload -> (
     let config = config_of backend nreplicas level seed faults on_failure in
     let latency = Vtime.of_float_ns (latency *. 1e6) in
+    if repeat > 1 then begin
+      Printf.printf "workload : %s\n" (Registry.describe workload);
+      Printf.printf "backend  : %s, %d replica(s), policy %s\n\n"
+        (Mvee.backend_to_string backend)
+        nreplicas
+        (Policy.to_string config.Mvee.policy);
+      run_repeated workload config latency ~repeat ~domains
+    end
+    else
     let dump_trace kernel =
       if trace_lines > 0 then begin
         Printf.printf "\nsyscall trace (first %d lines):\n" trace_lines;
@@ -243,11 +308,29 @@ let run_cmd =
       value & opt int 0
       & info [ "trace" ] ~docv:"N" ~doc:"Print the first N syscall-trace lines.")
   in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Run the workload N times with consecutive seeds (seed, seed+1, \
+             ...) and print one summary row per seed.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int (Remon_util.Pool.default_domains ())
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Fan --repeat runs out over D domains (default: \
+             REMON_DOMAINS or the machine's core count minus one).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload under an MVEE configuration.")
     Term.(
       const run_workload $ name_arg $ backend_arg $ replicas_arg $ level_arg
-      $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_arg)
+      $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_arg
+      $ repeat_arg $ domains_arg)
 
 let attack_cmd =
   let run backend nreplicas level seed =

@@ -98,9 +98,9 @@ let divergent_syscall ?(config = Mvee.default_config) ?(compromised = 0) () =
     match outcome.Mvee.verdict with
     | Some (Divergence.Args_mismatch { index; _ }) ->
       let master = h.Mvee.group.Context.replicas.(0) in
-      (match master.Proc.threads with
-      | th :: _ -> max 0 (th.Proc.syscall_index - index)
-      | [] -> 0)
+      (match Vec.first_opt master.Proc.threads with
+      | Some th -> max 0 (th.Proc.syscall_index - index)
+      | None -> 0)
     | _ -> 0
   in
   {

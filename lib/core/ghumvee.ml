@@ -34,8 +34,12 @@ type arrival = { variant : int; th : Proc.thread; call : Syscall.call }
 
 type rstate =
   | Idle
-  | Collecting of arrival list
-  | Master_running of { arrivals : arrival list }
+  | Collecting of { arrivals : arrival list; count : int }
+      (* [count = List.length arrivals], maintained so the per-arrival
+         completeness check is O(1) instead of a list walk per syscall *)
+  | Master_running of { slaves : arrival list; nslaves : int }
+      (* the master is executing; only the waiting slaves matter at its
+         exit stop, so they are pre-split (and pre-counted) here *)
   | Await_slave_exits of { mutable remaining : int }
   | All_running of { mutable remaining : int }
 
@@ -226,6 +230,7 @@ let rec process_rendezvous t rank (arrivals : arrival list) =
     List.sort (fun a b -> compare a.variant b.variant) arrivals
   in
   let master_arrival = List.hd arrivals in
+  let narrivals = List.length arrivals in
   let call = master_arrival.call in
   let cost = Kernel.cost t.kernel in
   (* serialize through the monitor and charge comparison work *)
@@ -234,8 +239,7 @@ let rec process_rendezvous t rank (arrivals : arrival list) =
   in
   let work =
     cost.Cost_model.monitor_work_ns
-    + Cost_model.compare_ns cost
-        ~bytes:(Syscall.arg_bytes call * List.length arrivals)
+    + Cost_model.compare_ns cost ~bytes:(Syscall.arg_bytes call * narrivals)
   in
   let done_at = monitor_work t ~earliest:latest_arrival ~work_ns:work in
   List.iter
@@ -294,12 +298,14 @@ let rec process_rendezvous t rank (arrivals : arrival list) =
     | None -> (
       match Callinfo.disposition call with
       | Callinfo.All_call ->
-        set_state t rank (All_running { remaining = List.length arrivals });
+        set_state t rank (All_running { remaining = narrivals });
         List.iter
           (fun a -> Kernel.resume t.kernel a.th Proc.Resume_continue)
           arrivals
       | Callinfo.Master_call ->
-        set_state t rank (Master_running { arrivals });
+        (* arrivals are sorted by variant, master first *)
+        set_state t rank
+          (Master_running { slaves = List.tl arrivals; nslaves = narrivals - 1 });
         Kernel.resume t.kernel master_arrival.th Proc.Resume_continue))
 
 (* ------------------------------------------------------------------ *)
@@ -321,20 +327,21 @@ let purge_variant t ~variant =
     (fun rank ->
       match rank_state t rank with
       | Idle -> ()
-      | Collecting arrivals -> (
+      | Collecting { arrivals; _ } -> (
         let arrivals = List.filter (fun a -> a.variant <> variant) arrivals in
         match arrivals with
         | [] -> set_state t rank Idle
         | _ ->
-          if List.length arrivals >= Context.active_count t.g then begin
+          let count = List.length arrivals in
+          if count >= Context.active_count t.g then begin
             set_state t rank Idle;
             process_rendezvous t rank arrivals
           end
-          else set_state t rank (Collecting arrivals))
-      | Master_running { arrivals } ->
+          else set_state t rank (Collecting { arrivals; count }))
+      | Master_running { slaves; _ } ->
+        let slaves = List.filter (fun a -> a.variant <> variant) slaves in
         set_state t rank
-          (Master_running
-             { arrivals = List.filter (fun a -> a.variant <> variant) arrivals })
+          (Master_running { slaves; nslaves = List.length slaves })
       | Await_slave_exits st ->
         st.remaining <- st.remaining - 1;
         if st.remaining <= 0 then set_state t rank Idle
@@ -359,7 +366,7 @@ let rec arm_watchdog ?(attempt = 0) t rank =
       let cur = match Hashtbl.find_opt t.seqs rank with Some s -> s | None -> 0 in
       if (not t.shutting_down) && cur = seq then begin
         match rank_state t rank with
-        | Collecting arrivals ->
+        | Collecting { arrivals; _ } ->
           if attempt < t.max_watchdog_retries then begin
             t.g.Context.watchdog_retries <- t.g.Context.watchdog_retries + 1;
             arm_watchdog ~attempt:(attempt + 1) t rank
@@ -412,16 +419,17 @@ let rec handle_entry t (th : Proc.thread) (call : Syscall.call) =
       let arrival = { variant; th; call } in
       (match rank_state t rank with
       | Idle ->
-        set_state t rank (Collecting [ arrival ]);
+        set_state t rank (Collecting { arrivals = [ arrival ]; count = 1 });
         if Context.active_count t.g = 1 then process_rendezvous t rank [ arrival ]
         else arm_watchdog t rank
-      | Collecting arrivals ->
+      | Collecting { arrivals; count } ->
         let arrivals = arrival :: arrivals in
-        if List.length arrivals >= Context.active_count t.g then begin
+        let count = count + 1 in
+        if count >= Context.active_count t.g then begin
           set_state t rank Idle;
           process_rendezvous t rank arrivals
         end
-        else set_state t rank (Collecting arrivals)
+        else set_state t rank (Collecting { arrivals; count })
       | Master_running _ | Await_slave_exits _ | All_running _ ->
         (* a thread re-entered the kernel while its rank's previous call is
            still being processed: possible under attack; treat as sequence
@@ -548,12 +556,11 @@ let handle_exit t (th : Proc.thread) (call : Syscall.call)
     else begin
       let cost = Kernel.cost t.kernel in
       match rank_state t rank with
-      | Master_running { arrivals } when variant = 0 ->
+      | Master_running { slaves; nslaves } when variant = 0 ->
         (* master finished: replicate results to the waiting slaves *)
         master_side_effects t ~call result;
         Record_log.journal_append (journal t) ~rank
           ~call:(Callinfo.normalize call) ~result;
-        let slaves = List.filter (fun a -> a.variant <> 0) arrivals in
         let bytes = Syscall.result_bytes result in
         let done_at =
           monitor_work t ~earliest:th.Proc.clock
@@ -564,7 +571,7 @@ let handle_exit t (th : Proc.thread) (call : Syscall.call)
            skip-exit stops arrive synchronously and must find it *)
         (match slaves with
         | [] -> set_state t rank Idle
-        | _ -> set_state t rank (Await_slave_exits { remaining = List.length slaves }));
+        | _ -> set_state t rank (Await_slave_exits { remaining = nslaves }));
         List.iter
           (fun a ->
             let r = translate_for_slave t ~arrival:a ~call:a.call result in
@@ -609,7 +616,7 @@ let handle_signal t (th : Proc.thread) sg =
        rendezvous quickly *)
     Array.iter
       (fun (p : Proc.process) ->
-        List.iter
+        Remon_util.Vec.iter
           (fun (other : Proc.thread) ->
             if other != th then
               ignore

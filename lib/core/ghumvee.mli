@@ -15,8 +15,11 @@ type arrival = { variant : int; th : Proc.thread; call : Syscall.call }
 
 type rstate =
   | Idle
-  | Collecting of arrival list
-  | Master_running of { arrivals : arrival list }
+  | Collecting of { arrivals : arrival list; count : int }
+      (** [count = List.length arrivals]: the per-arrival completeness
+          check is O(1) *)
+  | Master_running of { slaves : arrival list; nslaves : int }
+      (** waiting slaves only, pre-split for the master's exit stop *)
   | Await_slave_exits of { mutable remaining : int }
   | All_running of { mutable remaining : int }
 

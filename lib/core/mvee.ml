@@ -114,12 +114,16 @@ type outcome = {
   watchdog_retries : int;
 }
 
-let shm_key_counter = ref 0
+(* Atomic: groups are created from concurrently running simulations when
+   the experiment harness fans runs out across domains. The key only needs
+   to stay above [Context.mvee_shm_key_base], so cross-run numbering does
+   not affect simulated behaviour. *)
+let shm_key_counter = Atomic.make 0
 
 (* ------------------------------------------------------------------ *)
 
 let make_group kernel (config : config) nreplicas =
-  incr shm_key_counter;
+  let shm_serial = Atomic.fetch_and_add shm_key_counter 1 + 1 in
   let mode =
     match config.mode_override with
     | Some m -> m
@@ -139,7 +143,7 @@ let make_group kernel (config : config) nreplicas =
     file_map = File_map.create ();
     epoll_map = Epoll_map.create ~nreplicas;
     ikb;
-    shm_key = Context.mvee_shm_key_base + (!shm_key_counter * 16);
+    shm_key = Context.mvee_shm_key_base + (shm_serial * 16);
     replicas = [||];
     divergence = None;
     shutdown = false;

@@ -168,10 +168,21 @@ let slave_lookup t ~rank ~variant =
 
 let slave_advance t ~rank ~variant =
   let s = stream t rank in
-  (match Hashtbl.find_opt s.entries s.slave_next.(variant) with
+  let seq = s.slave_next.(variant) in
+  (match Hashtbl.find_opt s.entries seq with
   | Some e -> e.consumed <- e.consumed + 1
   | None -> ());
-  s.slave_next.(variant) <- s.slave_next.(variant) + 1
+  s.slave_next.(variant) <- seq + 1;
+  (* Drop the record once every active slave has moved past it: lookups
+     only ever target [slave_next] positions, so a record behind all of
+     them is unreachable and would otherwise pin the simulator's memory
+     until the next buffer reset. [used_bytes] is untouched — the record
+     still occupies simulated buffer space until GHUMVEE resets it. *)
+  let drained = ref true in
+  for v = 1 to t.nreplicas - 1 do
+    if t.active.(v) && s.slave_next.(v) <= seq then drained := false
+  done;
+  if !drained then Hashtbl.remove s.entries seq
 
 (* How many records the master is ahead of the slowest slave on [rank]'s
    stream; bounds the run-ahead window ablation. *)

@@ -11,6 +11,7 @@
    thread with a retry thunk and completes later. *)
 
 open Remon_sim
+open Remon_util
 module K = Kstate
 
 let src = Logs.Src.create "remon.kernel" ~doc:"simulated kernel"
@@ -194,7 +195,7 @@ and kill_process k (p : Proc.process) ~code =
   if p.alive then begin
     p.alive <- false;
     p.exit_code <- code;
-    List.iter
+    Vec.iter
       (fun (t : Proc.thread) ->
         (match t.tstate with
         | Proc.Blocked b -> (
@@ -219,7 +220,7 @@ let deliver_signal k (th : Proc.thread) sg =
   charge th k.K.cost.signal_delivery_ns;
   match signal_action p sg with
   | Syscall.Sig_handler _ ->
-    th.pending_delivery <- th.pending_delivery @ [ sg ];
+    Queue.push sg th.pending_delivery;
     true
   | Syscall.Sig_ignore -> true
   | Syscall.Sig_default -> (
@@ -461,7 +462,7 @@ let exit_current k (th : Proc.thread) ~code ~group =
   let die () =
     if group then begin
       p.exit_code <- code;
-      List.iter
+      Vec.iter
         (fun (t : Proc.thread) ->
           if t != th then begin
             (match t.tstate with
@@ -474,7 +475,7 @@ let exit_current k (th : Proc.thread) ~code ~group =
           end)
         p.threads
     end
-    else if List.for_all (fun (t : Proc.thread) -> t == th || t.tstate = Proc.Dead) p.threads
+    else if Vec.for_all (fun (t : Proc.thread) -> t == th || t.tstate = Proc.Dead) p.threads
     then p.exit_code <- code;
     th.tstate <- Proc.Dead;
     Sched.unpark k.K.sched th;
@@ -1248,12 +1249,12 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
           tstate = Proc.Ready;
           syscall_index = 0;
           current_call = None;
-          pending_delivery = [];
+          pending_delivery = Queue.create ();
           in_ipmon = false;
           last_result = None;
         }
       in
-      p.threads <- p.threads @ [ nt ];
+      Vec.push p.threads nt;
       Sched.spawn k.K.sched nt p.entry_table.(entry_idx);
       ret (Syscall.Ok_int tid)
     end

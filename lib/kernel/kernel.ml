@@ -22,7 +22,7 @@ let create ?cost ?seed ?net_latency () =
   k.K.sched.Sched.on_thread_exit <-
     (fun th ->
       let p = th.Proc.proc in
-      if p.alive && List.for_all (fun (t : Proc.thread) -> t.tstate = Proc.Dead) p.threads
+      if p.alive && Vec.for_all (fun (t : Proc.thread) -> t.tstate = Proc.Dead) p.threads
       then begin
         p.alive <- false;
         let waiters = p.exit_waiters in
@@ -59,7 +59,7 @@ let make_process (k : t) ?replica_info ?(parent = 1) ~name ~vm_seed () =
       sig_actions = Hashtbl.create 8;
       sig_mask = Proc.IntSet.empty;
       pending_signals = Queue.create ();
-      threads = [];
+      threads = Vec.create ();
       next_tid_rank = 0;
       alive = true;
       reaped = false;
@@ -90,12 +90,12 @@ let add_thread (k : t) (p : Proc.process) ~start_clock =
       tstate = Proc.Ready;
       syscall_index = 0;
       current_call = None;
-      pending_delivery = [];
+      pending_delivery = Queue.create ();
       in_ipmon = false;
       last_result = None;
     }
   in
-  p.Proc.threads <- p.Proc.threads @ [ th ];
+  Vec.push p.Proc.threads th;
   th
 
 (* Spawns a process whose main thread runs [main]. [entries] become the

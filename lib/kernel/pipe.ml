@@ -14,11 +14,14 @@ type t = {
 
 let default_capacity = 65_536
 
-let counter = ref 0
+(* Atomic: pipes are created from concurrently running simulations when the
+   experiment harness fans runs out across domains. The id is only a debug
+   label, so cross-run numbering does not affect simulated behaviour. *)
+let counter = Atomic.make 0
 
 let create ?(capacity = default_capacity) () =
-  incr counter;
-  { id = !counter; capacity; data = Bytestream.create (); readers = 1; writers = 1 }
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  { id; capacity; data = Bytestream.create (); readers = 1; writers = 1 }
 
 let bytes_available t = Bytestream.length t.data
 

@@ -6,6 +6,7 @@
    tree. *)
 
 open Remon_sim
+open Remon_util
 
 module IntSet = Set.Make (Int)
 
@@ -101,7 +102,7 @@ type process = {
   sig_actions : (int, Syscall.sig_action) Hashtbl.t;
   mutable sig_mask : IntSet.t;
   pending_signals : int Queue.t;
-  mutable threads : thread list; (* in spawn order *)
+  threads : thread Vec.t; (* in spawn order *)
   mutable next_tid_rank : int;
   mutable alive : bool;
   mutable reaped : bool; (* consumed by a wait4 *)
@@ -127,7 +128,7 @@ and thread = {
   mutable tstate : thread_state;
   mutable syscall_index : int; (* entries so far: rendezvous identity *)
   mutable current_call : Syscall.call option;
-  mutable pending_delivery : int list; (* signals to run handlers for, set at syscall return *)
+  pending_delivery : int Queue.t; (* signals to run handlers for, set at syscall return *)
   mutable in_ipmon : bool; (* executing inside IP-MON's entry point *)
   mutable last_result : Syscall.result option;
 }
@@ -158,7 +159,7 @@ let is_master p =
 
 let thread_name t = Printf.sprintf "%s[pid=%d,tid=%d]" t.proc.name t.proc.pid t.tid
 
-let find_thread_by_rank p rank = List.find_opt (fun t -> t.rank = rank) p.threads
+let find_thread_by_rank p rank = Vec.find_opt (fun t -> t.rank = rank) p.threads
 
 (* Lowest-free fd allocation, like Linux. *)
 let alloc_fd p =

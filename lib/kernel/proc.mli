@@ -4,6 +4,7 @@
     transparent. *)
 
 open Remon_sim
+open Remon_util
 
 module IntSet : Set.S with type elt = int
 
@@ -99,7 +100,7 @@ type process = {
   sig_actions : (int, Syscall.sig_action) Hashtbl.t;
   mutable sig_mask : IntSet.t;
   pending_signals : int Queue.t;
-  mutable threads : thread list; (* in spawn order *)
+  threads : thread Vec.t; (* in spawn order *)
   mutable next_tid_rank : int;
   mutable alive : bool;
   mutable reaped : bool; (* consumed by a wait4 *)
@@ -125,7 +126,7 @@ and thread = {
   mutable tstate : thread_state;
   mutable syscall_index : int; (* entries so far: rendezvous identity *)
   mutable current_call : Syscall.call option;
-  mutable pending_delivery : int list; (* signals to run handlers for, set at syscall return *)
+  pending_delivery : int Queue.t; (* signals to run handlers for, set at syscall return *)
   mutable in_ipmon : bool; (* executing inside IP-MON's entry point *)
   mutable last_result : Syscall.result option;
 }

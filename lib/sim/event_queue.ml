@@ -1,29 +1,44 @@
 (* Binary min-heap of timestamped events.
 
    Ties are broken by insertion sequence so that simulation runs are fully
-   deterministic regardless of heap internals. *)
+   deterministic regardless of heap internals.
 
-type 'a entry = { time : Vtime.t; seq : int; payload : 'a; mutable live : bool }
+   Hot-path properties:
+   - [length]/[is_empty] are O(1): a live-entry counter is maintained by
+     add/cancel/pop instead of scanning the heap (these are called inside
+     run loops).
+   - [add] is amortized O(1) for the common monotone-time insertion
+     pattern: a new entry that is not earlier than its parent needs a
+     single comparison and no sift.
+   - Cancelled entries are compacted away once they outnumber the live
+     ones, so a workload that schedules-and-cancels (timeouts, watchdogs)
+     cannot grow the heap without bound. Compaction rebuilds the heap by
+     (time, seq), a total order, so pop order is unaffected. *)
 
-type 'a t = {
+type 'a entry = {
+  time : Vtime.t;
+  seq : int;
+  payload : 'a;
+  mutable live : bool;
+  owner : 'a t; (* for cancel to maintain the owner's live counter *)
+}
+
+and 'a t = {
   mutable heap : 'a entry array;
-  mutable size : int;
+  mutable size : int; (* physical entries, live + dead *)
+  mutable lives : int; (* live (non-cancelled, non-popped) entries *)
   mutable next_seq : int;
 }
 
 type handle = H : 'a entry -> handle
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; lives = 0; next_seq = 0 }
 
-let length t =
-  (* Cancelled entries still occupy heap slots; count only live ones. *)
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if t.heap.(i).live then incr n
-  done;
-  !n
+let length t = t.lives
 
-let is_empty t = length t = 0
+let is_empty t = t.lives = 0
+
+let physical_size t = t.size
 
 let before a b =
   match Vtime.compare a.time b.time with
@@ -63,17 +78,42 @@ let grow t =
     t.heap <- bigger
   end
 
+(* Drop dead entries and re-establish the heap property bottom-up
+   (Floyd heapify, O(size)). Run when dead entries outnumber live ones,
+   which amortizes to O(1) per cancellation. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).live then begin
+      t.heap.(!j) <- t.heap.(i);
+      incr j
+    end
+  done;
+  t.size <- !j;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
 let add t ~time payload =
-  let entry = { time; seq = t.next_seq; payload; live = true } in
+  let entry = { time; seq = t.next_seq; payload; live = true; owner = t } in
   t.next_seq <- t.next_seq + 1;
   if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   grow t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1);
+  t.lives <- t.lives + 1;
+  (* fast path: events scheduled at non-decreasing times stay put *)
+  let i = t.size - 1 in
+  if i > 0 && before entry t.heap.((i - 1) / 2) then sift_up t i;
   H entry
 
-let cancel (H entry) = entry.live <- false
+let cancel (H entry) =
+  if entry.live then begin
+    let t = entry.owner in
+    entry.live <- false;
+    t.lives <- t.lives - 1;
+    if t.size >= 32 && t.size - t.lives > t.lives then compact t
+  end
 
 let rec pop t =
   if t.size = 0 then None
@@ -84,7 +124,13 @@ let rec pop t =
       t.heap.(0) <- t.heap.(t.size);
       sift_down t 0
     end;
-    if top.live then Some (top.time, top.payload) else pop t
+    if top.live then begin
+      (* mark popped so a late cancel of its handle is a no-op *)
+      top.live <- false;
+      t.lives <- t.lives - 1;
+      Some (top.time, top.payload)
+    end
+    else pop t
   end
 
 let peek_time t =

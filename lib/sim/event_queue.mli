@@ -8,9 +8,16 @@ type handle
 val create : unit -> 'a t
 
 val length : 'a t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events. O(1): maintained as a counter,
+    not a heap scan. *)
 
 val is_empty : 'a t -> bool
+(** O(1). *)
+
+val physical_size : 'a t -> int
+(** Heap slots currently occupied, live plus not-yet-compacted dead
+    entries. Exposed so tests can assert that cancellation-heavy loads
+    are compacted; always [>= length]. *)
 
 val add : 'a t -> time:Vtime.t -> 'a -> handle
 (** Schedules a payload; the returned handle can cancel it. *)

@@ -192,6 +192,6 @@ let exit_group code = ignore (Sched.syscall (Syscall.Exit_group code))
    [Sig_handler]); programs poll this after interesting calls. *)
 let take_pending_signals () =
   let th = Sched.self () in
-  let pending = th.Proc.pending_delivery in
-  th.Proc.pending_delivery <- [];
+  let pending = List.of_seq (Queue.to_seq th.Proc.pending_delivery) in
+  Queue.clear th.Proc.pending_delivery;
   pending

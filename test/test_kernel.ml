@@ -299,7 +299,8 @@ let test_signal_eintr_and_handler () =
         observed := [ r ];
         let self = Sched.self () in
         (* the kernel queued the handler id for the program runtime *)
-        if self.Proc.pending_delivery <> [ Sigdefs.sigusr1 ] then
+        if List.of_seq (Queue.to_seq self.Proc.pending_delivery) <> [ Sigdefs.sigusr1 ]
+        then
           observed := Syscall.Error Errno.EINVAL :: !observed)
   in
   Kernel.schedule k ~time:(Vtime.ms 2) (fun () -> Kernel.post_signal k p Sigdefs.sigusr1);

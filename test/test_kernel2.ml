@@ -84,8 +84,7 @@ let test_setitimer_interval () =
         (match sys (Syscall.Nanosleep (Vtime.ms 10)) with
         | Syscall.Error Errno.EINTR -> incr hits
         | _ -> ());
-        ignore (Sched.self ()).Proc.pending_delivery;
-        (Sched.self ()).Proc.pending_delivery <- []
+        Queue.clear (Sched.self ()).Proc.pending_delivery
       done;
       (* disarm *)
       ignore (sys (Syscall.Setitimer { Syscall.value_ns = 0L; interval_ns = 0L }));

@@ -30,12 +30,11 @@ let test_signal_deferral_consistency backend_cfg () =
       ignore (sys Syscall.Gettimeofday);
       Sched.compute (Vtime.us 30);
       let th = Sched.self () in
-      match th.Proc.pending_delivery with
-      | [] -> ()
-      | _ :: _ ->
-        th.Proc.pending_delivery <- [];
+      if not (Queue.is_empty th.Proc.pending_delivery) then begin
+        Queue.clear th.Proc.pending_delivery;
         if observed.(env.Mvee.variant) < 0 then
           observed.(env.Mvee.variant) <- th.Proc.syscall_index
+      end
     done
   in
   let h = Mvee.launch kernel backend_cfg ~name:"sigdefer" ~body in
@@ -64,7 +63,8 @@ let test_signal_aborts_blocked_call () =
       (* blocks forever until the signal interrupts it *)
       let r = sys (Syscall.Read (rfd, 16)) in
       let th = Sched.self () in
-      if r = Syscall.Error Errno.EINTR || th.Proc.pending_delivery <> [] then
+      if r = Syscall.Error Errno.EINTR || not (Queue.is_empty th.Proc.pending_delivery)
+      then
         saw_handler.(env.Mvee.variant) <- true
     | _ -> Alcotest.fail "pipe"
   in

@@ -1,0 +1,190 @@
+(* Tests for the Domain-based work pool and for the determinism of the
+   experiment harness when runs fan out across domains.
+
+   Every simulation run owns its kernel, virtual clock and seeded RNG, so
+   fanning a job list across domains must produce byte-identical results
+   to the sequential path. The determinism tests here run the same job
+   matrices the benchmarks use — a fig3-style normalized-time sweep and a
+   faults-style availability matrix — at [~domains:1] and [~domains:4]
+   and require identical outcome records. *)
+
+open Remon_util
+open Remon_core
+open Remon_sim
+open Remon_workloads
+
+(* --- pool semantics ------------------------------------------------- *)
+
+let test_ordered_results () =
+  let jobs = List.init 257 (fun i -> i) in
+  let expect = List.map (fun i -> i * i) jobs in
+  Alcotest.(check (list int)) "domains=1 matches List.map" expect
+    (Pool.map ~domains:1 (fun i -> i * i) jobs);
+  Alcotest.(check (list int)) "domains=4 preserves job order" expect
+    (Pool.map ~domains:4 (fun i -> i * i) jobs)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty job list" []
+    (Pool.map ~domains:4 (fun i -> i) []);
+  Alcotest.(check (list string)) "single job" [ "7" ]
+    (Pool.map ~domains:4 string_of_int [ 7 ])
+
+exception Boom of int
+
+let test_exception_capture () =
+  (* the first failing job in submission order wins, even if a later job
+     fails first in wall-clock time on another domain *)
+  let run domains =
+    try
+      ignore
+        (Pool.map ~domains
+           (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+           (List.init 20 (fun i -> i)));
+      Alcotest.fail "expected Boom"
+    with Boom i -> Alcotest.(check int) "earliest failing job" 2 i
+  in
+  run 1;
+  run 4
+
+(* Proof of actual parallelism: 4 jobs each wait at a barrier that only
+   opens once all 4 have started. A sequential pool would never finish
+   job 1; with 4 workers (3 spawned domains + the caller) every job gets
+   its own domain and the barrier opens. *)
+let test_parallel_execution () =
+  let started = Atomic.make 0 in
+  let ids =
+    Pool.map ~domains:4
+      (fun _ ->
+        Atomic.incr started;
+        while Atomic.get started < 4 do
+          Domain.cpu_relax ()
+        done;
+        (Domain.self () :> int))
+      [ 0; 1; 2; 3 ]
+  in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs ran on %d distinct domains" (List.length distinct))
+    true
+    (List.length distinct > 1)
+
+(* --- determinism under parallelism ---------------------------------- *)
+
+(* fig3-style matrix: normalized times for a small benchmark list under
+   GHUMVEE and ReMon. Floats must be bit-identical, not approximately
+   equal — the parallel harness reruns the exact same simulations. *)
+let fig3_style_matrix ~domains =
+  let profiles =
+    [
+      Profile.make ~name:"pool.dense" ~threads:2 ~density_hz:80_000. ~calls:400
+        ~mix:Profile.mix_file_rw ~description:"pool determinism dense" ();
+      Profile.make ~name:"pool.sparse" ~threads:2 ~density_hz:5_000. ~calls:200
+        ~mix:Profile.mix_file_rw ~description:"pool determinism sparse" ();
+    ]
+  in
+  Pool.map ~domains
+    (fun profile ->
+      let no_ipmon = Runner.normalized_time profile (Runner.cfg_ghumvee ()) in
+      let ipmon =
+        Runner.normalized_time profile
+          (Runner.cfg_remon Classification.Nonsocket_rw_level)
+      in
+      (profile.Profile.name, no_ipmon, ipmon))
+    profiles
+
+let test_fig3_style_determinism () =
+  let seq = fig3_style_matrix ~domains:1 in
+  let par = fig3_style_matrix ~domains:4 in
+  List.iter2
+    (fun (name, s_no, s_ip) (name', p_no, p_ip) ->
+      Alcotest.(check string) "same row order" name name';
+      Alcotest.(check bool)
+        (Printf.sprintf "%s no-IPMON identical (%.17g vs %.17g)" name s_no p_no)
+        true (s_no = p_no);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s IP-MON identical (%.17g vs %.17g)" name s_ip p_ip)
+        true (s_ip = p_ip))
+    seq par
+
+(* faults-style matrix: availability runs with fault injection across
+   (policy, rate) cells. The full outcome record — including
+   faults_injected and the divergence verdict — must match between the
+   sequential and the 4-domain harness. *)
+let faults_style_matrix ~domains =
+  let iters = 120 in
+  let body progress (env : Mvee.env) =
+    for i = 1 to iters do
+      ignore (Remon_kernel.Sched.syscall Remon_kernel.Syscall.Gettimeofday);
+      Remon_kernel.Sched.compute (Vtime.us 2);
+      if env.Mvee.variant = 0 then progress := i
+    done
+  in
+  let jobs =
+    List.concat_map
+      (fun policy ->
+        List.map (fun rate -> (policy, rate)) [ 0.0; 0.003; 0.01 ])
+      [
+        Mvee.Kill_group;
+        Mvee.Quarantine;
+        Mvee.Respawn { max_respawns = 2; backoff_ns = Vtime.us 200 };
+      ]
+  in
+  Pool.map ~domains
+    (fun (policy, rate) ->
+      let seed = 1137 in
+      let faults =
+        Fault.random_plan ~seed:(seed + 7) ~rate ~horizon:400 ~nreplicas:2
+      in
+      let config =
+        {
+          Mvee.default_config with
+          Mvee.backend = Mvee.Remon;
+          nreplicas = 2;
+          policy = Policy.spatial Classification.Socket_rw_level;
+          seed;
+          faults;
+          on_failure = policy;
+          watchdog_ns = Vtime.ms 5;
+        }
+      in
+      let progress = ref 0 in
+      let o = Mvee.run_program config ~name:"pool.avail" ~body:(body progress) in
+      (!progress, o))
+    jobs
+
+let test_faults_style_determinism () =
+  let seq = faults_style_matrix ~domains:1 in
+  let par = faults_style_matrix ~domains:4 in
+  List.iteri
+    (fun i ((s_prog, (s : Mvee.outcome)), (p_prog, (p : Mvee.outcome))) ->
+      let cell = Printf.sprintf "cell %d" i in
+      Alcotest.(check int) (cell ^ " progress") s_prog p_prog;
+      Alcotest.(check int)
+        (cell ^ " faults_injected")
+        s.Mvee.faults_injected p.Mvee.faults_injected;
+      Alcotest.(check (option string))
+        (cell ^ " verdict")
+        (Option.map Divergence.to_string s.Mvee.verdict)
+        (Option.map Divergence.to_string p.Mvee.verdict);
+      Alcotest.(check bool)
+        (cell ^ " full outcome record identical")
+        true (s = p))
+    (List.combine seq par)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "pool"
+    [
+      ( "semantics",
+        [
+          tc "ordered results" test_ordered_results;
+          tc "empty and singleton" test_empty_and_singleton;
+          tc "exception capture" test_exception_capture;
+          tc "parallel execution" test_parallel_execution;
+        ] );
+      ( "determinism",
+        [
+          tc "fig3-style matrix" test_fig3_style_determinism;
+          tc "faults-style matrix" test_faults_style_determinism;
+        ] );
+    ]

@@ -67,6 +67,61 @@ let test_event_queue_peek () =
   Alcotest.(check (option int64)) "peek skips cancelled" (Some (Vtime.ms 9))
     (Event_queue.peek_time q)
 
+(* length/is_empty are backed by a live counter, so they must stay exact
+   through any interleaving of add, cancel (including double-cancel and
+   cancel-after-pop) and pop. *)
+let test_event_queue_live_counter () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Event_queue.is_empty q);
+  let handles =
+    List.init 100 (fun i -> Event_queue.add q ~time:(Vtime.us i) i)
+  in
+  Alcotest.(check int) "after adds" 100 (Event_queue.length q);
+  List.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) handles;
+  Alcotest.(check int) "after cancelling half" 50 (Event_queue.length q);
+  (* cancelling again must not decrement twice *)
+  List.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) handles;
+  Alcotest.(check int) "double cancel is a no-op" 50 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check int) "first live payload" 1 v
+  | None -> Alcotest.fail "expected a live event");
+  Alcotest.(check int) "after pop" 49 (Event_queue.length q);
+  (* cancelling a handle whose event already fired must also be a no-op *)
+  Event_queue.cancel (List.nth handles 1);
+  Alcotest.(check int) "cancel after pop is a no-op" 49 (Event_queue.length q);
+  let rec drain n =
+    match Event_queue.pop q with None -> n | Some _ -> drain (n + 1)
+  in
+  Alcotest.(check int) "remaining live events pop" 49 (drain 0);
+  Alcotest.(check bool) "empty again" true (Event_queue.is_empty q);
+  Alcotest.(check int) "length zero" 0 (Event_queue.length q)
+
+(* Mass cancellation must not leave the heap full of dead entries: once
+   dead outnumber live, the queue compacts in place. *)
+let test_event_queue_compaction () =
+  let q = Event_queue.create () in
+  let handles =
+    List.init 1024 (fun i -> Event_queue.add q ~time:(Vtime.us i) i)
+  in
+  Alcotest.(check int) "physical matches logical" 1024
+    (Event_queue.physical_size q);
+  List.iteri (fun i h -> if i mod 8 <> 0 then Event_queue.cancel h) handles;
+  Alcotest.(check int) "live survivors" 128 (Event_queue.length q);
+  Alcotest.(check bool)
+    (Printf.sprintf "dead entries reclaimed (physical %d)"
+       (Event_queue.physical_size q))
+    true
+    (Event_queue.physical_size q <= 2 * Event_queue.length q);
+  (* compaction must preserve order of the survivors *)
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "survivors in time order"
+    (List.init 128 (fun i -> i * 8))
+    (drain [])
+
 let test_cost_model_orderings () =
   let c = Cost_model.default in
   Alcotest.(check bool) "ptrace stop is microseconds" true
@@ -106,6 +161,8 @@ let () =
           tc "fifo ties" test_event_queue_fifo_ties;
           tc "cancel" test_event_queue_cancel;
           tc "peek" test_event_queue_peek;
+          tc "live counter" test_event_queue_live_counter;
+          tc "compaction" test_event_queue_compaction;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
         ] );
       ( "cost-model",
