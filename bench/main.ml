@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- fig3          # one experiment
      dune exec bench/main.exe -- quick         # everything, smaller sweeps
      dune exec bench/main.exe -- --domains 4   # fan runs out over 4 domains
+     dune exec bench/main.exe -- fig3 --trace DIR   # + dump per-run traces
 
    Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults
    selfperf
@@ -46,8 +47,19 @@ let () =
     | Some d -> d
     | None -> Remon_util.Pool.default_domains ()
   in
+  let rec parse_trace = function
+    | "--trace" :: dir :: _ -> Some dir
+    | _ :: rest -> parse_trace rest
+    | [] -> None
+  in
+  (match parse_trace args with
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    Remon_workloads.Runner.trace_dir := Some dir
+  | None -> ());
   let rec strip = function
     | "--domains" :: _ :: rest -> strip rest
+    | "--trace" :: _ :: rest -> strip rest
     | "quick" :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []

@@ -142,6 +142,34 @@ let config_of backend nreplicas level seed faults on_failure =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing *)
+
+module Obs = Remon_obs.Obs
+
+(* Traces are test oracles: the write must be atomic so a concurrent
+   reader (or an interrupted run) never sees a torn file. *)
+let write_file_atomic path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc data;
+  close_out oc;
+  Sys.rename tmp path
+
+let print_metrics rows =
+  Printf.printf "\nmetrics:\n";
+  List.iter (fun (k, v) -> Printf.printf "  %-44s %s\n" k v) rows
+
+(* Dump the trace and/or print the metrics summary collected in [o]. *)
+let finalize_obs ~trace_file ~metrics o =
+  (match trace_file with
+  | Some path ->
+    write_file_atomic path (Obs.export_string o);
+    Printf.printf "\ntrace written      : %s (%d events)\n" path
+      (Remon_util.Vec.length o.Obs.trace.Remon_obs.Trace.events)
+  | None -> ());
+  if metrics then print_metrics (Obs.summary (Some o))
+
+(* ------------------------------------------------------------------ *)
 (* Commands *)
 
 let list_cmd =
@@ -153,63 +181,84 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List registered workloads.") Term.(const run $ const ())
 
 (* --repeat mode: fan consecutive seeds out over the domain pool and print
-   one summary row per seed, in seed order. *)
-let run_repeated workload config latency ~repeat ~domains =
+   one summary row per seed, in seed order. When tracing is requested the
+   base seed's run carries the sink; each job allocates its own [Obs.t]
+   inside its own domain, so the exported bytes cannot depend on the
+   domain count — that is the determinism contract the CI diff checks. *)
+let run_repeated workload config latency ~repeat ~domains ~trace_file ~metrics =
   let seeds = List.init repeat (fun i -> config.Mvee.seed + i) in
   Printf.printf "running %d seeds (%d..%d) over %d domain(s)\n\n" repeat
     config.Mvee.seed
     (config.Mvee.seed + repeat - 1)
     domains;
-  (match workload with
-  | Registry.Profile_workload profile ->
-    let rows =
+  let want_obs seed =
+    if (trace_file <> None || metrics) && seed = config.Mvee.seed then
+      Some (Obs.create ())
+    else None
+  in
+  let rows =
+    match workload with
+    | Registry.Profile_workload profile ->
       Remon_util.Pool.map ~domains
         (fun seed ->
           let config = { config with Mvee.seed = seed } in
-          try
-            let native =
-              Runner.run_profile profile { config with Mvee.backend = Mvee.Native }
-            in
-            let under = Runner.run_profile profile config in
-            let o = under.Runner.outcome in
-            Printf.sprintf "seed %-6d normalized %.3f  syscalls %-7d faults %-3d verdict %s"
-              seed
-              (Vtime.to_float_ns under.Runner.duration
-              /. Vtime.to_float_ns native.Runner.duration)
-              o.Mvee.syscalls o.Mvee.faults_injected
-              (match o.Mvee.verdict with
-              | None -> "clean"
-              | Some v -> Divergence.to_string v)
-          with Runner.Mvee_terminated v ->
-            Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v))
+          let obs = want_obs seed in
+          let row =
+            try
+              let native =
+                Runner.run_profile profile { config with Mvee.backend = Mvee.Native }
+              in
+              let under = Runner.run_profile ?obs profile config in
+              let o = under.Runner.outcome in
+              Printf.sprintf "seed %-6d normalized %.3f  syscalls %-7d faults %-3d verdict %s"
+                seed
+                (Vtime.to_float_ns under.Runner.duration
+                /. Vtime.to_float_ns native.Runner.duration)
+                o.Mvee.syscalls o.Mvee.faults_injected
+                (match o.Mvee.verdict with
+                | None -> "clean"
+                | Some v -> Divergence.to_string v)
+            with Runner.Mvee_terminated v ->
+              Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v)
+          in
+          (row, obs))
         seeds
-    in
-    List.iter print_endline rows
-  | Registry.Server_workload (server, client) ->
-    let rows =
+    | Registry.Server_workload (server, client) ->
       Remon_util.Pool.map ~domains
         (fun seed ->
           let config = { config with Mvee.seed = seed } in
-          try
-            let native =
-              Runner.run_server_bench ~latency ~server ~client
-                { config with Mvee.backend = Mvee.Native }
-            in
-            let under = Runner.run_server_bench ~latency ~server ~client config in
-            Printf.sprintf "seed %-6d overhead %-8s responses %d" seed
-              (Remon_util.Table.fmt_pct
-                 (Vtime.to_float_ns under.Runner.client_duration
-                  /. Vtime.to_float_ns native.Runner.client_duration
-                 -. 1.))
-              under.Runner.responses
-          with Runner.Mvee_terminated v ->
-            Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v))
+          let obs = want_obs seed in
+          let row =
+            try
+              let native =
+                Runner.run_server_bench ~latency ~server ~client
+                  { config with Mvee.backend = Mvee.Native }
+              in
+              let under =
+                Runner.run_server_bench ~latency ?obs ~server ~client config
+              in
+              Printf.sprintf "seed %-6d overhead %-8s responses %d" seed
+                (Remon_util.Table.fmt_pct
+                   (Vtime.to_float_ns under.Runner.client_duration
+                    /. Vtime.to_float_ns native.Runner.client_duration
+                   -. 1.))
+                under.Runner.responses
+            with Runner.Mvee_terminated v ->
+              Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v)
+          in
+          (row, obs))
         seeds
-    in
-    List.iter print_endline rows)
+  in
+  List.iter (fun (row, _) -> print_endline row) rows;
+  List.iter
+    (fun (_, obs) ->
+      match obs with
+      | Some o -> finalize_obs ~trace_file ~metrics o
+      | None -> ())
+    rows
 
 let run_workload name backend nreplicas level latency seed faults on_failure
-    trace_lines repeat domains =
+    trace_lines trace_file metrics repeat domains =
   match Registry.find name with
   | None ->
     Printf.eprintf "unknown workload %S; try `remon list`\n" name;
@@ -223,9 +272,10 @@ let run_workload name backend nreplicas level latency seed faults on_failure
         (Mvee.backend_to_string backend)
         nreplicas
         (Policy.to_string config.Mvee.policy);
-      run_repeated workload config latency ~repeat ~domains
+      run_repeated workload config latency ~repeat ~domains ~trace_file ~metrics
     end
     else
+    let obs = if trace_file <> None || metrics then Some (Obs.create ()) else None in
     let dump_trace kernel =
       if trace_lines > 0 then begin
         Printf.printf "\nsyscall trace (first %d lines):\n" trace_lines;
@@ -246,13 +296,16 @@ let run_workload name backend nreplicas level latency seed faults on_failure
         if trace_lines > 0 then begin
           let kernel = Remon_kernel.Kernel.create ~seed:config.Mvee.seed () in
           Remon_kernel.Kernel.enable_tracing kernel;
+          (match obs with
+          | Some o -> Remon_kernel.Kernel.set_obs kernel o
+          | None -> ());
           let h = Mvee.launch kernel config ~name ~body:(Profile.body profile) in
           Remon_kernel.Kernel.run kernel;
           let outcome = Mvee.finish h in
           dump_trace kernel;
           { Runner.duration = outcome.Mvee.duration; outcome }
         end
-        else Runner.run_profile profile config
+        else Runner.run_profile ?obs profile config
       in
       let o = under.Runner.outcome in
       Printf.printf "native runtime     : %s\n" (Vtime.to_string native.Runner.duration);
@@ -274,13 +327,14 @@ let run_workload name backend nreplicas level latency seed faults on_failure
         Printf.printf "quarantines        : %d, respawns %d, watchdog retries %d\n"
           o.Mvee.quarantines o.Mvee.respawns o.Mvee.watchdog_retries;
         Printf.printf "degraded time      : %s\n" (Vtime.to_string o.Mvee.degraded_ns)
-      end
+      end;
+      (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ())
     | Registry.Server_workload (server, client) ->
       let native =
         Runner.run_server_bench ~latency ~server ~client
           { config with Mvee.backend = Mvee.Native }
       in
-      let under = Runner.run_server_bench ~latency ~server ~client config in
+      let under = Runner.run_server_bench ~latency ?obs ~server ~client config in
       Printf.printf "native client time : %s\n"
         (Vtime.to_string native.Runner.client_duration);
       Printf.printf "mvee client time   : %s (overhead %s)\n"
@@ -289,11 +343,14 @@ let run_workload name backend nreplicas level latency seed faults on_failure
            (Vtime.to_float_ns under.Runner.client_duration
             /. Vtime.to_float_ns native.Runner.client_duration
            -. 1.));
-      Printf.printf "responses          : %d\n" under.Runner.responses
+      Printf.printf "responses          : %d\n" under.Runner.responses;
+      (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ())
     with Runner.Mvee_terminated v ->
       (* a fatal verdict (e.g. under --faults with the kill-group policy)
-         is a legitimate outcome, not a crash *)
+         is a legitimate outcome, not a crash — dump what was collected
+         before exiting, it is exactly what a failure wants looked at *)
       Printf.printf "mvee terminated    : %s\n" (Divergence.to_string v);
+      (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ());
       exit 1)
 
 let run_cmd =
@@ -303,10 +360,31 @@ let run_cmd =
       & opt (some string) None
       & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload name (see `remon list`).")
   in
-  let trace_arg =
+  let trace_lines_arg =
     Arg.(
       value & opt int 0
-      & info [ "trace" ] ~docv:"N" ~doc:"Print the first N syscall-trace lines.")
+      & info [ "trace-lines" ] ~docv:"N"
+          ~doc:"Print the first N human-readable syscall-trace lines.")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured trace of the MVEE run to FILE in Chrome \
+             trace-event JSON (load it in Perfetto / chrome://tracing). \
+             Identical seeds produce byte-identical files, independent of \
+             --domains. With --repeat, the base seed's run is traced.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the metrics summary: per-syscall latency histograms, \
+             rendezvous and route counts, RB occupancy high-water marks, \
+             ptrace round-trips.")
   in
   let repeat_arg =
     Arg.(
@@ -329,8 +407,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload under an MVEE configuration.")
     Term.(
       const run_workload $ name_arg $ backend_arg $ replicas_arg $ level_arg
-      $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_arg
-      $ repeat_arg $ domains_arg)
+      $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_lines_arg
+      $ trace_file_arg $ metrics_arg $ repeat_arg $ domains_arg)
 
 let attack_cmd =
   let run backend nreplicas level seed =

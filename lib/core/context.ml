@@ -81,7 +81,22 @@ type group = {
    map) and exempt from GHUMVEE's shared-memory rejection policy. *)
 let mvee_shm_key_base = 0x5EC0DE00
 
-let set_divergence g v = if g.divergence = None then g.divergence <- Some v
+(* Every verdict funnels through here (first one wins), so this is also
+   the single emission point for divergence events in the trace. *)
+let obs_instant g ~cat ~name args =
+  match Kernel.obs g.kernel with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now g.kernel)
+      ~cat ~name ~pid:0 ~tid:0 args;
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics (cat ^ "." ^ name)
+
+let set_divergence g v =
+  if g.divergence = None then begin
+    g.divergence <- Some v;
+    obs_instant g ~cat:"divergence" ~name:"verdict"
+      [ ("verdict", Remon_obs.Trace.Str (Divergence.to_string v)) ]
+  end
 
 let replica_variant (p : Proc.process) =
   match p.Proc.replica_info with
@@ -109,6 +124,8 @@ let quarantine g ~variant =
   if variant > 0 && not g.quarantined.(variant) then begin
     g.quarantined.(variant) <- true;
     g.quarantines <- g.quarantines + 1;
+    obs_instant g ~cat:"recovery" ~name:"quarantine"
+      [ ("variant", Remon_obs.Trace.Int variant) ];
     if g.degraded_since = None then
       g.degraded_since <- Some (Kernel.now g.kernel)
   end
@@ -117,6 +134,8 @@ let quarantine g ~variant =
 let rejoin g ~variant =
   if g.quarantined.(variant) then begin
     g.quarantined.(variant) <- false;
+    obs_instant g ~cat:"recovery" ~name:"rejoin"
+      [ ("variant", Remon_obs.Trace.Int variant) ];
     if active_count g = g.nreplicas then begin
       (match g.degraded_since with
       | Some t0 ->

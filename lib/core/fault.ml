@@ -39,6 +39,9 @@ type t = {
   rng : Rng.t;
   mutable injected : int;
   mutable rb_records_seen : int;
+  mutable kernel : Kernel.t option;
+      (* set by [install]; RB-path injections trace through its obs sink
+         (kernel-path injections are traced by the dispatcher itself) *)
 }
 
 let spec ~kind ~variant ~at = { kind; variant; at; fired = false }
@@ -46,7 +49,13 @@ let spec ~kind ~variant ~at = { kind; variant; at; fired = false }
 let make ~seed plan =
   (* split off a private stream so fault perturbations cannot shift any
      other seeded decision in the run *)
-  { plan; rng = Rng.make (seed lxor 0x0FA017); injected = 0; rb_records_seen = 0 }
+  {
+    plan;
+    rng = Rng.make (seed lxor 0x0FA017);
+    injected = 0;
+    rb_records_seen = 0;
+    kernel = None;
+  }
 
 let injected t = t.injected
 
@@ -96,6 +105,18 @@ let kernel_decision t (th : Proc.thread) (call : Syscall.call) =
     find t.plan
 
 (* RB tamper hook: fires RB specs on the n-th appended record. *)
+let obs_rb_fault t ~name (e : Replication_buffer.entry) =
+  match t.kernel with
+  | None -> ()
+  | Some kernel -> (
+    match Kernel.obs kernel with
+    | None -> ()
+    | Some o ->
+      Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now kernel)
+        ~cat:"fault" ~name ~pid:0 ~tid:0
+        [ ("seq", Remon_obs.Trace.Int e.Replication_buffer.seq) ];
+      Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("fault." ^ name))
+
 let rb_tamper t (e : Replication_buffer.entry) =
   t.rb_records_seen <- t.rb_records_seen + 1;
   List.iter
@@ -105,16 +126,19 @@ let rb_tamper t (e : Replication_buffer.entry) =
         | Drop_rb ->
           s.fired <- true;
           t.injected <- t.injected + 1;
-          e.Replication_buffer.call <- None
+          e.Replication_buffer.call <- None;
+          obs_rb_fault t ~name:"droprb" e
         | Corrupt_rb ->
           s.fired <- true;
           t.injected <- t.injected + 1;
           e.Replication_buffer.call <-
-            Option.map (corrupt_call t.rng) e.Replication_buffer.call
+            Option.map (corrupt_call t.rng) e.Replication_buffer.call;
+          obs_rb_fault t ~name:"corruptrb" e
         | Crash _ | Corrupt_args | Delay _ | Sock_err _ -> ())
     t.plan
 
 let install t ~kernel ~rb =
+  t.kernel <- Some kernel;
   Kernel.set_fault_hook kernel (fun th call -> kernel_decision t th call);
   rb.Replication_buffer.tamper <- Some (fun e -> rb_tamper t e)
 

@@ -111,6 +111,16 @@ let variant_of (p : Proc.process) =
 
 let journal t = t.g.Context.rb.Replication_buffer.sync_log
 
+(* Monitor-context trace events (pid/tid 0): rendezvous lifecycle and the
+   watchdog. One match on the sink per site; nothing runs when it's off. *)
+let obs_instant t ~ts ~name args =
+  match Kernel.obs t.kernel with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts ~cat:"rendezvous" ~name
+      ~pid:0 ~tid:0 args;
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("rendezvous." ^ name)
+
 (* Charges the monitor's serialized processing time starting no earlier
    than [earliest], and returns the completion instant. *)
 let monitor_work t ~earliest ~work_ns =
@@ -245,6 +255,12 @@ let rec process_rendezvous t rank (arrivals : arrival list) =
   List.iter
     (fun a -> a.th.Proc.clock <- Vtime.max a.th.Proc.clock done_at)
     arrivals;
+  obs_instant t ~ts:done_at ~name:"release"
+    [
+      ("rank", Remon_obs.Trace.Int rank);
+      ("arrivals", Remon_obs.Trace.Int narrivals);
+      ("call", Remon_obs.Trace.Str (Syscall.to_string call));
+    ];
   (* deep argument comparison *)
   let mismatch =
     List.find_opt
@@ -264,6 +280,11 @@ let rec process_rendezvous t rank (arrivals : arrival list) =
           detector = Divergence.By_ghumvee;
         }
     in
+    obs_instant t ~ts:done_at ~name:"args_mismatch"
+      [
+        ("rank", Remon_obs.Trace.Int rank);
+        ("variant", Remon_obs.Trace.Int bad.variant);
+      ];
     if Context.replica_fault t.g ~variant:bad.variant verdict then
       (* the bad replica was quarantined (and killed); the survivors still
          sit at their entry stops — re-run the rendezvous without it *)
@@ -369,9 +390,16 @@ let rec arm_watchdog ?(attempt = 0) t rank =
         | Collecting { arrivals; _ } ->
           if attempt < t.max_watchdog_retries then begin
             t.g.Context.watchdog_retries <- t.g.Context.watchdog_retries + 1;
+            obs_instant t ~ts:(Kernel.now t.kernel) ~name:"watchdog_retry"
+              [
+                ("rank", Remon_obs.Trace.Int rank);
+                ("attempt", Remon_obs.Trace.Int attempt);
+              ];
             arm_watchdog ~attempt:(attempt + 1) t rank
           end
           else begin
+            obs_instant t ~ts:(Kernel.now t.kernel) ~name:"watchdog_timeout"
+              [ ("rank", Remon_obs.Trace.Int rank) ];
             let present = List.map (fun a -> a.variant) arrivals in
             let missing =
               List.filter
@@ -416,6 +444,12 @@ let rec handle_entry t (th : Proc.thread) (call : Syscall.call) =
          master's next monitored entry: their parked call is this very
          rendezvous *)
       if variant = 0 then flush_waiting_rejoin t ~rank;
+      obs_instant t ~ts:th.Proc.clock ~name:"collect"
+        [
+          ("rank", Remon_obs.Trace.Int rank);
+          ("variant", Remon_obs.Trace.Int variant);
+          ("index", Remon_obs.Trace.Int th.Proc.syscall_index);
+        ];
       let arrival = { variant; th; call } in
       (match rank_state t rank with
       | Idle ->
@@ -534,6 +568,8 @@ let enable_replay_feed t =
 (* A respawned variant starts replaying the journal from the beginning. *)
 let begin_replay t ~variant =
   enable_replay_feed t;
+  obs_instant t ~ts:(Kernel.now t.kernel) ~name:"respawn_replay"
+    [ ("variant", Remon_obs.Trace.Int variant) ];
   Hashtbl.replace t.replaying variant (Hashtbl.create 4);
   Ikb.set_replaying t.g.Context.ikb ~variant true
 

@@ -71,6 +71,22 @@ let create ~kernel ~policy ~seed =
     on_violation = (fun _ -> ());
   }
 
+(* Token-lifecycle observability: grants/revocations are metrics only (one
+   per fast-path call — instants would dwarf the trace); rejections are
+   rare and security-relevant, so they also get an instant event. *)
+let obs_metric t name =
+  match Kernel.obs t.kernel with
+  | None -> ()
+  | Some o -> Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics name
+
+let obs_rejected t (th : Proc.thread) =
+  match Kernel.obs t.kernel with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics "ikb.tokens_rejected";
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:th.Proc.clock ~cat:"ikb"
+      ~name:"token_rejected" ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid []
+
 let fresh_token t =
   (* 64 random bits; zero is reserved as "no token" *)
   let rec draw () =
@@ -83,7 +99,8 @@ let revoke t (th : Proc.thread) =
   match Hashtbl.find_opt t.tokens th.tid with
   | Some tr when tr.live ->
     tr.live <- false;
-    t.revocations <- t.revocations + 1
+    t.revocations <- t.revocations + 1;
+    obs_metric t "ikb.revocations"
   | _ -> ()
 
 (* Authoritative descriptor lookup: the broker runs in the kernel and uses
@@ -153,6 +170,7 @@ let classify t (th : Proc.thread) (call : Syscall.call) : K.route =
           Hashtbl.replace t.tokens th.tid
             { value; granted_for = call; live = true; temporal = false };
           t.grants <- t.grants + 1;
+          obs_metric t "ikb.tokens_granted";
           K.Route_ipmon value
         end
         else if signal_pending then default ()
@@ -185,6 +203,7 @@ let classify t (th : Proc.thread) (call : Syscall.call) : K.route =
             Hashtbl.replace t.tokens th.tid
               { value; granted_for = call; live = true; temporal = temporally_ok };
             t.grants <- t.grants + 1;
+            obs_metric t "ikb.tokens_granted";
             K.Route_ipmon value
           end
           else default ()
@@ -203,9 +222,11 @@ let verify t (th : Proc.thread) ~token ~(call : Syscall.call) =
   | Some tr ->
     if tr.live then revoke t th;
     t.rejected <- t.rejected + 1;
+    obs_rejected t th;
     false
   | None ->
     t.rejected <- t.rejected + 1;
+    obs_rejected t th;
     false
 
 (* Outstanding-token check used by IP-MON's fallback: destroying the token

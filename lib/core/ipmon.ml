@@ -33,6 +33,16 @@ let err e = Syscall.Error e
 
 let charge = Kstate.charge
 
+(* Replica-context IP-MON events (fallbacks, overflow stalls); the
+   per-record append/consume traffic is emitted by [Replication_buffer]. *)
+let obs_instant (k : Kernel.t) (th : Proc.thread) ~name args =
+  match Kernel.obs k with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("ipmon." ^ name);
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:th.Proc.clock
+      ~cat:"ipmon" ~name ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid args
+
 (* ------------------------------------------------------------------ *)
 (* Phase 1: MAYBE_CHECKED *)
 
@@ -100,6 +110,8 @@ let rec invoke inst (th : Proc.thread) ~token ~(call : Syscall.call)
   let fallback () =
     (* step 4': destroy the token, restart the call as a monitored call *)
     g.Context.ipmon_fallbacks <- g.Context.ipmon_fallbacks + 1;
+    obs_instant k th ~name:"fallback"
+      [ ("call", Remon_obs.Trace.Str (Syscall.to_string call)) ];
     Ikb.destroy_token g.Context.ikb th;
     charge th cost.Cost_model.ipmon_restart_ns;
     Kernel.monitor_path k th call ~return
@@ -171,6 +183,8 @@ and master_path inst th ~token ~call ~return ~fallback ~bytes =
     (* Linear-buffer overflow: signal GHUMVEE, wait for the slaves to
        drain, reset (Section 3.2). The signalling syscall costs the master
        a ptrace round trip. *)
+    obs_instant k th ~name:"overflow_wait"
+      [ ("used_bytes", Remon_obs.Trace.Int g.Context.rb.Rb.used_bytes) ];
     charge th (Cost_model.ptrace_stop_ns cost);
     Kernel.wait_until k th ~what:"rb overflow: waiting for slaves to drain"
       ~poll:(fun () -> if Rb.fully_drained g.Context.rb then Some () else None)

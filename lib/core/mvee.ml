@@ -112,6 +112,8 @@ type outcome = {
   respawns : int;
   degraded_ns : Vtime.t; (* time spent with at least one replica detached *)
   watchdog_retries : int;
+  metrics : (string * string) list;
+      (* the observability summary (key-sorted); [] when tracing is off *)
 }
 
 (* Atomic: groups are created from concurrently running simulations when
@@ -246,6 +248,13 @@ let launch (kernel : Kernel.t) (config : config) ~name
       heap_bases = Array.make nreplicas 0L;
     }
   in
+  (* when the kernel carries an observability sink, the RB reports into it
+     too (it holds no kernel reference of its own) *)
+  (match Kernel.obs kernel with
+  | Some o ->
+    group.Context.rb.Replication_buffer.obs <-
+      Some (o, fun () -> Kernel.now kernel)
+  | None -> ());
   (* wire the deterministic fault plan into the kernel + RB hooks *)
   if config.faults <> [] then begin
     let f = Fault.make ~seed:config.seed config.faults in
@@ -436,6 +445,21 @@ let launch (kernel : Kernel.t) (config : config) ~name
 (* Collects the outcome after [Kernel.run] has drained the simulation. *)
 let finish (h : handle) : outcome =
   let st = Kernel.stats h.kernel in
+  let metrics =
+    match Kernel.obs h.kernel with
+    | None -> []
+    | Some o ->
+      (* fold the scheduler's event-queue tallies into the summary *)
+      let eq =
+        Event_queue.stats (Kernel.sched h.kernel).Sched.events
+      in
+      let m = o.Remon_obs.Obs.metrics in
+      Remon_obs.Metrics.add m "eq.adds" eq.Event_queue.adds;
+      Remon_obs.Metrics.add m "eq.cancels" eq.Event_queue.cancels;
+      Remon_obs.Metrics.add m "eq.pops" eq.Event_queue.pops;
+      Remon_obs.Metrics.add m "eq.compactions" eq.Event_queue.compactions;
+      Remon_obs.Metrics.summary m
+  in
   {
     duration = (match h.master_exit_ns with Some t -> t | None -> Kernel.now h.kernel);
     verdict = h.group.Context.divergence;
@@ -460,6 +484,7 @@ let finish (h : handle) : outcome =
           | Some t -> t
           | None -> Kernel.now h.kernel);
     watchdog_retries = h.group.Context.watchdog_retries;
+    metrics;
   }
 
 (* One-shot convenience: fresh kernel, launch, run to completion. *)

@@ -90,6 +90,9 @@ type outcome = {
   respawns : int; (** replicas relaunched under [Respawn] *)
   degraded_ns : Vtime.t; (** time with at least one replica detached *)
   watchdog_retries : int; (** rendezvous grace periods granted *)
+  metrics : (string * string) list;
+      (** observability summary (key-sorted name/value rows, see
+          {!Remon_obs.Metrics.summary}); [[]] when tracing is off *)
 }
 
 val launch : Kernel.t -> config -> name:string -> body:(env -> unit) -> handle

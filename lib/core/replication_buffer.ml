@@ -56,6 +56,9 @@ type t = {
   mutable wakes_skipped : int;
   (* record/replay sync-event log (Section 2.3) rides in the same segment *)
   sync_log : Record_log.t;
+  mutable obs : (Remon_obs.Obs.t * (unit -> int64)) option;
+      (* structured trace sink + virtual-clock reader, set by [Mvee] when
+         observability is on; None = zero-cost disabled path *)
 }
 
 (* The RB travels in a System V segment; higher layers find it there. *)
@@ -78,9 +81,30 @@ let create ~size_bytes ~nreplicas =
     wakes_issued = 0;
     wakes_skipped = 0;
     sync_log = Record_log.create ~nreplicas;
+    obs = None;
   }
 
 let default_size = 16 * 1024 * 1024 (* the paper's 16 MiB *)
+
+(* RB events belong to the monitor context, not any replica: pid/tid 0.
+   Occupancy rides along as a high-water-mark metric on every event. *)
+let obs_event t ~name args =
+  match t.obs with
+  | None -> ()
+  | Some (o, now) ->
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(now ()) ~cat:"rb" ~name
+      ~pid:0 ~tid:0 args;
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("rb." ^ name);
+    Remon_obs.Metrics.hwm o.Remon_obs.Obs.metrics "rb.used_bytes" t.used_bytes
+
+(* Perfetto-graphable occupancy track. *)
+let obs_occupancy t =
+  match t.obs with
+  | None -> ()
+  | Some (o, now) ->
+    Remon_obs.Trace.counter o.Remon_obs.Obs.trace ~ts:(now ()) ~cat:"rb"
+      ~name:"rb.used_bytes" ~pid:0 ~tid:0
+      [ ("used_bytes", Remon_obs.Trace.Int t.used_bytes) ]
 
 let stream t rank =
   match Hashtbl.find_opt t.streams rank with
@@ -123,7 +147,9 @@ let reset t =
   Hashtbl.iter (fun _ s -> Hashtbl.reset s.entries) t.streams;
   t.used_bytes <- 0;
   t.generation <- t.generation + 1;
-  t.resets <- t.resets + 1
+  t.resets <- t.resets + 1;
+  obs_event t ~name:"reset" [ ("generation", Remon_obs.Trace.Int t.generation) ];
+  obs_occupancy t
 
 (* Master side: append the record for its next call on [rank]'s stream. *)
 let master_append t ~rank ~call ~expect_block ~forwarded =
@@ -144,6 +170,13 @@ let master_append t ~rank ~call ~expect_block ~forwarded =
   s.master_next <- s.master_next + 1;
   t.used_bytes <- t.used_bytes + bytes;
   t.total_records <- t.total_records + 1;
+  obs_event t ~name:"append"
+    [
+      ("rank", Remon_obs.Trace.Int rank);
+      ("seq", Remon_obs.Trace.Int e.seq);
+      ("bytes", Remon_obs.Trace.Int bytes);
+    ];
+  obs_occupancy t;
   (match t.tamper with Some f -> f e | None -> ());
   e
 
@@ -152,6 +185,10 @@ let master_append t ~rank ~call ~expect_block ~forwarded =
 let master_publish t e result =
   e.result <- Some result;
   t.used_bytes <- t.used_bytes + Syscall.result_bytes result;
+  (match t.obs with
+  | None -> ()
+  | Some (o, _) ->
+    Remon_obs.Metrics.hwm o.Remon_obs.Obs.metrics "rb.used_bytes" t.used_bytes);
   if e.waiters > 0 then begin
     t.wakes_issued <- t.wakes_issued + 1;
     true
@@ -173,6 +210,12 @@ let slave_advance t ~rank ~variant =
   | Some e -> e.consumed <- e.consumed + 1
   | None -> ());
   s.slave_next.(variant) <- seq + 1;
+  obs_event t ~name:"consume"
+    [
+      ("rank", Remon_obs.Trace.Int rank);
+      ("variant", Remon_obs.Trace.Int variant);
+      ("seq", Remon_obs.Trace.Int seq);
+    ];
   (* Drop the record once every active slave has moved past it: lookups
      only ever target [slave_next] positions, so a record behind all of
      them is unreachable and would otherwise pin the simulator's memory

@@ -45,6 +45,9 @@ type t = {
   mutable wakes_skipped : int;
   sync_log : Record_log.t;
       (** the record/replay agent's sync-event log rides along *)
+  mutable obs : (Remon_obs.Obs.t * (unit -> int64)) option;
+      (** structured trace sink + virtual-clock reader, set by [Mvee] when
+          observability is on; [None] = the zero-cost disabled path *)
 }
 
 type Shm.payload += Rb_payload of t

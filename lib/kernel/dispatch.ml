@@ -1437,6 +1437,47 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
       ret (Syscall.Ok_int 0))
 
 (* ------------------------------------------------------------------ *)
+(* Structured observability emission (lib/obs).
+
+   Every site pays exactly one match on [k.K.obs] when the sink is absent.
+   Events are stamped with the thread's virtual clock and identify
+   replicas by variant index — never by group id or shm key, which come
+   from process-global counters and would break the byte-identical-trace
+   guarantee across runs in the same process. *)
+
+module Tr = Remon_obs.Trace
+module Ob = Remon_obs.Obs
+
+let variant_of (th : Proc.thread) =
+  match th.Proc.proc.Proc.replica_info with
+  | Some ri -> ri.Proc.variant_index
+  | None -> -1
+
+let obs_instant k (th : Proc.thread) ~cat ~name args =
+  match k.K.obs with
+  | None -> ()
+  | Some o ->
+    Tr.instant o.Ob.trace ~ts:th.Proc.clock ~cat ~name
+      ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid
+      (("variant", Tr.Int (variant_of th))
+      :: ("index", Tr.Int th.Proc.syscall_index)
+      :: args)
+
+(* A ptrace stop is one monitor round-trip: record the instant and bump
+   the round-trip tally. *)
+let obs_ptrace_stop k (th : Proc.thread) ~kind =
+  match k.K.obs with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Metrics.incr o.Ob.metrics "ptrace.round_trips";
+    Tr.instant o.Ob.trace ~ts:th.Proc.clock ~cat:"ptrace" ~name:kind
+      ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid
+      [
+        ("variant", Tr.Int (variant_of th));
+        ("index", Tr.Int th.Proc.syscall_index);
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Routing pipeline *)
 
 (* Final stage: deliver pending signals at the syscall boundary, then hand
@@ -1456,6 +1497,7 @@ let rec finish k (th : Proc.thread) (result : Syscall.result) ~return =
         k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
         k.K.stats.context_switches <- k.K.stats.context_switches + 2;
         charge th (Cost_model.ptrace_stop_ns k.K.cost);
+        obs_ptrace_stop k th ~kind:"signal_delivery_stop";
         th.tstate <-
           Proc.Trace_stopped
             {
@@ -1492,6 +1534,7 @@ let exit_phase k (th : Proc.thread) call result ~return =
     k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
     k.K.stats.context_switches <- k.K.stats.context_switches + 2;
     charge th (Cost_model.ptrace_stop_ns k.K.cost);
+    obs_ptrace_stop k th ~kind:"syscall_exit_stop";
     th.tstate <-
       Proc.Trace_stopped
         {
@@ -1524,6 +1567,7 @@ let monitor_path k (th : Proc.thread) call ~return =
     k.K.stats.ptrace_stops <- k.K.stats.ptrace_stops + 1;
     k.K.stats.context_switches <- k.K.stats.context_switches + 2;
     charge th (Cost_model.ptrace_stop_ns k.K.cost);
+    obs_ptrace_stop k th ~kind:"syscall_entry_stop";
     th.tstate <-
       Proc.Trace_stopped
         {
@@ -1558,8 +1602,20 @@ let execute_raw k th call ~(ret : Syscall.result -> unit) =
   exec k th call ~ret
 
 (* Trace hook: records one line per syscall with its route when tracing is
-   enabled (Kstate.log_enabled). *)
+   enabled (Kstate.log_enabled), and a routing instant + per-route tally
+   in the structured sink when one is attached. *)
 let trace_route k (th : Proc.thread) call route =
+  (match k.K.obs with
+  | None -> ()
+  | Some o ->
+    Remon_obs.Metrics.incr o.Ob.metrics ("route." ^ route);
+    Tr.instant o.Ob.trace ~ts:th.Proc.clock ~cat:"route" ~name:route
+      ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid
+      [
+        ("call", Tr.Str (Syscall.to_string call));
+        ("variant", Tr.Int (variant_of th));
+        ("index", Tr.Int th.Proc.syscall_index);
+      ]);
   if k.K.log_enabled then
     K.logf k "pid=%d tid=%d #%d %s -> %s" th.Proc.proc.Proc.pid th.Proc.tid
       th.Proc.syscall_index (Syscall.to_string call) route
@@ -1575,6 +1631,31 @@ let handle k (th : Proc.thread) call ~return =
     k.K.stats.traps <- k.K.stats.traps + 1;
     K.count_sysno k.K.stats (Syscall.number call);
     charge th k.K.cost.syscall_trap_ns;
+    (* With a sink attached the whole call becomes one B/E span (even
+       across blocking and monitor stops) and feeds the per-syscall
+       latency histogram. A replica killed mid-call leaves an unclosed
+       span, which trace viewers render as running-to-end-of-trace. *)
+    let return =
+      match k.K.obs with
+      | None -> return
+      | Some o ->
+        let name = Syscall.to_string call in
+        let pid = p.Proc.pid and tid = th.Proc.tid in
+        let entry_clock = th.Proc.clock in
+        Tr.span_begin o.Ob.trace ~ts:entry_clock ~cat:"syscall" ~name ~pid
+          ~tid
+          [
+            ("variant", Tr.Int (variant_of th));
+            ("rank", Tr.Int th.Proc.rank);
+            ("index", Tr.Int th.Proc.syscall_index);
+          ];
+        fun r ->
+          Tr.span_end o.Ob.trace ~ts:th.Proc.clock ~cat:"syscall" ~name ~pid
+            ~tid [];
+          Remon_obs.Metrics.observe_ns o.Ob.metrics ("syscall." ^ name)
+            (Vtime.sub th.Proc.clock entry_clock);
+          return r
+    in
     let route call =
       match k.K.broker with
       | None -> (
@@ -1617,17 +1698,24 @@ let handle k (th : Proc.thread) call ~return =
          paths; the monitors see it as an argument divergence *)
       th.current_call <- Some call';
       trace_route k th call' "fault:rewrite";
+      obs_instant k th ~cat:"fault" ~name:"rewrite"
+        [ ("call", Tr.Str (Syscall.to_string call')) ];
       route call'
     | K.Fault_result r ->
       (* transient kernel-level failure (e.g. ECONNRESET): complete now *)
       trace_route k th call "fault:result";
+      obs_instant k th ~cat:"fault" ~name:"result"
+        [ ("call", Tr.Str (Syscall.to_string call)) ];
       finish k th r ~return
     | K.Fault_crash sg ->
       trace_route k th call "fault:crash";
+      obs_instant k th ~cat:"fault" ~name:"crash" [ ("signal", Tr.Int sg) ];
       kill_process k p ~code:(128 + sg)
     | K.Fault_delay ns ->
       (* stall the arrival: the rendezvous watchdog can observe it *)
       trace_route k th call "fault:delay";
+      obs_instant k th ~cat:"fault" ~name:"delay"
+        [ ("ns", Tr.I64 ns) ];
       block k th ~what:"fault: injected stall" ~timeout_ns:ns ~intr:false
         ~poll:(fun () -> (None : unit option))
         ~on_ready:(fun () -> ())

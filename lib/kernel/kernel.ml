@@ -179,6 +179,10 @@ let monitor_path (k : t) th call ~return = Dispatch.monitor_path k th call ~retu
 
 let enable_tracing (k : t) = k.K.log_enabled <- true
 
+let set_obs (k : t) o = k.K.obs <- Some o
+let clear_obs (k : t) = k.K.obs <- None
+let obs (k : t) = k.K.obs
+
 let trace (k : t) =
   List.rev_map
     (fun (time, line) -> Printf.sprintf "[%s] %s" (Remon_sim.Vtime.to_string time) line)

@@ -136,3 +136,14 @@ val enable_tracing : t -> unit
 
 val trace : t -> string list
 (** The recorded trace, in chronological order. *)
+
+val set_obs : t -> Remon_obs.Obs.t -> unit
+(** Attach a structured trace/metrics sink. Emission points throughout
+    the dispatcher and monitors stamp events with virtual time only, so a
+    given seed yields a byte-identical exported trace. *)
+
+val clear_obs : t -> unit
+
+val obs : t -> Remon_obs.Obs.t option
+(** The attached sink, if any ([None] = observability off, the zero-cost
+    path). *)

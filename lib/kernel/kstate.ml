@@ -103,6 +103,8 @@ type t = {
   epoch_offset_ns : int64; (* "wall clock" base for gettimeofday *)
   mutable log : (Vtime.t * string) list; (* recent diagnostic events, reversed *)
   mutable log_enabled : bool;
+  mutable obs : Remon_obs.Obs.t option;
+      (* structured trace/metrics sink; None = observability fully off *)
 }
 
 let create ?(cost = Cost_model.default) ?(seed = 42)
@@ -127,6 +129,7 @@ let create ?(cost = Cost_model.default) ?(seed = 42)
     epoch_offset_ns = 1_600_000_000_000_000_000L;
     log = [];
     log_enabled = false;
+    obs = None;
   }
 
 let now k = Sched.now k.sched

@@ -1,0 +1,96 @@
+(* Deterministic metric aggregation: named counters, high-water marks and
+   log2-bucketed latency histograms over virtual-time durations.
+
+   The summary is rendered as a key-sorted (name, value-string) assoc
+   list so it can be merged into `Mvee.outcome` and compared
+   structurally by the determinism tests. *)
+
+type hist = {
+  mutable count : int;
+  mutable sum_ns : int64;
+  mutable max_ns : int64;
+  buckets : int array; (* bucket i counts durations in [2^i, 2^(i+1)) ns *)
+}
+
+type t = {
+  hists : (string, hist) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+  hwms : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { hists = Hashtbl.create 32; counters = Hashtbl.create 32; hwms = Hashtbl.create 16 }
+
+let hist_find t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = { count = 0; sum_ns = 0L; max_ns = 0L; buckets = Array.make 64 0 } in
+      Hashtbl.add t.hists name h;
+      h
+
+let bucket_of_ns ns =
+  if Int64.compare ns 1L <= 0 then 0
+  else
+    let rec go i v = if Int64.compare v 1L <= 0 then i else go (i + 1) (Int64.shift_right_logical v 1) in
+    min 63 (go 0 ns)
+
+let observe_ns t name ns =
+  let h = hist_find t name in
+  h.count <- h.count + 1;
+  h.sum_ns <- Int64.add h.sum_ns ns;
+  if Int64.compare ns h.max_ns > 0 then h.max_ns <- ns;
+  let b = bucket_of_ns ns in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let hwm t name v =
+  match Hashtbl.find_opt t.hwms name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add t.hwms name (ref v)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let hist_count t name =
+  match Hashtbl.find_opt t.hists name with Some h -> h.count | None -> 0
+
+(* p-quantile from the log2 buckets: returns the upper bound (2^(i+1) ns)
+   of the bucket holding the q-th observation — coarse but deterministic. *)
+let hist_quantile_ns h q =
+  if h.count = 0 then 0L
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let acc = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to 63 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= target then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Int64.shift_left 1L (min 62 (!b + 1))
+  end
+
+let summary t =
+  let rows = ref [] in
+  Hashtbl.iter (fun name r -> rows := (name, string_of_int !r) :: !rows) t.counters;
+  Hashtbl.iter (fun name r -> rows := (name ^ ".hwm", string_of_int !r) :: !rows) t.hwms;
+  Hashtbl.iter
+    (fun name h ->
+      let mean = if h.count = 0 then 0L else Int64.div h.sum_ns (Int64.of_int h.count) in
+      rows := (name ^ ".count", string_of_int h.count) :: !rows;
+      rows := (name ^ ".mean_ns", Int64.to_string mean) :: !rows;
+      rows := (name ^ ".max_ns", Int64.to_string h.max_ns) :: !rows;
+      rows :=
+        (name ^ ".p99_le_ns", Int64.to_string (hist_quantile_ns h 0.99)) :: !rows)
+    t.hists;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows

@@ -1,0 +1,141 @@
+(* Structured trace recorder, exported in Chrome trace-event format.
+
+   Events are stamped with *virtual* time only — never wall-clock, host
+   pids, shm keys or any other per-process value — so the exported JSON is
+   a pure function of the simulation seed. Identical seeds therefore yield
+   byte-identical trace files, which the test suite exploits as an oracle
+   for cross-domain-count and repeated-run determinism.
+
+   Timestamps are raw int64 nanoseconds of virtual time (this library
+   sits below lib/sim, so it does not depend on Vtime). Chrome's "ts"
+   field is microseconds; we render ns as a fixed-format "us.nnn" decimal
+   to keep full resolution without floating point. *)
+
+type phase = Begin | End | Instant | Counter
+
+type arg = Int of int | I64 of int64 | Str of string
+
+type event = {
+  ts : int64; (* virtual ns *)
+  ph : phase;
+  cat : string;
+  name : string;
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type t = { events : event Remon_util.Vec.t }
+
+let create () = { events = Remon_util.Vec.create () }
+
+let length t = Remon_util.Vec.length t.events
+
+let emit t ~ts ~ph ~cat ~name ~pid ~tid args =
+  Remon_util.Vec.push t.events { ts; ph; cat; name; pid; tid; args }
+
+let span_begin t ~ts ~cat ~name ~pid ~tid args =
+  emit t ~ts ~ph:Begin ~cat ~name ~pid ~tid args
+
+let span_end t ~ts ~cat ~name ~pid ~tid args =
+  emit t ~ts ~ph:End ~cat ~name ~pid ~tid args
+
+let instant t ~ts ~cat ~name ~pid ~tid args =
+  emit t ~ts ~ph:Instant ~cat ~name ~pid ~tid args
+
+let counter t ~ts ~cat ~name ~pid ~tid args =
+  emit t ~ts ~ph:Counter ~cat ~name ~pid ~tid args
+
+let phase_letter = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* ns -> "us.nnn" with all digits, no float rounding *)
+let add_ts buf ts =
+  Buffer.add_string buf (Int64.to_string (Int64.div ts 1000L));
+  Buffer.add_char buf '.';
+  Buffer.add_string buf
+    (Printf.sprintf "%03Ld" (Int64.rem ts 1000L))
+
+let add_arg buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | I64 i -> Buffer.add_string buf (Int64.to_string i)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+
+let add_event buf e =
+  Buffer.add_string buf "{\"name\":\"";
+  escape buf e.name;
+  Buffer.add_string buf "\",\"cat\":\"";
+  escape buf e.cat;
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf (phase_letter e.ph);
+  Buffer.add_string buf "\",\"ts\":";
+  add_ts buf e.ts;
+  Buffer.add_string buf ",\"pid\":";
+  Buffer.add_string buf (string_of_int e.pid);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int e.tid);
+  (match e.ph with
+  | Instant -> Buffer.add_string buf ",\"s\":\"t\""
+  | _ -> ());
+  (match e.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          add_arg buf v)
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+(* Chrome trace "JSON object format": traceEvents array plus optional
+   metadata. No export timestamp or host information is ever written —
+   byte-identity across runs is part of the format contract. *)
+let export_string ?(metrics = []) t =
+  let buf = Buffer.create (4096 + (128 * length t)) in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Remon_util.Vec.iter
+    (fun e ->
+      if Buffer.length buf > 17 then Buffer.add_string buf ",\n";
+      add_event buf e)
+    t.events;
+  Buffer.add_string buf "\n],\n\"displayTimeUnit\":\"ns\"";
+  (match metrics with
+  | [] -> ()
+  | kvs ->
+      Buffer.add_string buf ",\n\"metrics\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "\n  \"";
+          escape buf k;
+          Buffer.add_string buf "\":\"";
+          escape buf v;
+          Buffer.add_char buf '"')
+        kvs;
+      Buffer.add_string buf "\n}");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

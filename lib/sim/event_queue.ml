@@ -28,11 +28,32 @@ and 'a t = {
   mutable size : int; (* physical entries, live + dead *)
   mutable lives : int; (* live (non-cancelled, non-popped) entries *)
   mutable next_seq : int;
+  (* lifetime tallies, scraped into the observability metrics at run end;
+     plain int increments, cheap enough to keep unconditionally *)
+  mutable adds : int;
+  mutable cancels : int;
+  mutable pops : int;
+  mutable compactions : int;
 }
+
+type stats = { adds : int; cancels : int; pops : int; compactions : int }
 
 type handle = H : 'a entry -> handle
 
-let create () = { heap = [||]; size = 0; lives = 0; next_seq = 0 }
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    lives = 0;
+    next_seq = 0;
+    adds = 0;
+    cancels = 0;
+    pops = 0;
+    compactions = 0;
+  }
+
+let stats (t : _ t) : stats =
+  { adds = t.adds; cancels = t.cancels; pops = t.pops; compactions = t.compactions }
 
 let length t = t.lives
 
@@ -81,7 +102,8 @@ let grow t =
 (* Drop dead entries and re-establish the heap property bottom-up
    (Floyd heapify, O(size)). Run when dead entries outnumber live ones,
    which amortizes to O(1) per cancellation. *)
-let compact t =
+let compact (t : _ t) =
+  t.compactions <- t.compactions + 1;
   let j = ref 0 in
   for i = 0 to t.size - 1 do
     if t.heap.(i).live then begin
@@ -102,6 +124,7 @@ let add t ~time payload =
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   t.lives <- t.lives + 1;
+  t.adds <- t.adds + 1;
   (* fast path: events scheduled at non-decreasing times stay put *)
   let i = t.size - 1 in
   if i > 0 && before entry t.heap.((i - 1) / 2) then sift_up t i;
@@ -112,6 +135,7 @@ let cancel (H entry) =
     let t = entry.owner in
     entry.live <- false;
     t.lives <- t.lives - 1;
+    t.cancels <- t.cancels + 1;
     if t.size >= 32 && t.size - t.lives > t.lives then compact t
   end
 
@@ -128,6 +152,7 @@ let rec pop t =
       (* mark popped so a late cancel of its handle is a no-op *)
       top.live <- false;
       t.lives <- t.lives - 1;
+      t.pops <- t.pops + 1;
       Some (top.time, top.payload)
     end
     else pop t

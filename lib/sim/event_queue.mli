@@ -3,6 +3,8 @@
 
 type 'a t
 
+type stats = { adds : int; cancels : int; pops : int; compactions : int }
+
 type handle
 
 val create : unit -> 'a t
@@ -30,3 +32,8 @@ val pop : 'a t -> (Vtime.t * 'a) option
 
 val peek_time : 'a t -> Vtime.t option
 (** Time of the earliest live event without removing it. *)
+
+val stats : 'a t -> stats
+(** Lifetime add/cancel/pop/compaction tallies, for the observability
+    metrics scrape. Always maintained; four int increments per queue
+    operation. *)

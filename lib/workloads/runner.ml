@@ -12,19 +12,54 @@ type run_result = {
   outcome : Mvee.outcome;
 }
 
-let run_body ?cost ?(net_latency = Vtime.us 50) ?(check_verdict = true)
+(* When set (the bench harness's --trace DIR flag), every run dumps its
+   structured trace into the directory, one file per run, named from the
+   run's identity. Identical identities are identical runs, so concurrent
+   sweep domains re-writing a name produce byte-identical content. *)
+let trace_dir : string option ref = ref None
+
+let dump_trace ~dir ~name (config : Mvee.config) o =
+  let sanitized =
+    String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
+  in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s-n%d-seed%d.json" sanitized
+         (Mvee.backend_to_string config.Mvee.backend)
+         config.Mvee.nreplicas config.Mvee.seed)
+  in
+  (* atomic publish; the tmp name carries the domain id so concurrent
+     writers of the same path never interleave into one tmp file *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Domain.self () :> int) in
+  let oc = open_out_bin tmp in
+  output_string oc (Remon_obs.Obs.export_string o);
+  close_out oc;
+  Sys.rename tmp path
+
+let run_body ?cost ?(net_latency = Vtime.us 50) ?(check_verdict = true) ?obs
     (config : Mvee.config) ~name ~(body : Mvee.env -> unit) : run_result =
+  let obs =
+    match (obs, !trace_dir) with
+    | None, Some _ -> Some (Remon_obs.Obs.create ())
+    | _ -> obs
+  in
   let kernel = Kernel.create ?cost ~seed:config.Mvee.seed ~net_latency () in
+  (match obs with Some o -> Kernel.set_obs kernel o | None -> ());
   let h = Mvee.launch kernel config ~name ~body in
   Kernel.run kernel;
   let outcome = Mvee.finish h in
+  (match (obs, !trace_dir) with
+  | Some o, Some dir -> dump_trace ~dir ~name config o
+  | _ -> ());
   (match outcome.Mvee.verdict with
   | Some v when check_verdict -> raise (Mvee_terminated v)
   | _ -> ());
   { duration = outcome.Mvee.duration; outcome }
 
-let run_profile ?cost (profile : Profile.t) (config : Mvee.config) : run_result =
-  run_body ?cost config ~name:profile.Profile.name ~body:(Profile.body profile)
+let run_profile ?cost ?obs (profile : Profile.t) (config : Mvee.config) :
+    run_result =
+  run_body ?cost ?obs config ~name:profile.Profile.name
+    ~body:(Profile.body profile)
 
 (* Normalized execution time of [config] vs. a native run of the same
    profile — the y-axis of Figures 3 and 4. *)
@@ -75,15 +110,24 @@ type server_run = {
   server_outcome : Mvee.outcome;
 }
 
-let run_server_bench ?(latency = Vtime.us 100) ~(server : Servers.spec)
+let run_server_bench ?(latency = Vtime.us 100) ?obs ~(server : Servers.spec)
     ~(client : Clients.spec) (config : Mvee.config) : server_run =
+  let obs =
+    match (obs, !trace_dir) with
+    | None, Some _ -> Some (Remon_obs.Obs.create ())
+    | _ -> obs
+  in
   let kernel =
     Kernel.create ~seed:config.Mvee.seed ~net_latency:latency ()
   in
+  (match obs with Some o -> Kernel.set_obs kernel o | None -> ());
   let h = Mvee.launch kernel config ~name:server.Servers.name ~body:(Servers.body server) in
   let meas = Clients.launch kernel server client in
   Kernel.run kernel;
   let outcome = Mvee.finish h in
+  (match (obs, !trace_dir) with
+  | Some o, Some dir -> dump_trace ~dir ~name:server.Servers.name config o
+  | _ -> ());
   (match outcome.Mvee.verdict with
   | Some v -> raise (Mvee_terminated v)
   | None -> ());

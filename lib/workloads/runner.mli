@@ -9,16 +9,27 @@ exception Mvee_terminated of Divergence.t
 
 type run_result = { duration : Vtime.t; outcome : Mvee.outcome }
 
+val trace_dir : string option ref
+(** When set (the bench harness's [--trace DIR] flag), every run dumps its
+    structured trace into the directory as
+    [NAME-BACKEND-nN-seedS.json] (atomic tmp+rename publish). *)
+
 val run_body :
   ?cost:Cost_model.t ->
   ?net_latency:Vtime.t ->
   ?check_verdict:bool ->
+  ?obs:Remon_obs.Obs.t ->
   Mvee.config ->
   name:string ->
   body:(Mvee.env -> unit) ->
   run_result
+(** [?obs] installs a structured trace/metrics sink into the fresh kernel
+    before launch; export it afterwards with {!Remon_obs.Obs.export_string}.
+    Identical seeds yield byte-identical exports. *)
 
-val run_profile : ?cost:Cost_model.t -> Profile.t -> Mvee.config -> run_result
+val run_profile :
+  ?cost:Cost_model.t -> ?obs:Remon_obs.Obs.t -> Profile.t -> Mvee.config ->
+  run_result
 
 val normalized_time : ?cost:Cost_model.t -> Profile.t -> Mvee.config -> float
 (** MVEE duration / native duration: the y-axis of Figures 3 and 4. *)
@@ -42,6 +53,7 @@ type server_run = {
 
 val run_server_bench :
   ?latency:Vtime.t ->
+  ?obs:Remon_obs.Obs.t ->
   server:Servers.spec ->
   client:Clients.spec ->
   Mvee.config ->

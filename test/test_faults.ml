@@ -214,6 +214,88 @@ let test_connect_retry_eventual_success () =
   Alcotest.(check bool) "eventually connected" true !connected
 
 (* ------------------------------------------------------------------ *)
+(* --faults plan syntax: print/parse round-trip and error reporting *)
+
+(* Only representable plans round-trip: the printer renders delays in
+   whole microseconds and drops the variant of RB faults (the parser
+   forces it to 0), so the generator stays inside that set. *)
+let gen_plan =
+  let open QCheck2.Gen in
+  let gen_spec =
+    let* at = int_range 1 500 in
+    let* variant = int_range 0 4 in
+    let* k = int_range 0 7 in
+    return
+      (match k with
+      | 0 -> Fault.spec ~kind:(Fault.Crash Sigdefs.sigsegv) ~variant ~at
+      | 1 -> Fault.spec ~kind:(Fault.Crash Sigdefs.sigkill) ~variant ~at
+      | 2 -> Fault.spec ~kind:Fault.Corrupt_args ~variant ~at
+      | 3 -> Fault.spec ~kind:(Fault.Delay (Vtime.us (1 + (at * 37)))) ~variant ~at
+      | 4 -> Fault.spec ~kind:(Fault.Sock_err Errno.ECONNRESET) ~variant ~at
+      | 5 -> Fault.spec ~kind:(Fault.Sock_err Errno.EAGAIN) ~variant ~at
+      | 6 -> Fault.spec ~kind:Fault.Drop_rb ~variant:0 ~at
+      | _ -> Fault.spec ~kind:Fault.Corrupt_rb ~variant:0 ~at)
+  in
+  list_size (int_range 0 8) gen_spec
+
+let prop_fault_plan_roundtrip =
+  QCheck2.Test.make ~name:"fault plan print/parse round-trip" ~count:300
+    gen_plan
+    (fun plan ->
+      match Fault.of_string (Fault.to_string plan) with
+      | Ok plan' -> plan' = plan
+      | Error _ -> false)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let test_fault_parse_errors () =
+  let expect_error input fragment =
+    match Fault.of_string input with
+    | Ok _ -> Alcotest.failf "%S parsed but should not" input
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> %S mentions %S" input msg fragment)
+        true (contains msg fragment)
+  in
+  expect_error "crash@" "bad trigger index";
+  expect_error "crash" "expected KIND@AT[:VARIANT][=PARAM]";
+  expect_error "crash@5:x" "bad variant";
+  expect_error "crash@5:-1" "bad variant";
+  expect_error "delay@30:1" "delay needs =DURATION";
+  expect_error "delay@30:1=" "bad delay duration";
+  expect_error "delay@30:1=fast" "bad delay duration";
+  expect_error "explode@3" "unknown fault kind \"explode\"";
+  (* a bad spec anywhere in the list poisons the whole plan *)
+  expect_error "crash@12:1,explode@3" "unknown fault kind";
+  (* and the error names the offending spec, not the whole input *)
+  (match Fault.of_string "crash@12:1,explode@3" with
+  | Error msg ->
+    Alcotest.(check bool) "error names the bad spec" true
+      (String.length msg >= 10 && String.sub msg 0 10 = "fault spec")
+  | Ok _ -> Alcotest.fail "parsed but should not")
+
+let test_fault_parse_defaults () =
+  (* no :VARIANT defaults to replica 1; RB faults always normalize to 0 *)
+  (match Fault.of_string "crash@12" with
+  | Ok [ s ] -> Alcotest.(check int) "default variant" 1 s.Fault.variant
+  | _ -> Alcotest.fail "crash@12 should parse to one spec");
+  (match Fault.of_string "droprb@5:3" with
+  | Ok [ s ] -> Alcotest.(check int) "rb variant forced to 0" 0 s.Fault.variant
+  | _ -> Alcotest.fail "droprb@5:3 should parse");
+  (* the three duration unit suffixes *)
+  match Fault.of_string "delay@1:1=2ms,delay@2:1=30us,delay@3:1=400" with
+  | Ok [ a; b; c ] ->
+    let d = function
+      | { Fault.kind = Fault.Delay ns; _ } -> ns
+      | _ -> Alcotest.fail "expected a delay spec"
+    in
+    Alcotest.(check int64) "ms" (Vtime.ms 2) (d a);
+    Alcotest.(check int64) "us" (Vtime.us 30) (d b);
+    Alcotest.(check int64) "ns" (Vtime.ns 400) (d c)
+  | _ -> Alcotest.fail "delay list should parse"
 
 let () =
   Alcotest.run "faults"
@@ -225,6 +307,13 @@ let () =
               (Printf.sprintf "same seed+plan, %s" (Mvee.backend_to_string b))
               `Quick (test_determinism b))
           all_backends );
+      ( "plan-syntax",
+        [
+          QCheck_alcotest.to_alcotest prop_fault_plan_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_fault_parse_errors;
+          Alcotest.test_case "defaults and units" `Quick
+            test_fault_parse_defaults;
+        ] );
       ( "recovery",
         [
           Alcotest.test_case "quarantine detaches slave" `Quick

@@ -122,6 +122,104 @@ let test_event_queue_compaction () =
     (List.init 128 (fun i -> i * 8))
     (drain [])
 
+(* Regression: cancelling a handle whose entry was already popped must stay
+   a no-op even when the cancel lands at the compaction threshold — the
+   dead entry was physically removed by the pop, so a naive implementation
+   that re-counted it would drive the live counter negative or compact away
+   live entries. *)
+let test_event_queue_cancel_after_pop_compaction () =
+  let q = Event_queue.create () in
+  let handles =
+    Array.init 64 (fun i -> Event_queue.add q ~time:(Vtime.us i) i)
+  in
+  (* pop the first 16 entries, keeping their handles *)
+  for i = 0 to 15 do
+    match Event_queue.pop q with
+    | Some (_, v) -> Alcotest.(check int) "pop order" i v
+    | None -> Alcotest.fail "expected a live event"
+  done;
+  Alcotest.(check int) "48 live after pops" 48 (Event_queue.length q);
+  (* cancel every popped handle: all no-ops *)
+  for i = 0 to 15 do
+    Event_queue.cancel handles.(i)
+  done;
+  Alcotest.(check int) "cancel-after-pop never decrements" 48
+    (Event_queue.length q);
+  (* now cancel live entries until dead outnumber live: compaction fires
+     while the popped handles are still reachable *)
+  for i = 16 to 48 do
+    Event_queue.cancel handles.(i)
+  done;
+  let len = Event_queue.length q in
+  Alcotest.(check int) "live count exact" 15 len;
+  Alcotest.(check bool) "live counter non-negative" true (len >= 0);
+  Alcotest.(check bool) "physical >= logical" true
+    (Event_queue.physical_size q >= len);
+  (* cancel the popped handles again, post-compaction: still no-ops *)
+  Array.iter Event_queue.cancel handles;
+  Alcotest.(check int) "all cancels idempotent" 0 (Event_queue.length q);
+  Alcotest.(check (option int64)) "nothing left to pop" None
+    (match Event_queue.pop q with Some (t, _) -> Some t | None -> None);
+  let st = Event_queue.stats q in
+  Alcotest.(check int) "adds tallied" 64 st.Event_queue.adds;
+  Alcotest.(check int) "pops tallied" 16 st.Event_queue.pops;
+  Alcotest.(check int) "cancels count only live kills" 48 st.Event_queue.cancels;
+  Alcotest.(check bool) "compaction actually ran" true
+    (st.Event_queue.compactions > 0)
+
+(* Model-based property: random add/cancel/pop interleavings (including
+   cancels of popped and already-cancelled handles) keep the live counter
+   exact and pop exactly the surviving events in (time, insertion) order. *)
+let prop_event_queue_model =
+  QCheck2.Test.make ~name:"add/cancel/pop interleavings match a model"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_range 0 2) (int_range 0 5_000)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      (* model: (id, time, alive) in insertion order; handles by id *)
+      let handles = ref [||] in
+      let alive = ref [] in
+      let popped = ref [] in
+      let ok = ref true in
+      let nadds = ref 0 in
+      List.iter
+        (fun (op, x) ->
+          (match op with
+          | 0 ->
+            let id = !nadds in
+            incr nadds;
+            let h = Event_queue.add q ~time:(Vtime.ns x) id in
+            handles := Array.append !handles [| h |];
+            alive := (id, x) :: !alive
+          | 1 ->
+            if !nadds > 0 then begin
+              let id = x mod !nadds in
+              Event_queue.cancel !handles.(id);
+              alive := List.filter (fun (i, _) -> i <> id) !alive
+            end
+          | _ -> (
+            match Event_queue.pop q with
+            | None -> if !alive <> [] then ok := false
+            | Some (_, id) ->
+              popped := id :: !popped;
+              alive := List.filter (fun (i, _) -> i <> id) !alive));
+          if Event_queue.length q <> List.length !alive then ok := false;
+          if Event_queue.physical_size q < Event_queue.length q then ok := false)
+        ops;
+      (* drain: the survivors must come out in (time, insertion id) order *)
+      let expected =
+        List.sort
+          (fun (i1, t1) (i2, t2) -> compare (t1, i1) (t2, i2))
+          (List.rev !alive)
+        |> List.map fst
+      in
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, id) -> drain (id :: acc)
+      in
+      !ok && drain [] = expected && Event_queue.is_empty q)
+
 let test_cost_model_orderings () =
   let c = Cost_model.default in
   Alcotest.(check bool) "ptrace stop is microseconds" true
@@ -163,7 +261,10 @@ let () =
           tc "peek" test_event_queue_peek;
           tc "live counter" test_event_queue_live_counter;
           tc "compaction" test_event_queue_compaction;
+          tc "cancel-after-pop vs compaction"
+            test_event_queue_cancel_after_pop_compaction;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+          QCheck_alcotest.to_alcotest prop_event_queue_model;
         ] );
       ( "cost-model",
         [
