@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig3 --trace DIR   # + dump per-run traces
 
    Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults
-   selfperf
+   saturation selfperf
 
    Simulation runs are independent (own kernel, clock, seeded RNG), so the
    drivers fan them out across OCaml 5 domains via [Pool.map] and print the
@@ -26,6 +26,7 @@ let experiments =
     ("ablations", fun ~quick:_ ~domains () -> Ablations.run ~domains ());
     ("micro", fun ~quick:_ ~domains:_ () -> Micro.run ());
     ("faults", fun ~quick ~domains () -> Faults.run ~quick ~domains ());
+    ("saturation", fun ~quick ~domains () -> Saturation.run ~quick ~domains ());
     ("selfperf", fun ~quick ~domains () -> Selfperf.run ~quick ~domains ());
   ]
 

@@ -237,12 +237,13 @@ let run_repeated workload config latency ~repeat ~domains ~trace_file ~metrics =
               let under =
                 Runner.run_server_bench ~latency ?obs ~server ~client config
               in
-              Printf.sprintf "seed %-6d overhead %-8s responses %d" seed
+              Printf.sprintf "seed %-6d overhead %-8s responses %d  %s" seed
                 (Remon_util.Table.fmt_pct
                    (Vtime.to_float_ns under.Runner.client_duration
                     /. Vtime.to_float_ns native.Runner.client_duration
                    -. 1.))
                 under.Runner.responses
+                (Latency.summary_to_string under.Runner.latency)
             with Runner.Mvee_terminated v ->
               Printf.sprintf "seed %-6d terminated: %s" seed (Divergence.to_string v)
           in
@@ -343,7 +344,13 @@ let run_workload name backend nreplicas level latency seed faults on_failure
            (Vtime.to_float_ns under.Runner.client_duration
             /. Vtime.to_float_ns native.Runner.client_duration
            -. 1.));
-      Printf.printf "responses          : %d\n" under.Runner.responses;
+      Printf.printf "responses          : %d (transport errors %d, truncated %d)\n"
+        under.Runner.responses under.Runner.transport_errors
+        under.Runner.truncated_requests;
+      Printf.printf "request latency    : %s\n"
+        (Latency.summary_to_string under.Runner.latency);
+      Printf.printf "  (native          : %s)\n"
+        (Latency.summary_to_string native.Runner.latency);
       (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ())
     with Runner.Mvee_terminated v ->
       (* a fatal verdict (e.g. under --faults with the kill-group policy)

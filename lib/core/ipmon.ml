@@ -80,22 +80,24 @@ let note_epoll inst (call : Syscall.call) =
     Epoll_map.unregister inst.group.Context.epoll_map ~variant:inst.variant ~fd
   | _ -> ()
 
-(* Master's raw result -> logical form stored in the RB. *)
+(* Master's raw result -> logical form stored in the RB (encoded into the
+   RB's int64 slots; see Epoll_map.encode). *)
 let to_logical inst (result : Syscall.result) =
   match result with
   | Syscall.Ok_epoll events ->
     let logical = Epoll_map.to_logical inst.group.Context.epoll_map events in
-    Syscall.Ok_epoll (List.map (fun (fd, ev) -> (Int64.of_int fd, ev)) logical)
+    Syscall.Ok_epoll
+      (List.map (fun (l, ev) -> (Epoll_map.encode l, ev)) logical)
   | r -> r
 
 (* Logical form -> this variant's view. *)
 let from_logical inst (result : Syscall.result) =
   match result with
-  | Syscall.Ok_epoll logical ->
-    let as_fds = List.map (fun (fd64, ev) -> (Int64.to_int fd64, ev)) logical in
+  | Syscall.Ok_epoll encoded ->
+    let logical = List.map (fun (v, ev) -> (Epoll_map.decode v, ev)) encoded in
     Syscall.Ok_epoll
       (Epoll_map.to_variant inst.group.Context.epoll_map ~variant:inst.variant
-         as_fds)
+         logical)
   | r -> r
 
 (* ------------------------------------------------------------------ *)

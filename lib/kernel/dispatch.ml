@@ -95,7 +95,8 @@ let poll_desc k (d : Proc.desc) : Syscall.poll_events =
     {
       Syscall.ev_none with
       pollin = Bytestream.length s.incoming > 0 || stream_eof s;
-      pollout = (not (Net.peer_gone s)) && not s.wr_shut;
+      pollout =
+        (not (Net.peer_gone s)) && (not s.wr_shut) && Net.send_space s > 0;
       pollhup = Net.peer_gone s;
     }
   | Proc.Epoll_fd _ -> Syscall.ev_none
@@ -308,7 +309,12 @@ let rec do_read k (th : Proc.thread) (d : Proc.desc) ~count ~(ret : Syscall.resu
     | Proc.Pipe_write _ -> ret (err Errno.EBADF)
     | Proc.Stream s ->
       let attempt () =
-        if Bytestream.length s.incoming > 0 then Some (Net.recv s count)
+        if Bytestream.length s.incoming > 0 then begin
+          let data = Net.recv s count in
+          (* draining frees receive-buffer space: wake blocked senders *)
+          Sched.kick k.K.sched;
+          Some data
+        end
         else if stream_eof s then Some ""
         else None
       in
@@ -402,24 +408,53 @@ and do_write k (th : Proc.thread) (d : Proc.desc) ~data ~(ret : Syscall.result -
           block k th ~what:"write(pipe)" ~poll:attempt ~on_ready:ret
             ~complete:ret ()
       end
-    | Proc.Stream s -> (
-      match Net.send_start s data with
-      | Error e ->
-        if e = Errno.EPIPE then post_signal k p Sigdefs.sigpipe;
-        ret (err e)
-      | Ok peer ->
+    | Proc.Stream s ->
+      (* Bounded socket buffers: each send accepts at most the peer's free
+         receive space. A blocking sender parks until the peer drains; a
+         nonblocking one sees a partial write or EAGAIN. *)
+      let deliver chunk peer =
+        let bytes = String.length chunk in
         (* local pairs (socketpair/loopback) skip the NIC: memcpy only *)
         if s.Net.local then
-          charge th (Cost_model.local_copy_ns k.K.cost ~bytes:len)
-        else charge th (Cost_model.wire_ns k.K.cost ~bytes:len);
+          charge th (Cost_model.local_copy_ns k.K.cost ~bytes)
+        else charge th (Cost_model.wire_ns k.K.cost ~bytes);
         let latency =
           if s.Net.local then Vtime.us 2 else k.K.net.Net.latency
         in
         let arrival = Vtime.add (Vtime.max th.clock (K.now k)) latency in
         Sched.schedule k.K.sched ~time:arrival (fun () ->
-            Net.commit peer data;
-            Sched.kick k.K.sched);
-        ret (Syscall.Ok_int len))
+            Net.commit peer chunk;
+            Sched.kick k.K.sched)
+      in
+      (* Everything before [offset] has been accepted already, so an error
+         or full buffer past that point reports a partial write. *)
+      let rec push offset =
+        if offset >= len then ret (Syscall.Ok_int len)
+        else
+          match Net.send_start s (String.sub data offset (len - offset)) with
+          | Error e ->
+            if offset > 0 then ret (Syscall.Ok_int offset)
+            else begin
+              if e = Errno.EPIPE then post_signal k p Sigdefs.sigpipe;
+              ret (err e)
+            end
+          | Ok (0, _) ->
+            if d.nonblock then
+              if offset > 0 then ret (Syscall.Ok_int offset)
+              else ret (err Errno.EAGAIN)
+            else
+              block k th ~what:"write(socket)"
+                ~poll:(fun () ->
+                  if Net.peer_gone s || s.Net.wr_shut then Some ()
+                  else if Net.send_space s > 0 then Some ()
+                  else None)
+                ~on_ready:(fun () -> push offset)
+                ~complete:ret ()
+          | Ok (n, peer) ->
+            deliver (String.sub data offset n) peer;
+            push (offset + n)
+      in
+      push 0
     | Proc.Event_fd e ->
       (* eventfd write adds the encoded value; we use the payload length *)
       e.Proc.count <- e.Proc.count + len;
@@ -989,10 +1024,19 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
             client.connected <- true;
             d.kind <- Proc.Stream client;
             let latency = k.K.net.Net.latency in
+            (* Backlog enforcement happens at SYN arrival: a full pending
+               queue refuses the connection, which the client observes one
+               round trip after connect (ECONNREFUSED when blocking,
+               POLLHUP on the in-progress socket when nonblocking). *)
+            let refused = ref false in
             Sched.schedule k.K.sched
               ~time:(Vtime.add (now ()) latency)
               (fun () ->
-                Queue.push server l.pending;
+                if not (Net.try_enqueue l server) then begin
+                  refused := true;
+                  Net.close_stream server;
+                  Net.close_stream client
+                end;
                 Sched.kick k.K.sched);
             if d.nonblock then ret (err Errno.EINPROGRESS)
             else
@@ -1001,7 +1045,9 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
                 ~poll:(fun () -> None)
                 ~on_ready:(fun (r : Syscall.result) -> ret r)
                 ~complete:(fun r ->
-                  if r = err Errno.ETIMEDOUT then ret (Syscall.Ok_int 0)
+                  if r = err Errno.ETIMEDOUT then
+                    if !refused then ret (err Errno.ECONNREFUSED)
+                    else ret (Syscall.Ok_int 0)
                   else ret r)
                 ())
         | _ -> ret (err Errno.ENOTSOCK))
@@ -1018,15 +1064,27 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
           if s.connected then ret (Syscall.Ok_int s.peer_port)
           else ret (err Errno.ENOTCONN)
         | _ -> ret (err Errno.ENOTSOCK))
-  | Syscall.Getsockopt (fd, _) ->
+  | Syscall.Getsockopt (fd, opt) ->
     with_fd fd (fun d ->
         match d.kind with
-        | Proc.Stream _ | Proc.Listener _ -> ret (Syscall.Ok_int 0)
+        | Proc.Stream s ->
+          if opt = Net.so_sndbuf then ret (Syscall.Ok_int s.Net.sndbuf)
+          else if opt = Net.so_rcvbuf then ret (Syscall.Ok_int s.Net.rcvbuf)
+          else ret (Syscall.Ok_int 0)
+        | Proc.Listener _ -> ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))
-  | Syscall.Setsockopt (fd, _, _) ->
+  | Syscall.Setsockopt (fd, opt, value) ->
     with_fd fd (fun d ->
         match d.kind with
-        | Proc.Stream _ | Proc.Listener _ -> ret (Syscall.Ok_int 0)
+        | Proc.Stream s ->
+          if opt = Net.so_sndbuf then Net.set_sndbuf s value
+          else if opt = Net.so_rcvbuf then begin
+            Net.set_rcvbuf s value;
+            (* a larger buffer may unblock a parked sender *)
+            Sched.kick k.K.sched
+          end;
+          ret (Syscall.Ok_int 0)
+        | Proc.Listener _ -> ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))
   | Syscall.Shutdown (fd, how) ->
     with_fd fd (fun d ->

@@ -8,8 +8,8 @@ module K = Kstate
 
 type t = K.t
 
-let create ?cost ?seed ?net_latency () =
-  let k = K.create ?cost ?seed ?net_latency () in
+let create ?cost ?seed ?net_latency ?sock_buf () =
+  let k = K.create ?cost ?seed ?net_latency ?sock_buf () in
   Dispatch.install k;
   (* standard filesystem fixture *)
   List.iter

@@ -9,10 +9,17 @@ open Remon_util
 type t = Kstate.t
 
 val create :
-  ?cost:Cost_model.t -> ?seed:int -> ?net_latency:Vtime.t -> unit -> t
+  ?cost:Cost_model.t ->
+  ?seed:int ->
+  ?net_latency:Vtime.t ->
+  ?sock_buf:int ->
+  unit ->
+  t
 (** A fresh simulated machine: empty process table, standard filesystem
     fixture (/tmp, /etc, /dev, /var/www, ...), one network with the given
-    one-way link latency. *)
+    one-way link latency. [?sock_buf] sets the default per-stream
+    send/receive buffer cap (see {!Net.default_bufcap}); individual
+    sockets can override it via [SO_SNDBUF]/[SO_RCVBUF]. *)
 
 (** {1 Introspection} *)
 

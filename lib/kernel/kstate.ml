@@ -108,12 +108,12 @@ type t = {
 }
 
 let create ?(cost = Cost_model.default) ?(seed = 42)
-    ?(net_latency = Vtime.us 50) () =
+    ?(net_latency = Vtime.us 50) ?(sock_buf = Net.default_bufcap) () =
   {
     sched = Sched.create ();
     cost;
     vfs = Vfs.create ();
-    net = Net.create ~latency:net_latency ();
+    net = Net.create ~latency:net_latency ~bufcap:sock_buf ();
     shm = Shm.create ();
     rng = Rng.make seed;
     procs = Hashtbl.create 8;

@@ -3,7 +3,25 @@
    Connections are pairs of unidirectional channels. Data "in flight" is
    committed to the peer's receive queue by a kernel event scheduled
    [latency + wire time] after the send — this is how the netem-style link
-   latency of the paper's three server scenarios is modeled. *)
+   latency of the paper's three server scenarios is modeled.
+
+   Each direction is bounded: a stream's receive buffer (committed bytes
+   plus bytes still in flight towards it) never exceeds its [rcvbuf] cap.
+   [send_start] accepts at most the remaining space, so senders experience
+   real backpressure (partial writes, EAGAIN, blocking) exactly where a
+   Linux socket would. *)
+
+(* Default per-direction buffer capacity; mirrors Linux's default
+   net.core.{r,w}mem_default of 212992 bytes. *)
+let default_bufcap = 212_992
+
+(* SOL_SOCKET option names understood by setsockopt/getsockopt. *)
+let so_sndbuf = 7
+let so_rcvbuf = 8
+
+(* Floor for configured caps: a cap below one page would deadlock workloads
+   whose smallest message cannot fit the buffer. *)
+let min_bufcap = 256
 
 type stream = {
   sid : int;
@@ -16,6 +34,9 @@ type stream = {
   mutable in_flight : int; (* bytes sent but not yet committed *)
   mutable connected : bool;
   mutable local : bool; (* same-host pair (socketpair): no link latency *)
+  mutable sndbuf : int; (* max bytes one send may accept (SO_SNDBUF) *)
+  mutable rcvbuf : int; (* cap on incoming + in_flight (SO_RCVBUF) *)
+  mutable buffered_hwm : int; (* high-water mark of incoming + in_flight *)
 }
 
 type listener = {
@@ -23,24 +44,28 @@ type listener = {
   mutable backlog : int;
   pending : stream Queue.t; (* server-side endpoints awaiting accept *)
   mutable closed : bool;
+  mutable refused : int; (* connections turned away by a full backlog *)
 }
 
 type t = {
   mutable latency : Remon_sim.Vtime.t; (* one-way propagation delay *)
+  mutable bufcap : int; (* default snd/rcv cap for fresh streams *)
   listeners : (int, listener) Hashtbl.t;
   mutable next_sid : int;
   mutable next_ephemeral : int;
 }
 
-let create ?(latency = Remon_sim.Vtime.us 50) () =
+let create ?(latency = Remon_sim.Vtime.us 50) ?(bufcap = default_bufcap) () =
   {
     latency;
+    bufcap = max min_bufcap bufcap;
     listeners = Hashtbl.create 8;
     next_sid = 1;
     next_ephemeral = 32_768;
   }
 
 let set_latency t l = t.latency <- l
+let set_bufcap t cap = t.bufcap <- max min_bufcap cap
 
 let fresh_stream t =
   let sid = t.next_sid in
@@ -56,12 +81,17 @@ let fresh_stream t =
     in_flight = 0;
     connected = false;
     local = false;
+    sndbuf = t.bufcap;
+    rcvbuf = t.bufcap;
+    buffered_hwm = 0;
   }
 
 let listen t ~port ~backlog =
   if Hashtbl.mem t.listeners port then Error Errno.EADDRINUSE
   else begin
-    let l = { port; backlog; pending = Queue.create (); closed = false } in
+    let l =
+      { port; backlog; pending = Queue.create (); closed = false; refused = 0 }
+    in
     Hashtbl.replace t.listeners port l;
     Ok l
   end
@@ -74,6 +104,22 @@ let find_listener t ~port =
 let close_listener t l =
   l.closed <- true;
   Hashtbl.remove t.listeners l.port
+
+(* Backlog enforcement: the dispatcher consults this at SYN-arrival time
+   (one link latency after the client's connect). *)
+let backlog_full l = Queue.length l.pending >= max 1 l.backlog
+
+(* Enqueue a server-side endpoint for accept, refusing when the listener is
+   gone or its backlog is full. Returns false on refusal. *)
+let try_enqueue l stream =
+  if l.closed || backlog_full l then begin
+    l.refused <- l.refused + 1;
+    false
+  end
+  else begin
+    Queue.push stream l.pending;
+    true
+  end
 
 (* Builds the two endpoints of a connection; the caller (dispatcher) is
    responsible for delaying [commit_pending] and the listener enqueue by the
@@ -94,16 +140,45 @@ let ephemeral_port t =
   t.next_ephemeral <- t.next_ephemeral + 1;
   p
 
-(* Sender side: account in-flight bytes; the kernel commits them later. *)
+(* Bytes a stream is holding: committed plus still-in-flight. This is the
+   quantity capped by [rcvbuf]. *)
+let buffered stream = Bytestream.length stream.incoming + stream.in_flight
+
+let buffered_hwm stream = stream.buffered_hwm
+let stream_cap stream = stream.rcvbuf
+
+let set_sndbuf stream v = stream.sndbuf <- max min_bufcap v
+
+(* Shrinking below what is already buffered only takes effect as the peer
+   drains; already-accepted bytes are never dropped. *)
+let set_rcvbuf stream v = stream.rcvbuf <- max min_bufcap v
+
+(* Room the sender may still fill towards [stream]'s peer. *)
+let send_space stream =
+  match stream.peer with
+  | None -> 0
+  | Some peer -> max 0 (peer.rcvbuf - buffered peer)
+
+(* Sender side: reserve space in the peer's receive buffer and account the
+   in-flight bytes; the kernel commits them later. Returns how many bytes
+   were accepted (0 = buffer full, the caller must block or report EAGAIN)
+   and the peer whose queue the data must be committed to. A single call
+   accepts at most [sndbuf] bytes, modeling the sender-side buffer. *)
 let send_start stream data =
   match stream.peer with
   | None -> Error Errno.EPIPE
   | Some _ when stream.wr_shut -> Error Errno.EPIPE
   | Some peer ->
-    peer.in_flight <- peer.in_flight + String.length data;
-    Ok peer
+    let space = max 0 (peer.rcvbuf - buffered peer) in
+    let accepted = min (String.length data) (min space stream.sndbuf) in
+    peer.in_flight <- peer.in_flight + accepted;
+    let b = buffered peer in
+    if b > peer.buffered_hwm then peer.buffered_hwm <- b;
+    Ok (accepted, peer)
 
-(* Receiver side: invoked by the scheduled delivery event. *)
+(* Receiver side: invoked by the scheduled delivery event. The space was
+   reserved at [send_start], so this only moves in-flight bytes into the
+   committed queue — the cap cannot be exceeded here. *)
 let commit stream data =
   stream.in_flight <- stream.in_flight - String.length data;
   Bytestream.push stream.incoming data
@@ -118,6 +193,8 @@ let at_eof stream =
   && stream.in_flight = 0
   && (peer_gone stream || stream.rd_shut)
 
+(* Draining the committed queue frees receive-buffer space; the dispatcher
+   kicks the scheduler afterwards so blocked senders retry. *)
 let recv stream count = Bytestream.pull stream.incoming count
 
 (* Endpoint close: detach from peer so the peer observes EOF / EPIPE. *)

@@ -1,7 +1,24 @@
 (** Simulated stream-socket network. Connections are pairs of
     unidirectional channels; data in flight is committed to the peer's
     receive queue by a kernel event scheduled one link latency after the
-    send (the netem-style latency of the server scenarios). *)
+    send (the netem-style latency of the server scenarios).
+
+    Both directions are bounded: a stream never holds more than its
+    [rcvbuf] cap (committed plus in-flight bytes), so senders experience
+    backpressure — partial writes, EAGAIN, or blocking — at the same
+    boundary a Linux socket would. *)
+
+val default_bufcap : int
+(** Default per-direction buffer cap (Linux's 212992-byte default). *)
+
+val so_sndbuf : int
+(** SOL_SOCKET option name for the send-buffer cap (Linux SO_SNDBUF = 7). *)
+
+val so_rcvbuf : int
+(** SOL_SOCKET option name for the receive-buffer cap (SO_RCVBUF = 8). *)
+
+val min_bufcap : int
+(** Floor applied to configured caps so tiny values cannot deadlock. *)
 
 type stream = {
   sid : int;
@@ -14,6 +31,9 @@ type stream = {
   mutable in_flight : int;
   mutable connected : bool;
   mutable local : bool; (** same-host pair: memcpy cost, ~no latency *)
+  mutable sndbuf : int; (** max bytes a single send may accept *)
+  mutable rcvbuf : int; (** cap on [incoming] + [in_flight] *)
+  mutable buffered_hwm : int; (** high-water mark of buffered bytes *)
 }
 
 type listener = {
@@ -21,27 +41,54 @@ type listener = {
   mutable backlog : int;
   pending : stream Queue.t;
   mutable closed : bool;
+  mutable refused : int; (** connections refused by a full backlog *)
 }
 
 type t = {
   mutable latency : Remon_sim.Vtime.t; (** one-way propagation delay *)
+  mutable bufcap : int; (** default snd/rcv cap for fresh streams *)
   listeners : (int, listener) Hashtbl.t;
   mutable next_sid : int;
   mutable next_ephemeral : int;
 }
 
-val create : ?latency:Remon_sim.Vtime.t -> unit -> t
+val create : ?latency:Remon_sim.Vtime.t -> ?bufcap:int -> unit -> t
 val set_latency : t -> Remon_sim.Vtime.t -> unit
+val set_bufcap : t -> int -> unit
 val fresh_stream : t -> stream
 val listen : t -> port:int -> backlog:int -> (listener, Errno.t) result
 val find_listener : t -> port:int -> listener option
 val close_listener : t -> listener -> unit
+
+val backlog_full : listener -> bool
+(** True when the pending-accept queue has reached the listener backlog. *)
+
+val try_enqueue : listener -> stream -> bool
+(** Enqueue a server endpoint for accept; false (and bumps [refused]) when
+    the listener is closed or its backlog is full. *)
+
 val make_pair : t -> client_port:int -> server_port:int -> stream * stream
 val ephemeral_port : t -> int
 
-val send_start : stream -> string -> (stream, Errno.t) result
-(** Accounts in-flight bytes; returns the peer whose queue the dispatcher
-    must commit the data to after the propagation delay. *)
+val buffered : stream -> int
+(** Bytes the stream currently holds: committed plus in-flight. *)
+
+val buffered_hwm : stream -> int
+(** Highest value [buffered] ever reached — the cap invariant is
+    [buffered_hwm s <= stream_cap s] at all times. *)
+
+val stream_cap : stream -> int
+val set_sndbuf : stream -> int -> unit
+val set_rcvbuf : stream -> int -> unit
+
+val send_space : stream -> int
+(** Receive-buffer space left on the peer; 0 when full or peer gone. *)
+
+val send_start : stream -> string -> (int * stream, Errno.t) result
+(** Accepts at most [min (send_space) sndbuf] bytes, accounting them as
+    in-flight on the peer; returns [(accepted, peer)] — the dispatcher must
+    commit exactly the accepted prefix after the propagation delay.
+    [accepted = 0] means the buffer is full: block or return EAGAIN. *)
 
 val commit : stream -> string -> unit
 val peer_gone : stream -> bool

@@ -4,7 +4,12 @@
 
    Clients are ordinary unreplicated processes on the "other machine": the
    link latency between them and the server is the kernel's network
-   latency, set per scenario (0.1 ms / 2 ms / 5 ms as in the paper). *)
+   latency, set per scenario (0.1 ms / 2 ms / 5 ms as in the paper).
+
+   Each request is timed in virtual time (send start to full response) and
+   recorded into the measurement's latency reservoir; responses that come
+   back short are transport errors, counted separately rather than
+   silently dropped. *)
 
 open Remon_kernel
 open Remon_sim
@@ -30,22 +35,37 @@ type measurement = {
   mutable finished : int; (* client workers done *)
   mutable finished_at : Vtime.t;
   mutable responses : int;
+  mutable transport_errors : int; (* short reads / truncated responses *)
+  latency : Latency.t; (* per-request virtual-time latency *)
 }
+
+(* Workers start at the same nominal clock but may be scheduled in any
+   order; the measurement start is explicitly the minimum across them. *)
+let note_start meas now =
+  match meas.started_at with
+  | None -> meas.started_at <- Some now
+  | Some t0 -> if Vtime.(now < t0) then meas.started_at <- Some now
 
 (* One closed-loop worker: opens connections against [port] and issues its
    share of the requests. *)
-let worker (server : Servers.spec) spec meas ~requests () =
-  if meas.started_at = None then meas.started_at <- Some (Sched.vnow ());
+let worker (server : Servers.spec) spec meas ~obs ~requests () =
+  note_start meas (Sched.vnow ());
   let remaining = ref requests in
   while !remaining > 0 do
     let fd = Api.socket () in
     Api.connect_retry fd server.Servers.port;
     let in_this_conn = min spec.requests_per_conn !remaining in
     for _ = 1 to in_this_conn do
+      let t0 = Sched.vnow () in
       ignore (Api.send fd (String.make server.Servers.request_bytes 'q'));
       let resp = Api.recv_exactly fd server.Servers.response_bytes in
-      if String.length resp = server.Servers.response_bytes then
-        meas.responses <- meas.responses + 1
+      if String.length resp = server.Servers.response_bytes then begin
+        meas.responses <- meas.responses + 1;
+        let dt = Vtime.sub (Sched.vnow ()) t0 in
+        Latency.record meas.latency dt;
+        Remon_obs.Obs.observe_ns obs "client.request" dt
+      end
+      else meas.transport_errors <- meas.transport_errors + 1
     done;
     remaining := !remaining - in_this_conn;
     Api.close fd
@@ -57,8 +77,16 @@ let worker (server : Servers.spec) spec meas ~requests () =
    record, filled in as the simulation runs. *)
 let launch (kernel : Kernel.t) (server : Servers.spec) (spec : spec) : measurement =
   let meas =
-    { started_at = None; finished = 0; finished_at = Vtime.zero; responses = 0 }
+    {
+      started_at = None;
+      finished = 0;
+      finished_at = Vtime.zero;
+      responses = 0;
+      transport_errors = 0;
+      latency = Latency.create ();
+    }
   in
+  let obs = Kernel.obs kernel in
   let per_worker = spec.total_requests / spec.concurrency in
   for i = 1 to spec.concurrency do
     let requests =
@@ -71,7 +99,7 @@ let launch (kernel : Kernel.t) (server : Servers.spec) (spec : spec) : measureme
          ~name:(Printf.sprintf "client-%s-%d" spec.name i)
          ~vm_seed:(9000 + i)
          ~start_clock:(Vtime.ms 1) (* give the server time to listen *)
-         (worker server spec meas ~requests))
+         (worker server spec meas ~obs ~requests))
   done;
   meas
 

@@ -18,9 +18,13 @@ val http_load : ?concurrency:int -> ?total_requests:int -> unit -> spec
 
 type measurement = {
   mutable started_at : Vtime.t option;
+      (** min start across workers (explicitly minimized) *)
   mutable finished : int;
   mutable finished_at : Vtime.t;
-  mutable responses : int;
+  mutable responses : int;  (** full responses only *)
+  mutable transport_errors : int;
+      (** short reads / truncated responses, counted instead of dropped *)
+  latency : Latency.t;  (** per-request virtual-time latency reservoir *)
 }
 
 val launch : Kernel.t -> Servers.spec -> spec -> measurement

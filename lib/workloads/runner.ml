@@ -107,10 +107,14 @@ let cfg_native ?(seed = 42) () =
 type server_run = {
   client_duration : Vtime.t;
   responses : int;
+  latency : Latency.summary; (* per-request client-observed latency *)
+  transport_errors : int; (* client-side short reads *)
+  truncated_requests : int; (* server-side partial requests *)
   server_outcome : Mvee.outcome;
 }
 
-let run_server_bench ?(latency = Vtime.us 100) ?obs ~(server : Servers.spec)
+let run_server_bench ?(latency = Vtime.us 100) ?sock_buf ?obs
+    ?(check_responses = true) ~(server : Servers.spec)
     ~(client : Clients.spec) (config : Mvee.config) : server_run =
   let obs =
     match (obs, !trace_dir) with
@@ -118,10 +122,14 @@ let run_server_bench ?(latency = Vtime.us 100) ?obs ~(server : Servers.spec)
     | _ -> obs
   in
   let kernel =
-    Kernel.create ~seed:config.Mvee.seed ~net_latency:latency ()
+    Kernel.create ~seed:config.Mvee.seed ~net_latency:latency ?sock_buf ()
   in
   (match obs with Some o -> Kernel.set_obs kernel o | None -> ());
-  let h = Mvee.launch kernel config ~name:server.Servers.name ~body:(Servers.body server) in
+  let stats = Servers.make_stats () in
+  let h =
+    Mvee.launch kernel config ~name:server.Servers.name
+      ~body:(Servers.body ~stats server)
+  in
   let meas = Clients.launch kernel server client in
   Kernel.run kernel;
   let outcome = Mvee.finish h in
@@ -131,13 +139,17 @@ let run_server_bench ?(latency = Vtime.us 100) ?obs ~(server : Servers.spec)
   (match outcome.Mvee.verdict with
   | Some v -> raise (Mvee_terminated v)
   | None -> ());
-  if meas.Clients.responses < client.Clients.total_requests then
+  if check_responses && meas.Clients.responses < client.Clients.total_requests
+  then
     failwith
       (Printf.sprintf "server bench %s: only %d/%d responses" server.Servers.name
          meas.Clients.responses client.Clients.total_requests);
   {
     client_duration = Clients.duration meas;
     responses = meas.Clients.responses;
+    latency = Latency.summary meas.Clients.latency;
+    transport_errors = meas.Clients.transport_errors;
+    truncated_requests = stats.Servers.truncated;
     server_outcome = outcome;
   }
 

@@ -48,18 +48,26 @@ val cfg_native : ?seed:int -> unit -> Mvee.config
 type server_run = {
   client_duration : Vtime.t; (** client-observed wall time *)
   responses : int;
+  latency : Latency.summary; (** per-request client-observed latency *)
+  transport_errors : int; (** client-side short reads *)
+  truncated_requests : int; (** server-side partial requests *)
   server_outcome : Mvee.outcome;
 }
 
 val run_server_bench :
   ?latency:Vtime.t ->
+  ?sock_buf:int ->
   ?obs:Remon_obs.Obs.t ->
+  ?check_responses:bool ->
   server:Servers.spec ->
   client:Clients.spec ->
   Mvee.config ->
   server_run
 (** Launches the (replicated) server and the client fleet over a link of
-    the given latency; fails if any request goes unanswered. *)
+    the given latency; fails if any request goes unanswered (unless
+    [~check_responses:false], for saturation sweeps where refused
+    connections are part of the measurement). [?sock_buf] sets the
+    kernel's default socket buffer cap. *)
 
 val server_overhead :
   ?latency:Vtime.t ->

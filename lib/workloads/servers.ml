@@ -60,9 +60,30 @@ let lighttpd_http_load = web "lighttpd(http_load)" 8086 ~work_ns:8_000
 (* ------------------------------------------------------------------ *)
 (* Server program bodies *)
 
-let serve_request spec ~content_fd conn_fd =
+(* Per-run server statistics. Only the master replica (variant 0) counts,
+   so replicated runs report each event once. *)
+type stats = { mutable served : int; mutable truncated : int }
+
+let make_stats () = { served = 0; truncated = 0 }
+
+type serve_result =
+  | Served
+  | Closed (* clean close: 0 bytes before the next request *)
+  | Truncated (* connection died mid-request: a partial read *)
+
+let serve_request ?stats spec ~(env : Mvee.env) ~content_fd conn_fd =
+  let note f =
+    match stats with
+    | Some s when env.Mvee.variant = 0 -> f s
+    | _ -> ()
+  in
   let request = Api.recv_exactly conn_fd spec.request_bytes in
-  if String.length request < spec.request_bytes then false (* peer closed *)
+  let got = String.length request in
+  if got = 0 then Closed
+  else if got < spec.request_bytes then begin
+    note (fun s -> s.truncated <- s.truncated + 1);
+    Truncated
+  end
   else begin
     if spec.touch_file then begin
       ignore (Api.stat "/var/www/index.html");
@@ -70,7 +91,8 @@ let serve_request spec ~content_fd conn_fd =
     end;
     Api.compute spec.work_ns;
     ignore (Api.send conn_fd (String.make spec.response_bytes 'r'));
-    true
+    note (fun s -> s.served <- s.served + 1);
+    Served
   end
 
 (* Static content fixture: the site file, opened once at startup. *)
@@ -81,7 +103,7 @@ let setup_content () =
   ignore (Api.pwrite fd (String.make 4096 'c') 0);
   fd
 
-let epoll_server spec (env : Mvee.env) =
+let epoll_server ?stats spec (env : Mvee.env) =
   let content_fd = setup_content () in
   let listener = Api.socket () in
   Api.bind listener spec.port;
@@ -111,31 +133,35 @@ let epoll_server spec (env : Mvee.env) =
               fd := candidate
           done;
           if !fd >= 0 then
-            if not (serve_request spec ~content_fd !fd) then begin
+            match serve_request ?stats spec ~env ~content_fd !fd with
+            | Served -> ()
+            | Closed | Truncated ->
               Api.epoll_del epfd !fd;
               Api.close !fd
-            end
         end)
       events;
     loop ()
   in
   loop ()
 
-let iterative_server spec (_env : Mvee.env) =
+let iterative_server ?stats spec (env : Mvee.env) =
   let content_fd = setup_content () in
   let listener = Api.socket () in
   Api.bind listener spec.port;
   Api.listen listener 128;
   let rec loop () =
     let { Syscall.conn_fd; _ } = Api.accept listener in
-    let rec serve () = if serve_request spec ~content_fd conn_fd then serve () in
+    let rec serve () =
+      if serve_request ?stats spec ~env ~content_fd conn_fd = Served then
+        serve ()
+    in
     serve ();
     Api.close conn_fd;
     loop ()
   in
   loop ()
 
-let threaded_server spec (env : Mvee.env) =
+let threaded_server ?stats spec (env : Mvee.env) =
   let content_fd = setup_content () in
   let listener = Api.socket () in
   Api.bind listener spec.port;
@@ -144,15 +170,18 @@ let threaded_server spec (env : Mvee.env) =
     let { Syscall.conn_fd; _ } = Api.accept listener in
     ignore
       (env.Mvee.spawn_thread (fun () ->
-           let rec serve () = if serve_request spec ~content_fd conn_fd then serve () in
+           let rec serve () =
+             if serve_request ?stats spec ~env ~content_fd conn_fd = Served
+             then serve ()
+           in
            serve ();
            Api.close conn_fd));
     loop ()
   in
   loop ()
 
-let body spec (env : Mvee.env) =
+let body ?stats spec (env : Mvee.env) =
   match spec.arch with
-  | Epoll_loop -> epoll_server spec env
-  | Iterative -> iterative_server spec env
-  | Thread_per_conn -> threaded_server spec env
+  | Epoll_loop -> epoll_server ?stats spec env
+  | Iterative -> iterative_server ?stats spec env
+  | Thread_per_conn -> threaded_server ?stats spec env

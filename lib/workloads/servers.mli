@@ -33,5 +33,22 @@ val thttpd_ab : spec
 val lighttpd_ab : spec
 val lighttpd_http_load : spec
 
-val body : spec -> Mvee.env -> unit
-(** The server program (runs forever; clients drive it). *)
+(** {1 Server-side statistics} *)
+
+type stats = {
+  mutable served : int;
+  mutable truncated : int;
+      (** requests that died mid-read (a partial request), distinguished
+          from a clean peer close; fault-injection runs surface these *)
+}
+
+val make_stats : unit -> stats
+
+type serve_result =
+  | Served
+  | Closed  (** clean close: 0 bytes before the next request *)
+  | Truncated  (** connection died mid-request *)
+
+val body : ?stats:stats -> spec -> Mvee.env -> unit
+(** The server program (runs forever; clients drive it). With [?stats],
+    the master replica counts served/truncated requests into it. *)

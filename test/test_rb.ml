@@ -148,7 +148,8 @@ let test_epoll_map_roundtrip () =
   Epoll_map.register em ~variant:1 ~fd:7 ~user_data:0xBBBBL;
   let master_events = [ (0xAAAAL, Syscall.ev_in) ] in
   let logical = Epoll_map.to_logical em master_events in
-  Alcotest.(check int) "translated to fd" 7 (fst (List.hd logical));
+  Alcotest.(check bool) "translated to fd" true
+    (fst (List.hd logical) = Epoll_map.Lfd 7);
   let slave_view = Epoll_map.to_variant em ~variant:1 logical in
   Alcotest.(check bool) "slave sees its own pointer" true
     (Int64.equal (fst (List.hd slave_view)) 0xBBBBL)
