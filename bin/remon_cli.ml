@@ -3,6 +3,7 @@
      remon list                          enumerate registered workloads
      remon run -w parsec.dedup           run a workload under an MVEE config
      remon attack [-b varan]             stage the Section 4 attack scenarios
+     remon fleet --rate 0.004            chaos a fleet behind a load balancer
      remon policy                        print the Table 1 classification *)
 
 open Cmdliner
@@ -428,6 +429,157 @@ let attack_cmd =
     (Cmd.info "attack" ~doc:"Stage the Section 4 attack scenarios.")
     Term.(const run $ backend_arg $ replicas_arg $ level_arg $ seed_arg)
 
+let fleet_cmd =
+  let module Fchaos = Remon_fleet.Chaos in
+  let module Lb = Remon_fleet.Lb in
+  let instances_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "i"; "instances" ] ~docv:"N"
+          ~doc:"MVEE instances behind the load balancer.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"P"
+          ~doc:
+            "Chaos fault rate: per-syscall-index probability of an injected \
+             fault (crash, delay or transient socket error) in each \
+             instance's plan. Masters are fair game.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "requests" ] ~docv:"N" ~doc:"Total client requests.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "workers" ] ~docv:"N" ~doc:"Open-loop client workers.")
+  in
+  let no_recovery_arg =
+    Arg.(
+      value & flag
+      & info [ "no-recovery" ]
+          ~doc:
+            "Disable the recovery ladder (intra-instance respawn and fleet \
+             respawn): the availability-floor baseline.")
+  in
+  let policy_arg =
+    let policy_conv =
+      let parse = function
+        | "round-robin" | "rr" -> Ok Lb.Round_robin
+        | "least-conns" | "lc" -> Ok Lb.Least_conns
+        | s -> Error (`Msg (Printf.sprintf "unknown LB policy %S" s))
+      in
+      let print fmt = function
+        | Lb.Round_robin -> Format.pp_print_string fmt "round-robin"
+        | Lb.Least_conns -> Format.pp_print_string fmt "least-conns"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt policy_conv Lb.Round_robin
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Load-balancing policy: round-robin or least-conns.")
+  in
+  let rolling_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rolling" ] ~docv:"MAX_UNAVAILABLE"
+          ~doc:
+            "Run a rolling restart of the whole fleet under the live \
+             traffic, at most MAX_UNAVAILABLE instances out at once.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the metrics summary (fleet probe/eject/respawn counters \
+             included).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured trace of the chaos scenario to FILE in \
+             Chrome trace-event JSON (instance_down/instance_respawn and \
+             recovery instants included).")
+  in
+  let run backend nreplicas instances rate requests workers no_recovery policy
+      rolling seed metrics trace_file =
+    let cfg =
+      {
+        Fchaos.default_cfg with
+        Fchaos.backend;
+        nreplicas;
+        instances;
+        fault_rate = rate;
+        requests;
+        workers;
+        recovery = not no_recovery;
+        policy;
+        rolling;
+        seed;
+        trace = metrics;
+      }
+    in
+    let obs =
+      if trace_file <> None then Some (Remon_obs.Obs.create ()) else None
+    in
+    Printf.printf "fleet    : %d x %s (%d replicas), LB %s\n" instances
+      (Mvee.backend_to_string backend)
+      nreplicas
+      (match policy with
+      | Lb.Round_robin -> "round-robin"
+      | Lb.Least_conns -> "least-conns");
+    Printf.printf "traffic  : %d requests over %d open-loop workers\n" requests
+      workers;
+    Printf.printf "chaos    : rate %.4f, recovery %s%s\n\n" rate
+      (if no_recovery then "off" else "on")
+      (match rolling with
+      | Some mu -> Printf.sprintf ", rolling restart (max-unavailable %d)" mu
+      | None -> "");
+    let r = Fchaos.run_scenario ?obs cfg in
+    Printf.printf "availability       : %.3f (%d/%d, %d dropped)\n"
+      r.Fchaos.availability r.Fchaos.succeeded r.Fchaos.attempted
+      r.Fchaos.failed;
+    Printf.printf "client latency     : %s\n"
+      (Latency.summary_to_string r.Fchaos.client_latency);
+    Printf.printf "lb                 : %d proxied, %d failovers, %d errors\n"
+      r.Fchaos.lb_proxied r.Fchaos.failovers r.Fchaos.lb_errors;
+    Printf.printf "health             : %d ejections, %d readmissions\n"
+      r.Fchaos.ejections r.Fchaos.readmissions;
+    Printf.printf "fleet recovery     : %d instances down, %d fleet respawns\n"
+      r.Fchaos.instance_failures r.Fchaos.fleet_respawns;
+    Printf.printf "intra-instance     : %d quarantines, %d respawns, %d \
+                   watchdog retries\n"
+      r.Fchaos.quarantines r.Fchaos.respawns r.Fchaos.watchdog_retries;
+    Printf.printf "faults injected    : %d\n" r.Fchaos.faults_injected;
+    Printf.printf "connect retries    : %d\n" r.Fchaos.connect_retries;
+    if r.Fchaos.verdict_classes <> [] then
+      Printf.printf "verdicts           : %s\n"
+        (String.concat ", " r.Fchaos.verdict_classes);
+    if metrics then print_metrics r.Fchaos.metrics;
+    match obs with
+    | Some o -> finalize_obs ~trace_file ~metrics:false o
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run an MVEE fleet behind a load balancer under chaos: injected \
+          faults, health-probe ejection, fleet respawn and rolling restarts.")
+    Term.(
+      const run $ backend_arg $ replicas_arg $ instances_arg $ rate_arg
+      $ requests_arg $ workers_arg $ no_recovery_arg $ policy_arg
+      $ rolling_arg $ seed_arg $ metrics_arg $ trace_arg)
+
 let policy_cmd =
   let run () =
     List.iter
@@ -447,4 +599,6 @@ let policy_cmd =
 let () =
   let doc = "ReMon MVEE reproduction: secure and efficient application monitoring" in
   let info = Cmd.info "remon" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; attack_cmd; policy_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; attack_cmd; fleet_cmd; policy_cmd ]))

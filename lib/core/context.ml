@@ -75,6 +75,11 @@ type group = {
   mutable watchdog_retries : int;
   mutable degraded_since : Vtime.t option; (* start of current degraded span *)
   mutable degraded_ns : Vtime.t; (* completed degraded spans *)
+  mutable caught_up_at : Vtime.t option;
+      (* instant the last respawned replica drained the journal. The group
+         is effectively whole from that point even though [rejoin] only runs
+         at the master's next monitored call, so the degraded span closes
+         retroactively here, not at rejoin time. *)
 }
 
 (* SysV keys at or above this value are treated as MVEE-internal (RB / file
@@ -83,12 +88,13 @@ let mvee_shm_key_base = 0x5EC0DE00
 
 (* Every verdict funnels through here (first one wins), so this is also
    the single emission point for divergence events in the trace. *)
-let obs_instant g ~cat ~name args =
+let obs_instant ?ts g ~cat ~name args =
   match Kernel.obs g.kernel with
   | None -> ()
   | Some o ->
-    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now g.kernel)
-      ~cat ~name ~pid:0 ~tid:0 args;
+    let ts = match ts with Some t -> t | None -> Kernel.now g.kernel in
+    Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts ~cat ~name ~pid:0 ~tid:0
+      args;
     Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics (cat ^ "." ^ name)
 
 let set_divergence g v =
@@ -130,19 +136,35 @@ let quarantine g ~variant =
       g.degraded_since <- Some (Kernel.now g.kernel)
   end
 
-(* A respawned replica finished its replay and re-entered the group. *)
+(* A respawned replica drained the record-log journal at [at]: from that
+   instant the group computes in full strength again, even though the
+   lockstep rejoin only happens at the master's next monitored call. *)
+let note_caught_up g ~at =
+  match g.caught_up_at with
+  | Some t when Vtime.(t >= at) -> ()
+  | _ -> g.caught_up_at <- Some at
+
+(* A respawned replica finished its replay and re-entered the group. The
+   degraded span closes at the recorded caught-up instant (when one exists
+   and is sane), not at rejoin time: the gap between journal drain and the
+   master's next monitored call is not degraded service. *)
 let rejoin g ~variant =
   if g.quarantined.(variant) then begin
     g.quarantined.(variant) <- false;
-    obs_instant g ~cat:"recovery" ~name:"rejoin"
+    let close_at =
+      match g.caught_up_at with
+      | Some t when Vtime.(t <= Kernel.now g.kernel) -> t
+      | _ -> Kernel.now g.kernel
+    in
+    obs_instant ~ts:close_at g ~cat:"recovery" ~name:"rejoin"
       [ ("variant", Remon_obs.Trace.Int variant) ];
     if active_count g = g.nreplicas then begin
       (match g.degraded_since with
-      | Some t0 ->
-        g.degraded_ns <-
-          Vtime.add g.degraded_ns (Vtime.sub (Kernel.now g.kernel) t0)
-      | None -> ());
-      g.degraded_since <- None
+      | Some t0 when Vtime.(close_at > t0) ->
+        g.degraded_ns <- Vtime.add g.degraded_ns (Vtime.sub close_at t0)
+      | _ -> ());
+      g.degraded_since <- None;
+      g.caught_up_at <- None
     end
   end
 

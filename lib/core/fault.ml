@@ -137,10 +137,16 @@ let rb_tamper t (e : Replication_buffer.entry) =
         | Crash _ | Corrupt_args | Delay _ | Sock_err _ -> ())
     t.plan
 
-let install t ~kernel ~rb =
+let install t ~kernel ~group_id ~rb =
   t.kernel <- Some kernel;
-  Kernel.set_fault_hook kernel (fun th call -> kernel_decision t th call);
+  Kernel.register_fault_hook kernel ~group_id (fun th call ->
+      kernel_decision t th call);
   rb.Replication_buffer.tamper <- Some (fun e -> rb_tamper t e)
+
+(* A fresh, unfired copy of a plan: fleet respawns reuse the same plan
+   across instance generations, and [fired] flags must not leak between
+   them. *)
+let copy_plan plan = List.map (fun s -> { s with fired = false }) plan
 
 (* ------------------------------------------------------------------ *)
 (* Generated plans (the resilience bench) *)
@@ -172,6 +178,28 @@ let random_plan ~seed ~rate ~horizon ~nreplicas =
         | _ -> spec ~kind ~variant ~at
       in
       specs := s :: !specs
+    end
+  done;
+  List.rev !specs
+
+(* Fleet chaos plans differ from [random_plan] in one crucial way: the
+   master is a legitimate target. A master crash takes the whole instance
+   down — exactly the event the fleet controller must route around and
+   respawn from — so the kind mix is biased towards crashes and every
+   variant (0 included) can be hit. Deterministic in [seed]. *)
+let chaos_plan ~seed ~rate ~horizon ~nreplicas =
+  let rng = Rng.make ((seed * 0x9E3779B1) lxor 0xC0A5) in
+  let specs = ref [] in
+  for at = 1 to horizon do
+    if Rng.float rng < rate then begin
+      let variant = Rng.int_in_range rng ~lo:0 ~hi:(max 0 (nreplicas - 1)) in
+      let kind =
+        match Rng.int_in_range rng ~lo:0 ~hi:3 with
+        | 0 | 1 -> Crash Sigdefs.sigsegv
+        | 2 -> Delay (Vtime.ms (Rng.int_in_range rng ~lo:1 ~hi:10))
+        | _ -> Sock_err Errno.ECONNRESET
+      in
+      specs := spec ~kind ~variant ~at :: !specs
     end
   done;
   List.rev !specs

@@ -39,14 +39,28 @@ val make : seed:int -> plan -> t
 val injected : t -> int
 (** Faults actually fired so far. *)
 
-val install : t -> kernel:Kernel.t -> rb:Replication_buffer.t -> unit
-(** Wire the plan into the kernel dispatch hook and the RB tamper hook. *)
+val install :
+  t -> kernel:Kernel.t -> group_id:int -> rb:Replication_buffer.t -> unit
+(** Wire the plan into the kernel dispatch hook (scoped to the replica
+    group identified by [group_id], so fleet instances in one kernel carry
+    independent plans) and the RB tamper hook. *)
+
+val copy_plan : plan -> plan
+(** A fresh, unfired copy: fleet respawns reuse a plan across instance
+    generations without leaking [fired] flags between them. *)
 
 val random_plan :
   seed:int -> rate:float -> horizon:int -> nreplicas:int -> plan
 (** Scatter faults over the first [horizon] syscall indices with
     probability [rate] per index; deterministic in [seed]. Used by the
-    resilience bench. *)
+    resilience bench. Never targets the master when slaves exist. *)
+
+val chaos_plan :
+  seed:int -> rate:float -> horizon:int -> nreplicas:int -> plan
+(** Fleet chaos variant of {!random_plan}: every variant — the master
+    included — is a legitimate target, and the kind mix is biased towards
+    crashes, so whole instances go down and the fleet controller's
+    eject/respawn path is exercised. Deterministic in [seed]. *)
 
 val to_string : plan -> string
 

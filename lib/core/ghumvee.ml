@@ -142,6 +142,12 @@ let shutdown t verdict =
       t.g.Context.replicas
   end
 
+(* Operator-initiated teardown (fleet rolling restarts): stop monitoring
+   without recording a divergence verdict — pending watchdogs go quiet. *)
+let quiesce t =
+  t.shutting_down <- true;
+  t.g.Context.shutdown <- true
+
 (* Offer a non-master replica fault to the recovery policy; escalate to the
    group-killing verdict when the policy declines. *)
 let recover_or_shutdown t ~variant verdict =
@@ -516,7 +522,9 @@ and replay_entry t (th : Proc.thread) (call : Syscall.call) ~variant ~positions
       | Callinfo.All_call -> Kernel.resume t.kernel th Proc.Resume_continue
     end
   | None -> (
-    (* caught up with everything the master has done *)
+    (* caught up with everything the master has done; degraded time stops
+       accruing here, not at the (possibly much later) lockstep rejoin *)
+    Context.note_caught_up t.g ~at:th.Proc.clock;
     match rank_state t rank with
     | Collecting _ ->
       (* a live rendezvous is pending on this rank: this very call is the

@@ -59,6 +59,11 @@ val attach : t -> Proc.process -> unit
 val shutdown : t -> Divergence.t -> unit
 (** Record the verdict and kill every replica. *)
 
+val quiesce : t -> unit
+(** Operator-initiated teardown (fleet rolling restarts): stop monitoring
+    without recording a divergence verdict; pending watchdogs go quiet.
+    The caller kills the replicas. *)
+
 val purge_variant : t -> variant:int -> unit
 (** Remove a quarantined variant from all in-flight rendezvous state so the
     survivors are not stranded. Called by the recovery handler after the

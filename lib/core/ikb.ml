@@ -258,9 +258,10 @@ let note_approval t (no : Sysno.t) =
   | Some cfg ->
     Policy.record_approval t.temporal_state ~now:(Kernel.now t.kernel) no ~cfg
 
-(* Installs this broker into the kernel. *)
-let install t =
-  Kernel.set_broker t.kernel
+(* Installs this broker into the kernel, scoped to one replica group so
+   several MVEE instances (a fleet) can coexist in a single kernel. *)
+let install t ~group_id =
+  Kernel.register_broker t.kernel ~group_id
     {
       K.broker_name = "ik-b";
       classify = (fun th call -> classify t th call);

@@ -59,8 +59,10 @@ val set_replaying : t -> variant:int -> bool -> unit
 val was_temporal_grant : t -> Proc.thread -> token:int64 -> bool
 val note_approval : t -> Sysno.t -> unit
 
-val install : t -> unit
-(** Hook this broker into the kernel's syscall path. *)
+val install : t -> group_id:int -> unit
+(** Hook this broker into the kernel's syscall path, scoped to the replica
+    group identified by [group_id] (the group's shm key): a fleet of MVEE
+    instances in one kernel each get their own broker. *)
 
 val execute :
   t ->

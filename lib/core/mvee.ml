@@ -158,6 +158,7 @@ let make_group kernel (config : config) nreplicas =
     watchdog_retries = 0;
     degraded_since = None;
     degraded_ns = Vtime.zero;
+    caught_up_at = None;
   }
 
 let make_env (h : handle) ~variant ~nreplicas : env =
@@ -223,7 +224,8 @@ let launch (kernel : Kernel.t) (config : config) ~name
     | Native | Varan -> None
   in
   (match config.backend with
-  | Varan | Remon -> Ikb.install group.Context.ikb
+  | Varan | Remon ->
+    Ikb.install group.Context.ikb ~group_id:group.Context.shm_key
   | Native | Ghumvee_only -> ());
   let agent =
     Record_replay.create ~kernel ~log:group.Context.rb.Replication_buffer.sync_log
@@ -258,7 +260,8 @@ let launch (kernel : Kernel.t) (config : config) ~name
   (* wire the deterministic fault plan into the kernel + RB hooks *)
   if config.faults <> [] then begin
     let f = Fault.make ~seed:config.seed config.faults in
-    Fault.install f ~kernel ~rb:group.Context.rb;
+    Fault.install f ~kernel ~group_id:group.Context.shm_key
+      ~rb:group.Context.rb;
     handle.fault <- Some f
   end;
   (* spawn parameters are factored out so a Respawn can relaunch a variant
@@ -442,6 +445,21 @@ let launch (kernel : Kernel.t) (config : config) ~name
   Array.iteri watch_exit replicas;
   handle
 
+(* The current master process (variant 0), across respawn generations. *)
+let master_process (h : handle) = h.group.Context.replicas.(0)
+
+(* Graceful operator stop: no verdict, exit code 0, pending watchdogs go
+   quiet. Used by fleet rolling restarts; the freed descriptors (listener
+   port included) are released immediately, so a successor instance can
+   rebind the same port. *)
+let stop (h : handle) =
+  h.group.Context.shutdown <- true;
+  (match h.ghumvee with Some g -> Ghumvee.quiesce g | None -> ());
+  Array.iter
+    (fun (p : Proc.process) ->
+      if p.Proc.alive then Kernel.kill_process h.kernel p ~code:0)
+    h.group.Context.replicas
+
 (* Collects the outcome after [Kernel.run] has drained the simulation. *)
 let finish (h : handle) : outcome =
   let st = Kernel.stats h.kernel in
@@ -460,6 +478,10 @@ let finish (h : handle) : outcome =
       Remon_obs.Metrics.add m "eq.compactions" eq.Event_queue.compactions;
       Remon_obs.Metrics.add m "epoll.untranslatable"
         (Epoll_map.untranslatable h.group.Context.epoll_map);
+      Remon_obs.Metrics.add m "recovery.quarantines" h.group.Context.quarantines;
+      Remon_obs.Metrics.add m "recovery.respawns" h.group.Context.respawns;
+      Remon_obs.Metrics.add m "recovery.watchdog_retries"
+        h.group.Context.watchdog_retries;
       Remon_obs.Metrics.summary m
   in
   {

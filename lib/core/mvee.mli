@@ -99,6 +99,16 @@ val launch : Kernel.t -> config -> name:string -> body:(env -> unit) -> handle
 (** Spawns the replica set; every replica runs [body]. Drive the simulation
     with [Kernel.run], then collect the [outcome] with [finish]. *)
 
+val master_process : handle -> Proc.process
+(** The current master process (variant 0). Fleet controllers watch it with
+    {!Kernel.on_process_exit} to detect whole-instance failure. *)
+
+val stop : handle -> unit
+(** Graceful operator stop: kills every replica with exit code 0, records
+    no verdict, and silences pending watchdogs. The instance's descriptors
+    (listener port included) are released immediately, so a successor can
+    rebind the same port. Used by fleet rolling restarts. *)
+
 val finish : handle -> outcome
 
 val run_program :

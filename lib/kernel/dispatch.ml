@@ -178,60 +178,6 @@ let block k (th : Proc.thread) ~what ?timeout_ns ?(intr = true)
       b.Proc.timeout <- Some handle)
 
 (* ------------------------------------------------------------------ *)
-(* Signals *)
-
-let rec post_signal k (p : Proc.process) sg =
-  if p.alive && sg > 0 then begin
-    k.K.stats.signals_posted <- k.K.stats.signals_posted + 1;
-    (match signal_action p sg with
-    | Syscall.Sig_ignore when Sigdefs.catchable sg -> ()
-    | _ -> Queue.push sg p.pending_signals);
-    if sg = Sigdefs.sigkill then kill_process k p ~code:(128 + sg);
-    Sched.kick k.K.sched
-  end
-
-(* Terminates every thread of [p]. Threads parked or trace-stopped simply
-   never resume; their continuations are dropped. *)
-and kill_process k (p : Proc.process) ~code =
-  if p.alive then begin
-    p.alive <- false;
-    p.exit_code <- code;
-    Vec.iter
-      (fun (t : Proc.thread) ->
-        (match t.tstate with
-        | Proc.Blocked b -> (
-          match b.timeout with Some h -> Event_queue.cancel h | None -> ())
-        | _ -> ());
-        t.tstate <- Proc.Dead;
-        Sched.unpark k.K.sched t)
-      p.threads;
-    let waiters = p.exit_waiters in
-    p.exit_waiters <- [];
-    List.iter (fun f -> f code) waiters;
-    Sched.kick k.K.sched
-  end
-
-(* Applies the disposition of [sg] to [p], in the context of thread [th]
-   which is crossing a syscall boundary. Returns [false] when the signal
-   killed the process (the caller must not resume the thread). *)
-let deliver_signal k (th : Proc.thread) sg =
-  let p = proc_of th in
-  remove_pending p sg;
-  k.K.stats.signals_delivered <- k.K.stats.signals_delivered + 1;
-  charge th k.K.cost.signal_delivery_ns;
-  match signal_action p sg with
-  | Syscall.Sig_handler _ ->
-    Queue.push sg th.pending_delivery;
-    true
-  | Syscall.Sig_ignore -> true
-  | Syscall.Sig_default -> (
-    match Sigdefs.default_of sg with
-    | Sigdefs.Ignore_sig -> true
-    | Sigdefs.Terminate | Sigdefs.Core_dump ->
-      kill_process k p ~code:(128 + sg);
-      false)
-
-(* ------------------------------------------------------------------ *)
 (* Descriptor release *)
 
 let release_desc k (p : Proc.process) (d : Proc.desc) =
@@ -259,6 +205,71 @@ let release_desc k (p : Proc.process) (d : Proc.desc) =
       p.fds
   end;
   Sched.kick k.K.sched
+
+(* Process death closes every descriptor the way a real kernel does:
+   listeners unbind (the port becomes reusable, connects start getting
+   ECONNREFUSED) and stream peers observe EOF/EPIPE. Iteration is in fd
+   order so release side effects are deterministic. *)
+let release_all_fds k (p : Proc.process) =
+  let descs = Hashtbl.fold (fun fd d acc -> (fd, d) :: acc) p.fds [] in
+  let descs = List.sort (fun (a, _) (b, _) -> compare (a : int) b) descs in
+  Hashtbl.reset p.fds;
+  List.iter (fun (_, d) -> release_desc k p d) descs
+
+(* ------------------------------------------------------------------ *)
+(* Signals *)
+
+let rec post_signal k (p : Proc.process) sg =
+  if p.alive && sg > 0 then begin
+    k.K.stats.signals_posted <- k.K.stats.signals_posted + 1;
+    (match signal_action p sg with
+    | Syscall.Sig_ignore when Sigdefs.catchable sg -> ()
+    | _ -> Queue.push sg p.pending_signals);
+    if sg = Sigdefs.sigkill then kill_process k p ~code:(128 + sg);
+    Sched.kick k.K.sched
+  end
+
+(* Terminates every thread of [p]. Threads parked or trace-stopped simply
+   never resume; their continuations are dropped. *)
+and kill_process k (p : Proc.process) ~code =
+  if p.alive then begin
+    p.alive <- false;
+    p.exit_code <- code;
+    Vec.iter
+      (fun (t : Proc.thread) ->
+        (match t.tstate with
+        | Proc.Blocked b -> (
+          match b.timeout with Some h -> Event_queue.cancel h | None -> ())
+        | _ -> ());
+        t.tstate <- Proc.Dead;
+        Sched.unpark k.K.sched t)
+      p.threads;
+    release_all_fds k p;
+    let waiters = p.exit_waiters in
+    p.exit_waiters <- [];
+    List.iter (fun f -> f code) waiters;
+    Sched.kick k.K.sched
+  end
+
+(* Applies the disposition of [sg] to [p], in the context of thread [th]
+   which is crossing a syscall boundary. Returns [false] when the signal
+   killed the process (the caller must not resume the thread). *)
+let deliver_signal k (th : Proc.thread) sg =
+  let p = proc_of th in
+  remove_pending p sg;
+  k.K.stats.signals_delivered <- k.K.stats.signals_delivered + 1;
+  charge th k.K.cost.signal_delivery_ns;
+  match signal_action p sg with
+  | Syscall.Sig_handler _ ->
+    Queue.push sg th.pending_delivery;
+    true
+  | Syscall.Sig_ignore -> true
+  | Syscall.Sig_default -> (
+    match Sigdefs.default_of sg with
+    | Sigdefs.Ignore_sig -> true
+    | Sigdefs.Terminate | Sigdefs.Core_dump ->
+      kill_process k p ~code:(128 + sg);
+      false)
 
 (* ------------------------------------------------------------------ *)
 (* Call execution *)
@@ -1715,7 +1726,7 @@ let handle k (th : Proc.thread) call ~return =
           return r
     in
     let route call =
-      match k.K.broker with
+      match K.broker_for k th with
       | None -> (
         match p.tracer with
         | None ->
@@ -1749,7 +1760,7 @@ let handle k (th : Proc.thread) call ~return =
                 th.in_ipmon <- false;
                 finish k th r ~return)))
     in
-    match (match k.K.fault_hook with Some f -> f th call | None -> K.Fault_none) with
+    match (match K.fault_hook_for k th with Some f -> f th call | None -> K.Fault_none) with
     | K.Fault_none -> route call
     | K.Fault_rewrite call' ->
       (* the corrupted capture flows through the normal routing/detection

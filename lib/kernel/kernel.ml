@@ -25,6 +25,9 @@ let create ?cost ?seed ?net_latency ?sock_buf () =
       if p.alive && Vec.for_all (fun (t : Proc.thread) -> t.tstate = Proc.Dead) p.threads
       then begin
         p.alive <- false;
+        (* a fully-exited process gives back its descriptors before the
+           exit waiters run: listeners unbind, peers observe EOF *)
+        Dispatch.release_all_fds k p;
         let waiters = p.exit_waiters in
         p.exit_waiters <- [];
         List.iter (fun f -> f p.exit_code) waiters
@@ -137,6 +140,20 @@ let set_broker (k : t) broker = k.K.broker <- Some broker
 let clear_broker (k : t) = k.K.broker <- None
 let set_fault_hook (k : t) f = k.K.fault_hook <- Some f
 let clear_fault_hook (k : t) = k.K.fault_hook <- None
+
+(* Group-scoped registrations: one kernel can host several replica sets (a
+   fleet), each with its own broker and fault plan, resolved per thread
+   through [Proc.replica_info.group_id]. *)
+let register_broker (k : t) ~group_id broker =
+  Hashtbl.replace k.K.brokers group_id broker
+
+let unregister_broker (k : t) ~group_id = Hashtbl.remove k.K.brokers group_id
+
+let register_fault_hook (k : t) ~group_id f =
+  Hashtbl.replace k.K.fault_hooks group_id f
+
+let unregister_fault_hook (k : t) ~group_id =
+  Hashtbl.remove k.K.fault_hooks group_id
 
 let prepare_ipmon (k : t) ~pid (reg : Proc.ipmon_registration) =
   Hashtbl.replace k.K.pending_ipmon pid reg

@@ -98,6 +98,24 @@ val set_fault_hook :
 
 val clear_fault_hook : t -> unit
 
+val register_broker : t -> group_id:int -> Kstate.broker -> unit
+(** Group-scoped broker registration: one kernel can host several replica
+    sets (a fleet), each with its own broker. A thread resolves to its
+    group's broker through [Proc.replica_info.group_id]; threads outside
+    any group (clients, load balancers) fall back to the kernel-wide
+    [set_broker] slot, if any. *)
+
+val unregister_broker : t -> group_id:int -> unit
+
+val register_fault_hook :
+  t ->
+  group_id:int ->
+  (Proc.thread -> Syscall.call -> Kstate.fault_decision) ->
+  unit
+(** Group-scoped fault hook; same resolution rule as {!register_broker}. *)
+
+val unregister_fault_hook : t -> group_id:int -> unit
+
 val prepare_ipmon : t -> pid:int -> Proc.ipmon_registration -> unit
 (** Stage the registration (including the invoke closure, which cannot
     travel through the syscall interface) before the replica issues

@@ -95,6 +95,12 @@ type t = {
   stats : counters;
   mutable broker : broker option;
   mutable fault_hook : (Proc.thread -> Syscall.call -> fault_decision) option;
+  (* Per-group hook registries, keyed by [Proc.replica_info.group_id]: one
+     kernel can host several replica sets (a fleet), each with its own
+     broker and fault plan. The single-slot [broker]/[fault_hook] fields
+     above remain as a kernel-wide fallback for threads outside any group. *)
+  brokers : (int, broker) Hashtbl.t;
+  fault_hooks : (int, Proc.thread -> Syscall.call -> fault_decision) Hashtbl.t;
   flocks : (int, int) Hashtbl.t;
       (* advisory exclusive file locks: inode -> holder pid *)
   pending_ipmon : (int, Proc.ipmon_registration) Hashtbl.t;
@@ -124,6 +130,8 @@ let create ?(cost = Cost_model.default) ?(seed = 42)
     stats = make_counters ();
     broker = None;
     fault_hook = None;
+    brokers = Hashtbl.create 4;
+    fault_hooks = Hashtbl.create 4;
     flocks = Hashtbl.create 8;
     pending_ipmon = Hashtbl.create 8;
     epoch_offset_ns = 1_600_000_000_000_000_000L;
@@ -133,6 +141,25 @@ let create ?(cost = Cost_model.default) ?(seed = 42)
   }
 
 let now k = Sched.now k.sched
+
+(* Resolve the broker / fault hook a thread is subject to: its group's
+   registered hook when it belongs to a replica set, else the kernel-wide
+   single slot. *)
+let broker_for k (th : Proc.thread) =
+  match th.proc.Proc.replica_info with
+  | Some { Proc.group_id; _ } -> (
+    match Hashtbl.find_opt k.brokers group_id with
+    | Some _ as b -> b
+    | None -> k.broker)
+  | None -> k.broker
+
+let fault_hook_for k (th : Proc.thread) =
+  match th.proc.Proc.replica_info with
+  | Some { Proc.group_id; _ } -> (
+    match Hashtbl.find_opt k.fault_hooks group_id with
+    | Some _ as f -> f
+    | None -> k.fault_hook)
+  | None -> k.fault_hook
 
 let logf k fmt =
   Printf.ksprintf

@@ -123,24 +123,28 @@ let accept fd =
 exception Connect_retries_exhausted of { port : int; attempts : int }
 
 (* Blocking connect with retry while the server is not yet listening:
-   exponential backoff from 200us, doubling up to a 50ms cap. Exhausting
-   the budget raises [Connect_retries_exhausted] — distinguishable from an
-   outright refusal ([Sys_error ECONNREFUSED] on a non-transient error). *)
-let connect_retry ?(attempts = 50) fd port =
-  let cap_ns = 50_000_000 in
+   exponential backoff from [base_backoff_ns], doubling up to the
+   [cap_backoff_ns] cap. Exhausting the budget raises
+   [Connect_retries_exhausted] — distinguishable from an outright refusal
+   ([Sys_error ECONNREFUSED] on a non-transient error). The schedule is
+   fully deterministic (no jitter): simulated virtual time already decouples
+   concurrent retriers, and determinism is the repo-wide contract. *)
+let connect_retry ?(attempts = 50) ?(base_backoff_ns = 200_000)
+    ?(cap_backoff_ns = 50_000_000) ?(on_retry = fun (_ : int) -> ()) fd port =
   let rec go ~left ~delay_ns =
     match Sched.syscall (Syscall.Connect (fd, port)) with
     | Syscall.Ok_int _ | Syscall.Ok_unit -> ()
     | Syscall.Error (Errno.ECONNREFUSED | Errno.EINTR) ->
       if left <= 0 then raise (Connect_retries_exhausted { port; attempts })
       else begin
+        on_retry (attempts - left + 1);
         nanosleep delay_ns;
-        go ~left:(left - 1) ~delay_ns:(min cap_ns (2 * delay_ns))
+        go ~left:(left - 1) ~delay_ns:(min cap_backoff_ns (2 * delay_ns))
       end
     | Syscall.Error e -> fail "connect" e
     | _ -> fail "connect" Errno.EINVAL
   in
-  go ~left:attempts ~delay_ns:200_000
+  go ~left:attempts ~delay_ns:base_backoff_ns
 
 let send fd data = int_of "send" (retrying "send" (Syscall.Sendto (fd, data)))
 let recv fd count = data_of "recv" (retrying "recv" (Syscall.Recvfrom (fd, count)))
@@ -154,6 +158,35 @@ let rec read_exactly fd n acc =
     else read_exactly fd (n - String.length chunk) (acc ^ chunk)
 
 let recv_exactly fd n = read_exactly fd n ""
+
+(* Receives up to [n] bytes with a deadline [timeout_ns] from now: polls for
+   readability before each read and gives up when the deadline passes.
+   Returns what arrived — short on timeout or EOF — so callers treat a short
+   string exactly like a truncated connection. *)
+let recv_within fd n ~timeout_ns =
+  let deadline = Vtime.add (Sched.vnow ()) (Vtime.ns timeout_ns) in
+  let rec go acc need =
+    if need <= 0 then acc
+    else
+      let remaining = Vtime.sub deadline (Sched.vnow ()) in
+      if Vtime.(remaining <= Vtime.zero) then acc
+      else
+        match
+          retrying "poll"
+            (Syscall.Poll
+               { fds = [ (fd, Syscall.ev_in) ]; timeout_ns = Some remaining })
+        with
+        | Syscall.Ok_poll [] -> acc (* deadline passed with nothing readable *)
+        | Syscall.Ok_poll _ -> (
+          match retrying "recv" (Syscall.Recvfrom (fd, need)) with
+          | Syscall.Ok_data "" -> acc
+          | Syscall.Ok_data s -> go (acc ^ s) (need - String.length s)
+          | Syscall.Error e -> fail "recv" e
+          | _ -> fail "recv" Errno.EINVAL)
+        | Syscall.Error e -> fail "poll" e
+        | _ -> fail "poll" Errno.EINVAL
+  in
+  go "" n
 
 (* ---- epoll ---- *)
 

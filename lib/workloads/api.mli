@@ -53,10 +53,20 @@ val accept : int -> Syscall.accept_info
 exception Connect_retries_exhausted of { port : int; attempts : int }
 (** [connect_retry] ran out of attempts while the port still refused. *)
 
-val connect_retry : ?attempts:int -> int -> int -> unit
-(** Blocking connect, retrying while the server is not yet listening, with
-    exponential backoff (200us doubling, capped at 50ms). Raises
-    {!Connect_retries_exhausted} when the attempt budget runs out. *)
+val connect_retry :
+  ?attempts:int ->
+  ?base_backoff_ns:int ->
+  ?cap_backoff_ns:int ->
+  ?on_retry:(int -> unit) ->
+  int ->
+  int ->
+  unit
+(** Blocking connect, retrying while the port refuses, with deterministic
+    exponential backoff: [base_backoff_ns] (default 200us) doubling up to
+    [cap_backoff_ns] (default 50ms), [attempts] tries (default 50).
+    [on_retry] fires before each backoff sleep with the 1-based retry
+    number, so callers can count retries into their metrics. Raises
+    {!Connect_retries_exhausted} when the budget runs out. *)
 
 val send : int -> string -> int
 val recv : int -> int -> string
@@ -64,6 +74,11 @@ val recv : int -> int -> string
 val read_exactly : int -> int -> string -> string
 val recv_exactly : int -> int -> string
 (** Reads exactly [n] bytes or until EOF. *)
+
+val recv_within : int -> int -> timeout_ns:int -> string
+(** Like {!recv_exactly} with a deadline [timeout_ns] from now: polls for
+    readability before each read and returns what arrived so far (short on
+    timeout or EOF) instead of blocking indefinitely on a wedged peer. *)
 
 (** {1 epoll} *)
 

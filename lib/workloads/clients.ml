@@ -35,7 +35,8 @@ type measurement = {
   mutable finished : int; (* client workers done *)
   mutable finished_at : Vtime.t;
   mutable responses : int;
-  mutable transport_errors : int; (* short reads / truncated responses *)
+  mutable transport_errors : int; (* short reads / dead connections *)
+  mutable connect_retries : int; (* backoff rounds inside connect_retry *)
   latency : Latency.t; (* per-request virtual-time latency *)
 }
 
@@ -47,27 +48,57 @@ let note_start meas now =
   | Some t0 -> if Vtime.(now < t0) then meas.started_at <- Some now
 
 (* One closed-loop worker: opens connections against [port] and issues its
-   share of the requests. *)
+   share of the requests. A connection dying mid-request (the server was
+   killed) costs that request as a transport error; the rest of the share
+   fails over to a fresh connection through [connect_retry]. Only when the
+   retry schedule itself exhausts do the unserved requests of that
+   connection count as failed — so a fleet respawn inside the backoff
+   window is invisible except as latency. *)
 let worker (server : Servers.spec) spec meas ~obs ~requests () =
   note_start meas (Sched.vnow ());
   let remaining = ref requests in
   while !remaining > 0 do
     let fd = Api.socket () in
-    Api.connect_retry fd server.Servers.port;
+    let conn_t0 = Sched.vnow () in
     let in_this_conn = min spec.requests_per_conn !remaining in
-    for _ = 1 to in_this_conn do
-      let t0 = Sched.vnow () in
-      ignore (Api.send fd (String.make server.Servers.request_bytes 'q'));
-      let resp = Api.recv_exactly fd server.Servers.response_bytes in
-      if String.length resp = server.Servers.response_bytes then begin
-        meas.responses <- meas.responses + 1;
-        let dt = Vtime.sub (Sched.vnow ()) t0 in
-        Latency.record meas.latency dt;
-        Remon_obs.Obs.observe_ns obs "client.request" dt
-      end
-      else meas.transport_errors <- meas.transport_errors + 1
-    done;
-    remaining := !remaining - in_this_conn;
+    (match
+       Api.connect_retry
+         ~on_retry:(fun _ -> meas.connect_retries <- meas.connect_retries + 1)
+         fd server.Servers.port
+     with
+    | exception Api.Connect_retries_exhausted _ ->
+      (* the port refused past the whole backoff schedule: this
+         connection's share fails, and the client-observed cost of the
+         schedule lands in the latency reservoir *)
+      meas.transport_errors <- meas.transport_errors + in_this_conn;
+      let dt = Vtime.sub (Sched.vnow ()) conn_t0 in
+      Latency.record meas.latency dt;
+      Remon_obs.Obs.observe_ns obs "client.request" dt;
+      remaining := !remaining - in_this_conn
+    | () ->
+      let done_in_conn = ref 0 in
+      (try
+         for k = 1 to in_this_conn do
+           (* the first request of a connection is timed from before the
+              connect, so setup (and any failover backoff) is charged to
+              the latency a client would actually observe *)
+           let t0 = if k = 1 then conn_t0 else Sched.vnow () in
+           ignore (Api.send fd (String.make server.Servers.request_bytes 'q'));
+           let resp = Api.recv_exactly fd server.Servers.response_bytes in
+           incr done_in_conn;
+           let dt = Vtime.sub (Sched.vnow ()) t0 in
+           if String.length resp = server.Servers.response_bytes then begin
+             meas.responses <- meas.responses + 1;
+             Latency.record meas.latency dt;
+             Remon_obs.Obs.observe_ns obs "client.request" dt
+           end
+           else meas.transport_errors <- meas.transport_errors + 1
+         done
+       with Api.Sys_error _ ->
+         (* connection died under the in-flight request *)
+         incr done_in_conn;
+         meas.transport_errors <- meas.transport_errors + 1);
+      remaining := !remaining - !done_in_conn);
     Api.close fd
   done;
   meas.finished <- meas.finished + 1;
@@ -83,6 +114,7 @@ let launch (kernel : Kernel.t) (server : Servers.spec) (spec : spec) : measureme
       finished_at = Vtime.zero;
       responses = 0;
       transport_errors = 0;
+      connect_retries = 0;
       latency = Latency.create ();
     }
   in

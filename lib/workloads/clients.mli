@@ -23,7 +23,10 @@ type measurement = {
   mutable finished_at : Vtime.t;
   mutable responses : int;  (** full responses only *)
   mutable transport_errors : int;
-      (** short reads / truncated responses, counted instead of dropped *)
+      (** short reads, dead connections and exhausted connect budgets,
+          counted instead of dropped *)
+  mutable connect_retries : int;
+      (** backoff rounds spent inside {!Api.connect_retry} (failover) *)
   latency : Latency.t;  (** per-request virtual-time latency reservoir *)
 }
 

@@ -90,9 +90,14 @@ let serve_request ?stats spec ~(env : Mvee.env) ~content_fd conn_fd =
       ignore (Api.pread content_fd spec.response_bytes 0)
     end;
     Api.compute spec.work_ns;
-    ignore (Api.send conn_fd (String.make spec.response_bytes 'r'));
-    note (fun s -> s.served <- s.served + 1);
-    Served
+    match Api.send conn_fd (String.make spec.response_bytes 'r') with
+    | exception Api.Sys_error _ ->
+      (* client (or proxy) went away mid-response: drop the connection *)
+      note (fun s -> s.truncated <- s.truncated + 1);
+      Truncated
+    | _ ->
+      note (fun s -> s.served <- s.served + 1);
+      Served
   end
 
 (* Static content fixture: the site file, opened once at startup. *)
@@ -180,8 +185,17 @@ let threaded_server ?stats spec (env : Mvee.env) =
   in
   loop ()
 
+(* An error the server loop does not handle (e.g. an injected transient
+   error on epoll_ctl or close) kills the process the way abort() would,
+   instead of unwinding out of the simulation: the monitor sees an
+   abnormal exit and the recovery ladder takes over. *)
 let body ?stats spec (env : Mvee.env) =
-  match spec.arch with
-  | Epoll_loop -> epoll_server ?stats spec env
-  | Iterative -> iterative_server ?stats spec env
-  | Thread_per_conn -> threaded_server ?stats spec env
+  try
+    (* network servers ignore SIGPIPE and deal with EPIPE per connection,
+       as nginx and lighttpd do *)
+    Api.sigaction Sigdefs.sigpipe Syscall.Sig_ignore;
+    match spec.arch with
+    | Epoll_loop -> epoll_server ?stats spec env
+    | Iterative -> iterative_server ?stats spec env
+    | Thread_per_conn -> threaded_server ?stats spec env
+  with Api.Sys_error _ -> Api.exit_group 134
