@@ -103,7 +103,7 @@ let run ?domains () =
     o.Mvee.tokens_granted o.Mvee.tokens_rejected
     Cost_model.default.Cost_model.token_check_ns
     (Table.fmt_ns
-       (Int64.of_int (o.Mvee.tokens_granted * Cost_model.default.Cost_model.token_check_ns)))
+       (o.Mvee.tokens_granted * Cost_model.default.Cost_model.token_check_ns))
     (100.
     *. float_of_int (o.Mvee.tokens_granted * Cost_model.default.Cost_model.token_check_ns)
     /. Vtime.to_float_ns under.Runner.duration);

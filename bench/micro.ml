@@ -46,7 +46,7 @@ let test_event_queue =
   Test.make ~name:"event queue add+pop"
     (Staged.stage (fun () ->
          incr i;
-         ignore (Remon_sim.Event_queue.add q ~time:(Int64.of_int !i) ());
+         ignore (Remon_sim.Event_queue.add q ~time:!i ());
          ignore (Remon_sim.Event_queue.pop q)))
 
 let benchmark tests =

@@ -1,0 +1,138 @@
+(* Batched syscall-ring ablation (DESIGN.md section 13).
+
+   Policy-exempt syscalls are staged in a submission ring and drained into
+   the replication buffer in one rendezvous per batch: one pair of RB
+   header writes, one FUTEX_WAKE and one set of cache-line bounces are
+   amortized over the whole drain. The sweeps below measure the overhead
+   curve against batch size and against the flush deadline — the two knobs
+   of [Context.mode] — and report how the drains actually clustered.
+
+   Determinism contract: the ring only re-schedules *when* record bytes
+   are published, never their order or content, so verdicts and replica-
+   visible results are identical at every point of both sweeps; only the
+   virtual-time axis moves. [test/test_ring.ml] enforces this bit-for-bit;
+   here we plot the time axis. *)
+
+open Remon_core
+open Remon_sim
+open Remon_util
+open Remon_workloads
+
+let dense_profile =
+  Profile.make ~name:"ring.dense" ~threads:4 ~density_hz:120_000. ~calls:3000
+    ~mix:Profile.mix_file_rw ~description:"syscall-dense ring workload" ()
+
+let mode_for backend =
+  match backend with
+  | Mvee.Varan -> Context.varan_mode
+  | _ -> Context.remon_mode
+
+let cfg_for backend =
+  match backend with
+  | Mvee.Varan -> Runner.cfg_varan ()
+  | _ -> Runner.cfg_remon Classification.Nonsocket_rw_level
+
+let run ?(quick = false) ?domains () =
+  print_endline "=== Syscall ring (batched IP-MON submission) ===\n";
+
+  (* (a) batch-size sweep: amortization curve for both in-process engines.
+     batch=1 is the unbatched seed path (the ring is not even created). *)
+  let batches = if quick then [ 1; 8; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let backends = [ (Mvee.Remon, "ReMon"); (Mvee.Varan, "VARAN") ] in
+  let t =
+    Table.create
+      ~title:"(a) batch size vs. normalized time (flush deadline 50 us)"
+      ~header:
+        [ "engine"; "batch"; "normalized time"; "drains"; "records"; "max drain" ]
+      ()
+  in
+  let jobs =
+    List.concat_map
+      (fun (backend, label) ->
+        List.map (fun batch -> (backend, label, batch)) batches)
+      backends
+  in
+  let rows =
+    Pool.map ?domains
+      (fun (backend, _, batch) ->
+        let mode = { (mode_for backend) with Context.ring_batch = batch } in
+        let config = { (cfg_for backend) with Mvee.mode_override = Some mode } in
+        let native = Runner.run_profile dense_profile (Runner.cfg_native ()) in
+        let under = Runner.run_profile dense_profile config in
+        let v =
+          Vtime.to_float_ns under.Runner.duration
+          /. Vtime.to_float_ns native.Runner.duration
+        in
+        (v, under.Runner.outcome))
+      jobs
+  in
+  List.iter2
+    (fun (_, label, batch) (v, o) ->
+      Table.add_row t
+        [
+          label;
+          string_of_int batch;
+          Printf.sprintf "%.3f" v;
+          string_of_int o.Mvee.ring_flushes;
+          string_of_int o.Mvee.ring_records;
+          string_of_int o.Mvee.ring_max_batch;
+        ])
+    jobs rows;
+  Table.print t;
+  print_newline ();
+
+  (* (b) flush-deadline sweep at a fixed batch: shorter deadlines drain
+     partial batches (latency bound), longer ones let batches fill. *)
+  let deadlines_us = if quick then [ 5; 500 ] else [ 1; 5; 20; 50; 200; 1000 ] in
+  let batch = 32 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "(b) flush deadline vs. drain clustering (ReMon, batch %d)" batch)
+      ~header:
+        [ "deadline"; "normalized time"; "drains"; "avg drain"; "max drain" ]
+      ()
+  in
+  let deadline_rows =
+    Pool.map ?domains
+      (fun us ->
+        let mode =
+          {
+            Context.remon_mode with
+            Context.ring_batch = batch;
+            ring_flush_ns = Vtime.us us;
+          }
+        in
+        let config =
+          {
+            (Runner.cfg_remon Classification.Nonsocket_rw_level) with
+            Mvee.mode_override = Some mode;
+          }
+        in
+        let native = Runner.run_profile dense_profile (Runner.cfg_native ()) in
+        let under = Runner.run_profile dense_profile config in
+        let v =
+          Vtime.to_float_ns under.Runner.duration
+          /. Vtime.to_float_ns native.Runner.duration
+        in
+        (v, under.Runner.outcome))
+      deadlines_us
+  in
+  List.iter2
+    (fun us (v, o) ->
+      Table.add_row t
+        [
+          Printf.sprintf "%d us" us;
+          Printf.sprintf "%.3f" v;
+          string_of_int o.Mvee.ring_flushes;
+          (if o.Mvee.ring_flushes = 0 then "-"
+           else
+             Printf.sprintf "%.1f"
+               (float_of_int o.Mvee.ring_records
+               /. float_of_int o.Mvee.ring_flushes));
+          string_of_int o.Mvee.ring_max_batch;
+        ])
+    deadlines_us deadline_rows;
+  Table.print t;
+  print_newline ()

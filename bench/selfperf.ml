@@ -20,6 +20,8 @@ type sample = {
   sim_ns : float; (* simulated master lifetime *)
   events : int; (* scheduler events processed *)
   syscalls : int; (* simulated syscall invocations *)
+  wall_s : float; (* host wall time for this cell *)
+  minor_words : float; (* minor-heap words allocated during this cell *)
 }
 
 let profiles ~quick =
@@ -56,13 +58,19 @@ let run_job job =
   let h =
     Mvee.launch kernel job.config ~name:job.wname ~body:(Profile.body job.profile)
   in
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
   Kernel.run kernel;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. mw0 in
   let outcome = Mvee.finish h in
   {
     job;
     sim_ns = Remon_sim.Vtime.to_float_ns outcome.Mvee.duration;
     events = (Kernel.sched kernel).Sched.events_processed;
     syscalls = (Kernel.stats kernel).Kstate.syscalls;
+    wall_s;
+    minor_words;
   }
 
 let timed f =
@@ -98,11 +106,22 @@ let run ?(quick = false) ?domains () =
   in
   let events_per_sec = float_of_int total_events /. seq_wall in
   let syscalls_per_sec = float_of_int total_syscalls /. seq_wall in
+  let total_minor_words =
+    List.fold_left (fun acc s -> acc +. s.minor_words) 0. seq_samples
+  in
+  let minor_words_per_event =
+    total_minor_words /. float_of_int (max 1 total_events)
+  in
   let speedup = seq_wall /. Float.max 1e-9 par_wall in
   let t =
     Table.create ~title:"workload matrix (sequential pass)"
-      ~header:[ "workload"; "backend"; "sim time"; "events"; "syscalls" ]
-      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ~header:
+        [ "workload"; "backend"; "sim time"; "events"; "syscalls"; "wall"; "minor w/ev" ]
+      ~aligns:
+        [
+          Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right;
+        ]
       ()
   in
   List.iter
@@ -114,15 +133,17 @@ let run ?(quick = false) ?domains () =
           Printf.sprintf "%.1f ms" (s.sim_ns /. 1e6);
           string_of_int s.events;
           string_of_int s.syscalls;
+          Printf.sprintf "%.1f ms" (s.wall_s *. 1e3);
+          Printf.sprintf "%.1f" (s.minor_words /. float_of_int (max 1 s.events));
         ])
     seq_samples;
   Table.print t;
   Printf.printf
-    "\nsequential: %.2f s wall, %.0f events/s, %.0f syscalls/s\n\
+    "\nsequential: %.2f s wall, %.0f events/s, %.0f syscalls/s, %.1f minor words/event\n\
      parallel (%d domains): %.2f s wall, speedup %.2fx\n\
      peak heap: %d words\n\n"
-    seq_wall events_per_sec syscalls_per_sec domains par_wall speedup
-    gc.Gc.top_heap_words;
+    seq_wall events_per_sec syscalls_per_sec minor_words_per_event domains
+    par_wall speedup gc.Gc.top_heap_words;
   let oc = open_out "BENCH_selfperf.json" in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -135,17 +156,19 @@ let run ?(quick = false) ?domains () =
       Buffer.add_string b
         (Printf.sprintf
            "    {\"name\": \"%s\", \"backend\": \"%s\", \"sim_ns\": %.0f, \
-            \"events\": %d, \"syscalls\": %d}%s\n"
+            \"events\": %d, \"syscalls\": %d, \"wall_s\": %.4f, \
+            \"minor_words_per_event\": %.2f}%s\n"
            (json_escape s.job.wname) (json_escape s.job.backend) s.sim_ns
-           s.events s.syscalls
+           s.events s.syscalls s.wall_s
+           (s.minor_words /. float_of_int (max 1 s.events))
            (if i = List.length seq_samples - 1 then "" else ",")))
     seq_samples;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf
        "  \"sequential\": {\"wall_s\": %.4f, \"events_per_sec\": %.0f, \
-        \"syscalls_per_sec\": %.0f},\n"
-       seq_wall events_per_sec syscalls_per_sec);
+        \"syscalls_per_sec\": %.0f, \"minor_words_per_event\": %.2f},\n"
+       seq_wall events_per_sec syscalls_per_sec minor_words_per_event);
   Buffer.add_string b
     (Printf.sprintf
        "  \"parallel\": {\"domains\": %d, \"wall_s\": %.4f, \"speedup\": %.3f},\n"

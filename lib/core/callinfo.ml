@@ -71,8 +71,8 @@ let may_block (fm : File_map.t) (call : Syscall.call) =
     File_map.may_block fm ~fd
   | Syscall.Select { timeout_ns; _ } | Syscall.Poll { timeout_ns; _ }
   | Syscall.Pselect6 { timeout_ns; _ } | Syscall.Ppoll { timeout_ns; _ } ->
-    timeout_ns <> Some 0L
-  | Syscall.Epoll_wait { timeout_ns; _ } -> timeout_ns <> Some 0L
+    timeout_ns <> Some 0
+  | Syscall.Epoll_wait { timeout_ns; _ } -> timeout_ns <> Some 0
   | Syscall.Nanosleep _ | Syscall.Pause -> true
   | Syscall.Futex (Syscall.Futex_wait _) -> true
   | _ -> false

@@ -34,6 +34,14 @@ type mode = {
          slowest slave. [None] = unbounded (VARAN's default); the paper
          wonders aloud what shrinking this window costs - the ablation
          bench answers it. *)
+  ring_batch : int;
+      (* io_uring-style submission ring: how many completed policy-exempt
+         records the master accumulates before draining them into the RB
+         in one rendezvous. 1 = ring bypassed, per-record publishes (the
+         paper's behavior); the ring ablation sweeps this. *)
+  ring_flush_ns : Vtime.t;
+      (* ring flush deadline: a partial batch drains this long after its
+         first record was submitted, bounding slave staleness *)
 }
 
 let remon_mode =
@@ -44,6 +52,8 @@ let remon_mode =
     per_call_condvar = true;
     slave_wait = Wait_auto;
     runahead_window = None;
+    ring_batch = 1;
+    ring_flush_ns = Vtime.us 50;
   }
 
 (* VARAN-like: everything replicated in-process, no lockstep, no tokens. *)
@@ -60,6 +70,8 @@ type group = {
   epoll_map : Epoll_map.t;
   ikb : Ikb.t;
   shm_key : int; (* SysV key GHUMVEE recognizes as the RB segment *)
+  mutable ring : Syscall_ring.t option;
+      (* batched submission ring; Some iff [mode.ring_batch] > 1 *)
   mutable replicas : Proc.process array; (* index = variant *)
   mutable divergence : Divergence.t option;
   mutable shutdown : bool;
@@ -87,20 +99,26 @@ type group = {
 let mvee_shm_key_base = 0x5EC0DE00
 
 (* Every verdict funnels through here (first one wins), so this is also
-   the single emission point for divergence events in the trace. *)
-let obs_instant ?ts g ~cat ~name args =
+   the single emission point for divergence events in the trace. [key] is
+   the precomputed metric key ("<cat>.<name>"): the concatenation happens
+   once at module init, not per event. *)
+let obs_instant ?ts g ~cat ~name ~key args =
   match Kernel.obs g.kernel with
   | None -> ()
   | Some o ->
     let ts = match ts with Some t -> t | None -> Kernel.now g.kernel in
     Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts ~cat ~name ~pid:0 ~tid:0
       args;
-    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics (cat ^ "." ^ name)
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics key
+
+let key_divergence_verdict = "divergence.verdict"
+let key_recovery_quarantine = "recovery.quarantine"
+let key_recovery_rejoin = "recovery.rejoin"
 
 let set_divergence g v =
   if g.divergence = None then begin
     g.divergence <- Some v;
-    obs_instant g ~cat:"divergence" ~name:"verdict"
+    obs_instant g ~cat:"divergence" ~name:"verdict" ~key:key_divergence_verdict
       [ ("verdict", Remon_obs.Trace.Str (Divergence.to_string v)) ]
   end
 
@@ -131,6 +149,7 @@ let quarantine g ~variant =
     g.quarantined.(variant) <- true;
     g.quarantines <- g.quarantines + 1;
     obs_instant g ~cat:"recovery" ~name:"quarantine"
+      ~key:key_recovery_quarantine
       [ ("variant", Remon_obs.Trace.Int variant) ];
     if g.degraded_since = None then
       g.degraded_since <- Some (Kernel.now g.kernel)
@@ -157,6 +176,7 @@ let rejoin g ~variant =
       | _ -> Kernel.now g.kernel
     in
     obs_instant ~ts:close_at g ~cat:"recovery" ~name:"rejoin"
+      ~key:key_recovery_rejoin
       [ ("variant", Remon_obs.Trace.Int variant) ];
     if active_count g = g.nreplicas then begin
       (match g.degraded_since with

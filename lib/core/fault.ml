@@ -115,7 +115,11 @@ let obs_rb_fault t ~name (e : Replication_buffer.entry) =
       Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now kernel)
         ~cat:"fault" ~name ~pid:0 ~tid:0
         [ ("seq", Remon_obs.Trace.Int e.Replication_buffer.seq) ];
-      Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("fault." ^ name))
+      Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics
+        (match name with
+        | "droprb" -> "fault.droprb"
+        | "corruptrb" -> "fault.corruptrb"
+        | n -> "fault." ^ n))
 
 let rb_tamper t (e : Replication_buffer.entry) =
   t.rb_records_seen <- t.rb_records_seen + 1;
@@ -237,7 +241,7 @@ let spec_to_string s =
   in
   match s.kind with
   | Delay ns ->
-    Printf.sprintf "%s=%Ldus" with_variant (Int64.div ns 1_000L)
+    Printf.sprintf "%s=%dus" with_variant (ns / 1_000)
   | _ -> with_variant
 
 let to_string plan = String.concat "," (List.map spec_to_string plan)

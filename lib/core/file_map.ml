@@ -12,6 +12,9 @@ type t = {
   classes : Proc.fd_class option array; (* indexed by fd; None = closed *)
   nonblocking : bool array;
   mutable updates : int; (* GHUMVEE write generation, for tests *)
+  mutable high_water : int;
+      (* highest fd ever populated; bounds the clear in [sync_from_process]
+         so a full-table refresh costs O(live fds), not O(max_fds) *)
 }
 
 type Shm.payload += File_map_payload of t
@@ -19,12 +22,18 @@ type Shm.payload += File_map_payload of t
 let max_fds = 4096 (* one page of one-byte records *)
 
 let create () =
-  { classes = Array.make max_fds None; nonblocking = Array.make max_fds false; updates = 0 }
+  {
+    classes = Array.make max_fds None;
+    nonblocking = Array.make max_fds false;
+    updates = 0;
+    high_water = -1;
+  }
 
 let in_range fd = fd >= 0 && fd < max_fds
 
 let set t ~fd ~cls ~nonblocking =
   if in_range fd then begin
+    if fd > t.high_water then t.high_water <- fd;
     t.classes.(fd) <- Some cls;
     t.nonblocking.(fd) <- nonblocking;
     t.updates <- t.updates + 1
@@ -60,11 +69,15 @@ let may_block t ~fd =
 (* Refreshes the map from the master replica's actual fd table; called by
    GHUMVEE after it arbitrates fd-lifecycle calls. *)
 let sync_from_process t (p : Proc.process) =
-  Array.fill t.classes 0 max_fds None;
-  Array.fill t.nonblocking 0 max_fds false;
+  if t.high_water >= 0 then begin
+    Array.fill t.classes 0 (t.high_water + 1) None;
+    Array.fill t.nonblocking 0 (t.high_water + 1) false
+  end;
+  t.high_water <- -1;
   Hashtbl.iter
     (fun fd (d : Proc.desc) ->
       if in_range fd then begin
+        if fd > t.high_water then t.high_water <- fd;
         t.classes.(fd) <- Some (Proc.classify_desc d);
         t.nonblocking.(fd) <- d.nonblock
       end)

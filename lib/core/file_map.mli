@@ -9,6 +9,8 @@ type t = {
   classes : Proc.fd_class option array;
   nonblocking : bool array;
   mutable updates : int; (** write generation, for tests *)
+  mutable high_water : int;
+      (** highest fd ever populated; bounds full-table refreshes *)
 }
 
 type Shm.payload += File_map_payload of t

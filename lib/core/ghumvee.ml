@@ -112,14 +112,25 @@ let variant_of (p : Proc.process) =
 let journal t = t.g.Context.rb.Replication_buffer.sync_log
 
 (* Monitor-context trace events (pid/tid 0): rendezvous lifecycle and the
-   watchdog. One match on the sink per site; nothing runs when it's off. *)
+   watchdog. One match on the sink per site; nothing runs when it's off.
+   Metric keys for the fixed event vocabulary are interned at module init:
+   the per-rendezvous tallies do not concatenate strings. *)
+let rendezvous_key = function
+  | "collect" -> "rendezvous.collect"
+  | "release" -> "rendezvous.release"
+  | "args_mismatch" -> "rendezvous.args_mismatch"
+  | "watchdog_retry" -> "rendezvous.watchdog_retry"
+  | "watchdog_timeout" -> "rendezvous.watchdog_timeout"
+  | "respawn_replay" -> "rendezvous.respawn_replay"
+  | n -> "rendezvous." ^ n
+
 let obs_instant t ~ts ~name args =
   match Kernel.obs t.kernel with
   | None -> ()
   | Some o ->
     Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts ~cat:"rendezvous" ~name
       ~pid:0 ~tid:0 args;
-    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("rendezvous." ^ name)
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics (rendezvous_key name)
 
 (* Charges the monitor's serialized processing time starting no earlier
    than [earliest], and returns the completion instant. *)

@@ -104,6 +104,9 @@ type outcome = {
   ipmon_fallbacks : int;
   rb_resets : int;
   rb_records : int;
+  ring_flushes : int; (* ring drains (0 when ring_batch = 1) *)
+  ring_records : int; (* records that reached the RB through the ring *)
+  ring_max_batch : int; (* largest single drain *)
   tokens_granted : int;
   tokens_rejected : int;
   (* resilience telemetry *)
@@ -136,16 +139,37 @@ let make_group kernel (config : config) nreplicas =
   in
   let ikb = Ikb.create ~kernel ~policy:config.policy ~seed:config.seed in
   if config.backend = Varan then ikb.Ikb.route_all <- true;
+  let rb = Replication_buffer.create ~size_bytes:config.rb_size ~nreplicas in
+  let ring =
+    if mode.Context.ring_batch > 1 then
+      Some
+        (Syscall_ring.create ~rb ~kernel ~nreplicas
+           ~batch:mode.Context.ring_batch
+           ~flush_ns:mode.Context.ring_flush_ns
+           ~wake_always:(not mode.Context.per_call_condvar))
+    else None
+  in
+  (* monitored-call barrier: before a master thread reaches GHUMVEE, its
+     batched records must land in the RB so the slaves can line up *)
+  (match ring with
+  | None -> ()
+  | Some r ->
+    ikb.Ikb.pre_monitor <-
+      Some
+        (fun th ->
+          if Proc.is_master th.Proc.proc && Syscall_ring.pending r > 0 then
+            Syscall_ring.flush ~th r Syscall_ring.Barrier));
   {
     Context.kernel;
     nreplicas;
     policy = config.policy;
     mode;
-    rb = Replication_buffer.create ~size_bytes:config.rb_size ~nreplicas;
+    rb;
     file_map = File_map.create ();
     epoll_map = Epoll_map.create ~nreplicas;
     ikb;
     shm_key = Context.mvee_shm_key_base + (shm_serial * 16);
+    ring;
     replicas = [||];
     divergence = None;
     shutdown = false;
@@ -496,6 +520,18 @@ let finish (h : handle) : outcome =
     ipmon_fallbacks = h.group.Context.ipmon_fallbacks;
     rb_resets = h.group.Context.rb.Replication_buffer.resets;
     rb_records = h.group.Context.rb.Replication_buffer.total_records;
+    ring_flushes =
+      (match h.group.Context.ring with
+      | Some r -> r.Syscall_ring.flushes
+      | None -> 0);
+    ring_records =
+      (match h.group.Context.ring with
+      | Some r -> r.Syscall_ring.records_flushed
+      | None -> 0);
+    ring_max_batch =
+      (match h.group.Context.ring with
+      | Some r -> r.Syscall_ring.max_batch
+      | None -> 0);
     tokens_granted = st.Kstate.tokens_granted;
     tokens_rejected = st.Kstate.tokens_rejected;
     faults_injected = (match h.fault with Some f -> Fault.injected f | None -> 0);

@@ -83,6 +83,9 @@ type outcome = {
   ipmon_fallbacks : int;
   rb_resets : int;
   rb_records : int;
+  ring_flushes : int; (** ring drains (0 when [ring_batch] = 1) *)
+  ring_records : int; (** records that reached the RB through the ring *)
+  ring_max_batch : int; (** largest single drain *)
   tokens_granted : int;
   tokens_rejected : int;
   faults_injected : int; (** fault-plan specs that actually fired *)

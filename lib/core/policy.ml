@@ -13,7 +13,7 @@ open Remon_util
 type temporal = {
   min_approvals : int; (* identical approvals needed before exemption kicks in *)
   exempt_probability : float; (* chance an eligible call is exempted *)
-  window_ns : int64; (* approvals older than this are forgotten *)
+  window_ns : Remon_sim.Vtime.t; (* approvals older than this are forgotten *)
 }
 
 type t = {
@@ -73,7 +73,7 @@ let spatial_allows t (call : Syscall.call) ~on_socket =
    replicas. *)
 type temporal_state = {
   rng : Rng.t;
-  approvals : (Sysno.t, (int64 * int) ref) Hashtbl.t;
+  approvals : (Sysno.t, (Remon_sim.Vtime.t * int) ref) Hashtbl.t;
       (* sysno -> (window start, count within window) *)
   mutable exempted : int;
   mutable considered : int;
@@ -98,7 +98,7 @@ let record_approval st ~now (no : Sysno.t) ~(cfg : temporal) =
       c
   in
   let start, count = !cell in
-  if Int64.compare (Int64.sub now start) cfg.window_ns > 0 then cell := (now, 1)
+  if now - start > cfg.window_ns then cell := (now, 1)
   else cell := (start, count + 1)
 
 (* May [no] be stochastically exempted right now? *)
@@ -108,7 +108,7 @@ let temporal_exempts st ~now (no : Sysno.t) ~(cfg : temporal) =
   | None -> false
   | Some cell ->
     let start, count = !cell in
-    if Int64.compare (Int64.sub now start) cfg.window_ns > 0 then false
+    if now - start > cfg.window_ns then false
     else if count < cfg.min_approvals then false
     else begin
       let exempt = Rng.float st.rng < cfg.exempt_probability in

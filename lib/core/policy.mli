@@ -8,7 +8,7 @@ type temporal = {
   min_approvals : int;
       (** identical monitor approvals needed before exemption can start *)
   exempt_probability : float; (** chance an eligible call is exempted *)
-  window_ns : int64; (** approvals older than this are forgotten *)
+  window_ns : Remon_sim.Vtime.t; (** approvals older than this are forgotten *)
 }
 
 type t = {
@@ -35,7 +35,7 @@ val spatial_allows : t -> Syscall.call -> on_socket:bool -> bool
     of the replicas' reach. *)
 type temporal_state = {
   rng : Rng.t;
-  approvals : (Sysno.t, (int64 * int) ref) Hashtbl.t;
+  approvals : (Sysno.t, (Remon_sim.Vtime.t * int) ref) Hashtbl.t;
   mutable exempted : int;
   mutable considered : int;
 }
@@ -43,10 +43,10 @@ type temporal_state = {
 val make_temporal_state : seed:int -> temporal_state
 
 val record_approval :
-  temporal_state -> now:int64 -> Sysno.t -> cfg:temporal -> unit
+  temporal_state -> now:Remon_sim.Vtime.t -> Sysno.t -> cfg:temporal -> unit
 (** Called when GHUMVEE approves a monitored call at a rendezvous. *)
 
 val temporal_exempts :
-  temporal_state -> now:int64 -> Sysno.t -> cfg:temporal -> bool
+  temporal_state -> now:Remon_sim.Vtime.t -> Sysno.t -> cfg:temporal -> bool
 (** One stochastic draw. The paper requires unpredictability: deterministic
     temporal policies are insecure. *)

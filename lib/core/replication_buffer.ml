@@ -24,6 +24,10 @@ type entry = {
   mutable flags : flags;
   mutable waiters : int; (* slaves waiting on this record's condvar *)
   mutable consumed : int; (* slaves that copied the result *)
+  mutable batch_follower : bool;
+      (* published by a ring drain behind an earlier record of the same
+         rank: its cache lines arrived in the same bounce round, so the
+         slave's fixed read cost drops to a spin poll *)
 }
 
 (* One record stream per thread rank: replica threads are matched by rank,
@@ -56,7 +60,7 @@ type t = {
   mutable wakes_skipped : int;
   (* record/replay sync-event log (Section 2.3) rides in the same segment *)
   sync_log : Record_log.t;
-  mutable obs : (Remon_obs.Obs.t * (unit -> int64)) option;
+  mutable obs : (Remon_obs.Obs.t * (unit -> int)) option;
       (* structured trace sink + virtual-clock reader, set by [Mvee] when
          observability is on; None = zero-cost disabled path *)
 }
@@ -87,14 +91,22 @@ let create ~size_bytes ~nreplicas =
 let default_size = 16 * 1024 * 1024 (* the paper's 16 MiB *)
 
 (* RB events belong to the monitor context, not any replica: pid/tid 0.
-   Occupancy rides along as a high-water-mark metric on every event. *)
+   Occupancy rides along as a high-water-mark metric on every event.
+   Metric keys for the fixed event vocabulary are interned at module init:
+   the per-record tallies do not concatenate strings. *)
+let rb_key = function
+  | "append" -> "rb.append"
+  | "consume" -> "rb.consume"
+  | "reset" -> "rb.reset"
+  | n -> "rb." ^ n
+
 let obs_event t ~name args =
   match t.obs with
   | None -> ()
   | Some (o, now) ->
     Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(now ()) ~cat:"rb" ~name
       ~pid:0 ~tid:0 args;
-    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("rb." ^ name);
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics (rb_key name);
     Remon_obs.Metrics.hwm o.Remon_obs.Obs.metrics "rb.used_bytes" t.used_bytes
 
 (* Perfetto-graphable occupancy track. *)
@@ -164,6 +176,7 @@ let master_append t ~rank ~call ~expect_block ~forwarded =
       flags = { forwarded_to_monitor = forwarded; expect_block };
       waiters = 0;
       consumed = 0;
+      batch_follower = false;
     }
   in
   Hashtbl.replace s.entries e.seq e;

@@ -19,6 +19,10 @@ type entry = {
   mutable flags : flags;
   mutable waiters : int; (** slaves on this record's condition variable *)
   mutable consumed : int;
+  mutable batch_follower : bool;
+      (** published by a ring drain behind an earlier same-rank record: the
+          slave's fixed read cost drops to a spin poll (the cache lines
+          arrived in the same bounce round) *)
 }
 
 type stream = {
@@ -45,7 +49,7 @@ type t = {
   mutable wakes_skipped : int;
   sync_log : Record_log.t;
       (** the record/replay agent's sync-event log rides along *)
-  mutable obs : (Remon_obs.Obs.t * (unit -> int64)) option;
+  mutable obs : (Remon_obs.Obs.t * (unit -> int)) option;
       (** structured trace sink + virtual-clock reader, set by [Mvee] when
           observability is on; [None] = the zero-cost disabled path *)
 }

@@ -1,0 +1,94 @@
+(** io_uring-style batched syscall submission/completion ring.
+
+    Amortizes IP-MON's per-record replication costs (fixed-cost RB
+    writes, FUTEX_WAKE, cache-line bounces) over a batch: the master
+    executes each policy-exempt call immediately but parks the completed
+    record here; the whole batch drains into the replication buffer in
+    one rendezvous. Drain order is submission order, so per-rank RB
+    streams — and therefore verdicts, digests, and trace bytes — are
+    invariant under the batch size; only virtual time moves.
+
+    Owned by {!Mvee} (one per group) when [Context.mode.ring_batch] > 1;
+    the default batch of 1 bypasses the ring entirely. *)
+
+open Remon_kernel
+open Remon_sim
+
+type flush_reason =
+  | Full  (** a full batch of completions accumulated *)
+  | Deadline  (** [flush_ns] elapsed since the batch's first submission *)
+  | Barrier  (** a monitored call forces the pending batch out first *)
+  | Overflow  (** pending bytes no longer fit the RB's free space *)
+  | Demand  (** a slave needed a parked record before the batch filled *)
+
+type slot
+(** One in-flight record: reserved by {!submit}, finished by {!complete}. *)
+
+type t = {
+  rb : Replication_buffer.t;
+  kernel : Kernel.t;
+  nreplicas : int;
+  batch : int;
+  flush_ns : Vtime.t;
+  wake_always : bool;
+  mutable slots : slot array;
+  mutable len : int;
+  mutable filled_count : int;
+  mutable pending_bytes : int;
+  mutable epoch : int;
+  mutable timer_armed : bool;
+  mutable demand : bool;
+  mutable submitted : int;
+  mutable flushes : int;
+  mutable flushes_full : int;
+  mutable flushes_deadline : int;
+  mutable flushes_barrier : int;
+  mutable flushes_overflow : int;
+  mutable flushes_demand : int;
+  mutable records_flushed : int;
+  mutable max_batch : int;
+}
+
+val create :
+  rb:Replication_buffer.t ->
+  kernel:Kernel.t ->
+  nreplicas:int ->
+  batch:int ->
+  flush_ns:Vtime.t ->
+  wake_always:bool ->
+  t
+
+val pending : t -> int
+(** Live (submitted, not yet drained) records. *)
+
+val pending_rank : t -> rank:int -> int
+(** Live records submitted by [rank]; the run-ahead window counts these on
+    top of {!Replication_buffer.lag}. *)
+
+val pending_bytes : t -> int
+(** RB space the live records will occupy when drained; the submitter's
+    overflow guard keeps [used_bytes + pending_bytes] within the RB. *)
+
+val submit :
+  t -> th:Proc.thread -> call:Syscall.call -> expect_block:bool -> slot
+(** Reserve the next slot for [th]'s (normalized) call. The caller
+    executes the call and must eventually {!complete} the slot; drains
+    skip over it until then. Arms the flush-deadline timer. *)
+
+val complete : ?th:Proc.thread -> t -> slot -> Syscall.result -> unit
+(** Record the call's logical result; triggers a [Full] drain once
+    [batch] completions have accumulated (charged to [th]). *)
+
+val flush : ?th:Proc.thread -> t -> flush_reason -> unit
+(** Drain every completed record into the RB in submission order and
+    issue one batch wake. Per-drain fixed costs are charged to [th];
+    a deadline drain passes no thread and charges nobody. No-op when
+    nothing is completed. *)
+
+val demand : t -> th:Proc.thread -> rank:int -> bool
+(** Slave-side pull: [rank]'s next record is parked in the ring, so drain
+    the completed prefix directly out of the shared slots (costs the
+    demander one ring-tail poll; the master pays nothing and no wake is
+    issued). If the wanted record is still in flight, raises the demand
+    flag so {!complete} publishes immediately instead of batching on.
+    Returns true when records reached the RB. *)

@@ -140,7 +140,7 @@ let traffic_worker cfg traffic w () =
       Vtime.add traffic_epoch (Vtime.ns (!k * cfg.interarrival_ns))
     in
     let now = Sched.vnow () in
-    if Vtime.(now < at) then Api.nanosleep (Int64.to_int (Vtime.sub at now));
+    if Vtime.(now < at) then Api.nanosleep (Vtime.sub at now);
     traffic.attempted <- traffic.attempted + 1;
     let fd = Api.socket () in
     (match

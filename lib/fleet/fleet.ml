@@ -60,7 +60,12 @@ let obs_instant t ~name args =
   | Some o ->
     Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now t.kernel)
       ~cat:"fleet" ~name ~pid:0 ~tid:0 args;
-    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("fleet." ^ name)
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics
+      (match name with
+      | "instance_down" -> "fleet.instance_down"
+      | "instance_respawn" -> "fleet.instance_respawn"
+      | "rolling_step" -> "fleet.rolling_step"
+      | n -> "fleet." ^ n)
 
 (* Per-generation config: a distinct seed (diversity layouts, RNG streams)
    and a fresh fault plan, so a respawned generation is not fated to die at

@@ -83,7 +83,12 @@ let obs_instant lb ~name args =
   | Some o ->
     Remon_obs.Trace.instant o.Remon_obs.Obs.trace ~ts:(Kernel.now lb.kernel)
       ~cat:"fleet" ~name ~pid:0 ~tid:0 args;
-    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics ("fleet." ^ name)
+    Remon_obs.Metrics.incr o.Remon_obs.Obs.metrics
+      (match name with
+      | "eject" -> "fleet.eject"
+      | "readmit" -> "fleet.readmit"
+      | "drain" -> "fleet.drain"
+      | n -> "fleet." ^ n)
 
 let backend_for lb ~port =
   match Array.find_opt (fun b -> b.port = port) lb.backends with
@@ -166,7 +171,7 @@ let probe lb b =
 
 let prober lb () =
   while Vtime.(Sched.vnow () < lb.deadline) do
-    Api.nanosleep (Int64.to_int lb.config.probe_interval);
+    Api.nanosleep lb.config.probe_interval;
     (* draining backends keep their health state frozen: the operator owns
        the transition back to Up *)
     Array.iter (fun b -> if b.state <> Draining then probe lb b) lb.backends

@@ -29,12 +29,16 @@ let proc_of (th : Proc.thread) = th.proc
 
 (* First pending signal not blocked by the process mask. *)
 let next_deliverable (p : Proc.process) =
-  let found = ref None in
-  Queue.iter
-    (fun sg ->
-      if !found = None && not (Proc.IntSet.mem sg p.sig_mask) then found := Some sg)
-    p.pending_signals;
-  !found
+  if Queue.is_empty p.pending_signals then None
+  else begin
+    let found = ref None in
+    Queue.iter
+      (fun sg ->
+        if !found = None && not (Proc.IntSet.mem sg p.sig_mask) then
+          found := Some sg)
+      p.pending_signals;
+    !found
+  end
 
 let remove_pending (p : Proc.process) sg =
   let keep = Queue.create () in
@@ -60,9 +64,9 @@ let timer_fires (tf : Proc.timerfd_state) now =
   | Some { value_ns; interval_ns } ->
     let first = Vtime.add tf.armed_at value_ns in
     if Vtime.(now < first) then 0
-    else if Int64.compare interval_ns 0L <= 0 then 1
+    else if interval_ns <= 0 then 1
     else
-      1 + Int64.to_int (Int64.div (Vtime.sub now first) interval_ns)
+      1 + (Vtime.sub now first / interval_ns)
 
 let timer_available tf now = max 0 (timer_fires tf now - tf.Proc.expirations)
 
@@ -490,13 +494,13 @@ and stat_of_desc (d : Proc.desc) =
   match d.kind with
   | Proc.Regular node | Proc.Directory node -> stat_of_node node
   | Proc.Pipe_read _ | Proc.Pipe_write _ ->
-    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Fifo; st_mtime_ns = 0L }
+    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Fifo; st_mtime_ns = 0 }
   | Proc.Listener _ | Proc.Stream _ ->
-    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Sock; st_mtime_ns = 0L }
+    Syscall.Ok_stat { st_ino = 0; st_size = 0; st_kind = `Sock; st_mtime_ns = 0 }
   | Proc.Epoll_fd _ | Proc.Timer_fd _ | Proc.Event_fd _ | Proc.Dev_null
   | Proc.Proc_maps _ | Proc.Replicated_handle _ ->
     Syscall.Ok_stat
-      { st_ino = 0; st_size = 0; st_kind = `Special; st_mtime_ns = 0L }
+      { st_ino = 0; st_size = 0; st_kind = `Special; st_mtime_ns = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Thread termination *)
@@ -552,7 +556,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     Hashtbl.replace p.fds fd desc;
     fd
   in
-  let wall_ns () = Int64.add k.K.epoch_offset_ns (now ()) in
+  let wall_ns () = Int64.add k.K.epoch_offset_ns (Int64.of_int (now ())) in
   let gather_poll fds =
     List.filter_map
       (fun (fd, want) ->
@@ -567,7 +571,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
   (* ---- identity / time ---- *)
   | Syscall.Gettimeofday | Syscall.Time -> ret (Syscall.Ok_int64 (wall_ns ()))
   | Syscall.Clock_gettime `Realtime -> ret (Syscall.Ok_int64 (wall_ns ()))
-  | Syscall.Clock_gettime `Monotonic -> ret (Syscall.Ok_int64 (now ()))
+  | Syscall.Clock_gettime `Monotonic -> ret (Syscall.Ok_int64 (Int64.of_int (now ())))
   | Syscall.Getpid -> ret (Syscall.Ok_int p.pid)
   | Syscall.Gettid -> ret (Syscall.Ok_int th.tid)
   | Syscall.Getpgrp -> ret (Syscall.Ok_int p.pid)
@@ -576,14 +580,14 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
   | Syscall.Getuid | Syscall.Geteuid -> ret (Syscall.Ok_int 1000)
   | Syscall.Getcwd -> ret (Syscall.Ok_str p.cwd)
   | Syscall.Getpriority -> ret (Syscall.Ok_int 20)
-  | Syscall.Getrusage -> ret (Syscall.Ok_int64 th.clock)
-  | Syscall.Times -> ret (Syscall.Ok_int64 (now ()))
+  | Syscall.Getrusage -> ret (Syscall.Ok_int64 (Int64.of_int th.clock))
+  | Syscall.Times -> ret (Syscall.Ok_int64 (Int64.of_int (now ())))
   | Syscall.Capget -> ret (Syscall.Ok_int 0)
   | Syscall.Getitimer -> (
     match p.itimer with
     | Some spec -> ret (Syscall.Ok_itimer spec)
-    | None -> ret (Syscall.Ok_itimer { interval_ns = 0L; value_ns = 0L }))
-  | Syscall.Sysinfo -> ret (Syscall.Ok_int64 (now ()))
+    | None -> ret (Syscall.Ok_itimer { interval_ns = 0; value_ns = 0 }))
+  | Syscall.Sysinfo -> ret (Syscall.Ok_int64 (Int64.of_int (now ())))
   | Syscall.Uname -> ret (Syscall.Ok_str "Linux remon-sim 3.13.11 x86_64")
   | Syscall.Sched_yield -> ret (Syscall.Ok_int 0)
   | Syscall.Nanosleep ns ->
@@ -729,7 +733,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     let prev =
       match p.alarm_deadline with
       | Some d when Vtime.(d > now ()) ->
-        Int64.to_int (Int64.div (Vtime.sub d (now ())) 1_000_000_000L)
+        Vtime.sub d (now ()) / 1_000_000_000
       | _ -> 0
     in
     if seconds = 0 then begin
@@ -748,7 +752,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
       ret (Syscall.Ok_int prev)
     end
   | Syscall.Setitimer spec ->
-    let armed = Int64.compare spec.value_ns 0L > 0 in
+    let armed = spec.value_ns > 0 in
     p.itimer <- (if armed then Some spec else None);
     if armed then begin
       let first = Vtime.add (now ()) spec.value_ns in
@@ -758,7 +762,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
             match p.itimer_next with
             | Some d when Vtime.compare d deadline = 0 && p.alive ->
               post_signal k p Sigdefs.sigalrm;
-              if Int64.compare spec.interval_ns 0L > 0 then begin
+              if spec.interval_ns > 0 then begin
                 let next = Vtime.add deadline spec.interval_ns in
                 p.itimer_next <- Some next;
                 fire next
@@ -779,13 +783,13 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
         | Proc.Timer_fd tf -> (
           match tf.spec with
           | Some spec -> ret (Syscall.Ok_itimer spec)
-          | None -> ret (Syscall.Ok_itimer { interval_ns = 0L; value_ns = 0L }))
+          | None -> ret (Syscall.Ok_itimer { interval_ns = 0; value_ns = 0 }))
         | _ -> ret (err Errno.EINVAL))
   | Syscall.Timerfd_settime (fd, spec) ->
     with_fd fd (fun d ->
         match d.kind with
         | Proc.Timer_fd tf ->
-          let armed = Int64.compare spec.value_ns 0L > 0 in
+          let armed = spec.value_ns > 0 in
           tf.spec <- (if armed then Some spec else None);
           tf.armed_at <- now ();
           tf.expirations <- 0;
@@ -796,7 +800,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
                   match tf.spec with
                   | Some s when p.alive ->
                     Sched.kick k.K.sched;
-                    if Int64.compare s.interval_ns 0L > 0 then
+                    if s.interval_ns > 0 then
                       chain (Vtime.add t s.interval_ns)
                   | _ -> ())
             in
@@ -839,7 +843,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     let attempt () =
       match gather_poll fds with [] -> None | ready -> Some ready
     in
-    if timeout_ns = Some 0L then (
+    if timeout_ns = Some 0 then (
       match attempt () with
       | Some ready -> ret (Syscall.Ok_poll ready)
       | None -> ret (Syscall.Ok_poll []))
@@ -853,7 +857,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     let attempt () =
       match gather_poll fds with [] -> None | ready -> Some ready
     in
-    if timeout_ns = Some 0L then (
+    if timeout_ns = Some 0 then (
       match attempt () with
       | Some ready -> ret (Syscall.Ok_poll ready)
       | None -> ret (Syscall.Ok_poll []))
@@ -939,7 +943,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
               in
               Some (take max_events ready)
           in
-          if timeout_ns = Some 0L then (
+          if timeout_ns = Some 0 then (
             match attempt () with
             | Some ready -> ret (Syscall.Ok_epoll ready)
             | None -> ret (Syscall.Ok_epoll []))
@@ -1321,6 +1325,13 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
           pending_delivery = Queue.create ();
           in_ipmon = false;
           last_result = None;
+          resume_kind = 0;
+          resume_k = Obj.repr 0;
+          resume_r = Syscall.Ok_unit;
+          resume_thunk = (fun () -> ());
+          return_fn = (fun _ -> ());
+          finish_fn = Proc.fn_unset;
+          ipmon_finish_fn = Proc.fn_unset;
         }
       in
       Vec.push p.threads nt;
@@ -1672,12 +1683,24 @@ let execute_raw k th call ~(ret : Syscall.result -> unit) =
 
 (* Trace hook: records one line per syscall with its route when tracing is
    enabled (Kstate.log_enabled), and a routing instant + per-route tally
-   in the structured sink when one is attached. *)
+   in the structured sink when one is attached. Metric keys for the fixed
+   route vocabulary are interned at module init so the per-call tally
+   does not concatenate strings. *)
+let route_key = function
+  | "plain" -> "route.plain"
+  | "monitored" -> "route.monitored"
+  | "ipmon" -> "route.ipmon"
+  | "fault:rewrite" -> "route.fault:rewrite"
+  | "fault:result" -> "route.fault:result"
+  | "fault:crash" -> "route.fault:crash"
+  | "fault:delay" -> "route.fault:delay"
+  | r -> "route." ^ r
+
 let trace_route k (th : Proc.thread) call route =
   (match k.K.obs with
   | None -> ()
   | Some o ->
-    Remon_obs.Metrics.incr o.Ob.metrics ("route." ^ route);
+    Remon_obs.Metrics.incr o.Ob.metrics (route_key route);
     Tr.instant o.Ob.trace ~ts:th.Proc.clock ~cat:"route" ~name:route
       ~pid:th.Proc.proc.Proc.pid ~tid:th.Proc.tid
       [
@@ -1688,6 +1711,45 @@ let trace_route k (th : Proc.thread) call route =
   if k.K.log_enabled then
     K.logf k "pid=%d tid=%d #%d %s -> %s" th.Proc.proc.Proc.pid th.Proc.tid
       th.Proc.syscall_index (Syscall.to_string call) route
+
+(* Tracing-off, fault-free routing: completion goes through the thread's
+   preallocated finish functions, so no per-call closure is built. The
+   caller guarantees [return] is the thread's own [return_fn] (true for
+   every trap arriving through the scheduler's syscall handler). *)
+let route_fast k (th : Proc.thread) call =
+  let p = proc_of th in
+  match K.broker_for k th with
+  | None -> (
+    match p.Proc.tracer with
+    | None ->
+      k.K.stats.plain <- k.K.stats.plain + 1;
+      plain_exec k th call ~done_:th.Proc.finish_fn
+    | Some _ -> monitor_path k th call ~return:th.Proc.return_fn)
+  | Some broker -> (
+    match broker.K.classify th call with
+    | K.Route_plain ->
+      k.K.stats.plain <- k.K.stats.plain + 1;
+      plain_exec k th call ~done_:th.Proc.finish_fn
+    | K.Route_monitor -> monitor_path k th call ~return:th.Proc.return_fn
+    | K.Route_ipmon token -> (
+      match p.Proc.ipmon_registered with
+      | None -> monitor_path k th call ~return:th.Proc.return_fn
+      | Some reg ->
+        k.K.stats.ipmon_fastpath <- k.K.stats.ipmon_fastpath + 1;
+        k.K.stats.tokens_granted <- k.K.stats.tokens_granted + 1;
+        charge th k.K.cost.ipmon_forward_ns;
+        th.Proc.in_ipmon <- true;
+        reg.Proc.invoke th ~token ~call ~return:th.Proc.ipmon_finish_fn))
+
+(* Per-syscall latency-metric keys ("syscall.<name>"), interned at module
+   init and indexed by [Sysno.index]: the per-call histogram update does
+   not concatenate strings. *)
+let syscall_metric_keys =
+  let a = Array.make Sysno.slots "syscall.?" in
+  List.iter
+    (fun no -> a.(Sysno.index no) <- "syscall." ^ Sysno.to_string no)
+    Sysno.all;
+  a
 
 (* Top-level syscall entry: Figure 2's step 1. *)
 let handle k (th : Proc.thread) call ~return =
@@ -1700,6 +1762,21 @@ let handle k (th : Proc.thread) call ~return =
     k.K.stats.traps <- k.K.stats.traps + 1;
     K.count_sysno k.K.stats (Syscall.number call);
     charge th k.K.cost.syscall_trap_ns;
+    let fast =
+      (match k.K.obs with None -> not k.K.log_enabled | Some _ -> false)
+      && (match K.fault_hook_for k th with None -> true | Some _ -> false)
+    in
+    if fast then begin
+      if th.Proc.finish_fn == Proc.fn_unset then begin
+        th.Proc.finish_fn <- (fun r -> finish k th r ~return:th.Proc.return_fn);
+        th.Proc.ipmon_finish_fn <-
+          (fun r ->
+            th.Proc.in_ipmon <- false;
+            finish k th r ~return:th.Proc.return_fn)
+      end;
+      route_fast k th call
+    end
+    else begin
     (* With a sink attached the whole call becomes one B/E span (even
        across blocking and monitor stops) and feeds the per-syscall
        latency histogram. A replica killed mid-call leaves an unclosed
@@ -1721,7 +1798,8 @@ let handle k (th : Proc.thread) call ~return =
         fun r ->
           Tr.span_end o.Ob.trace ~ts:th.Proc.clock ~cat:"syscall" ~name ~pid
             ~tid [];
-          Remon_obs.Metrics.observe_ns o.Ob.metrics ("syscall." ^ name)
+          Remon_obs.Metrics.observe_ns o.Ob.metrics
+            syscall_metric_keys.(Sysno.index (Syscall.number call))
             (Vtime.sub th.Proc.clock entry_clock);
           return r
     in
@@ -1784,12 +1862,13 @@ let handle k (th : Proc.thread) call ~return =
       (* stall the arrival: the rendezvous watchdog can observe it *)
       trace_route k th call "fault:delay";
       obs_instant k th ~cat:"fault" ~name:"delay"
-        [ ("ns", Tr.I64 ns) ];
+        [ ("ns", Tr.Int ns) ];
       block k th ~what:"fault: injected stall" ~timeout_ns:ns ~intr:false
         ~poll:(fun () -> (None : unit option))
         ~on_ready:(fun () -> ())
         ~complete:(fun (_ : Syscall.result) -> route call)
         ()
+    end
   end
 
 (* ------------------------------------------------------------------ *)

@@ -17,7 +17,7 @@ let create ?cost ?seed ?net_latency ?sock_buf () =
     [ "/tmp"; "/etc"; "/dev"; "/proc"; "/var/www"; "/home/user" ];
   ignore (Vfs.create_file k.K.vfs "/etc/hostname");
   (match Vfs.resolve k.K.vfs "/etc/hostname" with
-  | Ok node -> ignore (Vfs.write_at node ~offset:0 ~data:"remon-sim\n" ~now_ns:0L)
+  | Ok node -> ignore (Vfs.write_at node ~offset:0 ~data:"remon-sim\n" ~now_ns:0)
   | Error _ -> ());
   k.K.sched.Sched.on_thread_exit <-
     (fun th ->
@@ -96,6 +96,13 @@ let add_thread (k : t) (p : Proc.process) ~start_clock =
       pending_delivery = Queue.create ();
       in_ipmon = false;
       last_result = None;
+      resume_kind = 0;
+      resume_k = Obj.repr 0;
+      resume_r = Syscall.Ok_unit;
+      resume_thunk = (fun () -> ());
+      return_fn = (fun _ -> ());
+      finish_fn = Proc.fn_unset;
+      ipmon_finish_fn = Proc.fn_unset;
     }
   in
   Vec.push p.Proc.threads th;

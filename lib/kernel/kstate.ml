@@ -20,7 +20,7 @@ type counters = {
   mutable signals_delivered : int;
   mutable tokens_granted : int;
   mutable tokens_rejected : int;
-  by_sysno : (Sysno.t, int) Hashtbl.t;
+  by_sysno : int array; (* per-syscall tallies, indexed by [Sysno.index] *)
 }
 
 let make_counters () =
@@ -40,12 +40,12 @@ let make_counters () =
     signals_delivered = 0;
     tokens_granted = 0;
     tokens_rejected = 0;
-    by_sysno = Hashtbl.create 64;
+    by_sysno = Array.make Sysno.slots 0;
   }
 
 let count_sysno c no =
-  let cur = match Hashtbl.find_opt c.by_sysno no with Some n -> n | None -> 0 in
-  Hashtbl.replace c.by_sysno no (cur + 1)
+  let i = Sysno.index no in
+  c.by_sysno.(i) <- c.by_sysno.(i) + 1
 
 (* Routing decision taken by the IK-B broker at syscall entry (Figure 2). *)
 type route =

@@ -131,6 +131,24 @@ and thread = {
   pending_delivery : int Queue.t; (* signals to run handlers for, set at syscall return *)
   mutable in_ipmon : bool; (* executing inside IP-MON's entry point *)
   mutable last_result : Syscall.result option;
+  (* Preallocated resume scratch, managed by [Sched]. A coroutine thread
+     has at most one pending suspension at any instant, so the captured
+     continuation and its resume value live here instead of inside
+     per-event closures; [resume_thunk] and [return_fn] are allocated once
+     at spawn. [resume_kind]: 0 idle, -1 suspended awaiting the syscall
+     return, 1 syscall result ready, 2 unit resume ready. *)
+  mutable resume_kind : int;
+  mutable resume_k : Obj.t;
+  mutable resume_r : Syscall.result;
+  mutable resume_thunk : unit -> unit;
+  mutable return_fn : Syscall.result -> unit;
+  mutable finish_fn : Syscall.result -> unit;
+      (* dispatch completion (deliver signals, hand back to user code) with
+         [return_fn] as the continuation; installed by the dispatcher on the
+         thread's first syscall so the tracing-off path needs no per-call
+         closure *)
+  mutable ipmon_finish_fn : Syscall.result -> unit;
+      (* same, for calls returning from IP-MON (clears [in_ipmon]) *)
 }
 
 and tracer = {
@@ -153,6 +171,11 @@ and replica_info = {
   variant_index : int; (* 0 = master *)
   group_id : int; (* identifies the replica set this process belongs to *)
 }
+
+(* Sentinel for the lazily installed per-thread dispatch closures: physical
+   identity marks "not yet installed". *)
+let fn_unset : Syscall.result -> unit =
+ fun _ -> failwith "Proc: finish fn used before the dispatcher installed it"
 
 let is_master p =
   match p.replica_info with Some { variant_index = 0; _ } -> true | _ -> false

@@ -10,7 +10,15 @@
    Blocking model: a blocked thread is parked with a [retry] thunk. Any
    state mutation calls [kick], which re-runs all parked retries at the
    current virtual time (cheap at simulation scale, and deterministic:
-   retries run in park order). *)
+   retries run in park order).
+
+   Hot-path discipline: a suspended thread has exactly one pending
+   continuation at any instant, so the continuation and its resume value
+   are stored in per-thread scratch fields ([Proc.resume_kind]/[resume_k]/
+   [resume_r]) and the scheduled event is the thread's preallocated
+   [resume_thunk] — resuming a syscall or compute step allocates nothing.
+   The run loop pops through [Event_queue.pop_into] (no tuple/option per
+   event), and plain [schedule] uses [Event_queue.add_] (no handle). *)
 
 open Remon_sim
 
@@ -27,28 +35,54 @@ exception Thread_killed
 
 type t = {
   events : (unit -> unit) Event_queue.t;
+  slot : (unit -> unit) Event_queue.slot; (* run-loop landing pad *)
   mutable now : Vtime.t;
   mutable syscall_handler :
     Proc.thread -> Syscall.call -> return:(Syscall.result -> unit) -> unit;
   mutable on_thread_exit : Proc.thread -> unit;
   mutable blocked : Proc.thread list; (* park order *)
   mutable kick_scheduled : bool;
+  mutable kick_thunk : unit -> unit; (* preallocated retry sweep *)
   mutable events_processed : int;
   mutable max_events : int; (* runaway-simulation guard *)
 }
 
+let nop () = ()
+
 let create () =
-  {
-    events = Event_queue.create ();
-    now = Vtime.zero;
-    syscall_handler =
-      (fun _ _ ~return:_ -> failwith "Sched: no syscall handler installed");
-    on_thread_exit = (fun _ -> ());
-    blocked = [];
-    kick_scheduled = false;
-    events_processed = 0;
-    max_events = 200_000_000;
-  }
+  let t =
+    {
+      events = Event_queue.create ();
+      slot = Event_queue.make_slot nop;
+      now = Vtime.zero;
+      syscall_handler =
+        (fun _ _ ~return:_ -> failwith "Sched: no syscall handler installed");
+      on_thread_exit = (fun _ -> ());
+      blocked = [];
+      kick_scheduled = false;
+      kick_thunk = nop;
+      events_processed = 0;
+      max_events = 200_000_000;
+    }
+  in
+  t.kick_thunk <-
+    (fun () ->
+      t.kick_scheduled <- false;
+      (* Retries may park threads again (or park new ones): run them
+         against a snapshot with the live list emptied, then merge the
+         survivors back with whatever was parked meanwhile. *)
+      let snapshot = t.blocked in
+      t.blocked <- [];
+      let still =
+        List.filter
+          (fun th ->
+            match th.Proc.tstate with
+            | Proc.Blocked b -> not (b.Proc.retry ())
+            | Proc.Ready | Proc.Trace_stopped _ | Proc.Dead -> false)
+          snapshot
+      in
+      t.blocked <- still @ t.blocked);
+  t
 
 let now t = t.now
 
@@ -56,7 +90,9 @@ let schedule_at t ~time thunk =
   let time = Vtime.max time t.now in
   Event_queue.add t.events ~time thunk
 
-let schedule t ~time thunk = ignore (schedule_at t ~time thunk)
+(* Handle-free scheduling: the hot path for syscall returns and computes. *)
+let schedule t ~time thunk =
+  Event_queue.add_ t.events ~time:(Vtime.max time t.now) thunk
 
 (* ------------------------------------------------------------------ *)
 (* Thread bodies *)
@@ -70,6 +106,40 @@ let resume_value :
   | _ ->
     th.Proc.tstate <- Proc.Ready;
     Effect.Deep.continue k v
+
+(* The body of every thread's preallocated [resume_thunk]: resume from the
+   scratch slots. *)
+let do_resume t th =
+  let kind = th.Proc.resume_kind in
+  th.Proc.resume_kind <- 0;
+  if kind = 1 then begin
+    let k : (Syscall.result, unit) Effect.Deep.continuation =
+      Obj.obj th.Proc.resume_k
+    in
+    th.Proc.resume_k <- Obj.repr 0;
+    resume_value t th k th.Proc.resume_r
+  end
+  else if kind = 2 then begin
+    let k : (unit, unit) Effect.Deep.continuation = Obj.obj th.Proc.resume_k in
+    th.Proc.resume_k <- Obj.repr 0;
+    resume_value t th k ()
+  end
+  else failwith "Sched: resume with no pending continuation"
+
+(* The body of every thread's preallocated [return_fn]. *)
+let syscall_return t th r =
+  if th.Proc.resume_kind <> -1 then
+    failwith "Sched: syscall return invoked twice";
+  th.Proc.resume_kind <- 1;
+  th.Proc.resume_r <- r;
+  schedule t ~time:th.Proc.clock th.Proc.resume_thunk
+
+(* Stash the continuation in the thread's scratch and schedule its
+   preallocated resume event. *)
+let schedule_unit_resume t th (k : (unit, unit) Effect.Deep.continuation) =
+  th.Proc.resume_k <- Obj.repr k;
+  th.Proc.resume_kind <- 2;
+  schedule t ~time:th.Proc.clock th.Proc.resume_thunk
 
 let park t th ~what ~(retry : unit -> bool) =
   let b =
@@ -100,21 +170,14 @@ let run_thread_body t (th : Proc.thread) (body : unit -> unit) =
           | Syscall_eff call ->
             Some
               (fun (k : (a, _) continuation) ->
-                let resumed = ref false in
-                let return r =
-                  if !resumed then
-                    failwith "Sched: syscall return invoked twice";
-                  resumed := true;
-                  schedule t ~time:th.Proc.clock (fun () ->
-                      resume_value t th k r)
-                in
-                t.syscall_handler th call ~return)
+                th.Proc.resume_k <- Obj.repr k;
+                th.Proc.resume_kind <- -1;
+                t.syscall_handler th call ~return:th.Proc.return_fn)
           | Compute_eff d ->
             Some
               (fun (k : (a, _) continuation) ->
                 th.Proc.clock <- Vtime.add th.Proc.clock d;
-                schedule t ~time:th.Proc.clock (fun () ->
-                    resume_value t th k ()))
+                schedule_unit_resume t th k)
           | Now_eff -> Some (fun (k : (a, _) continuation) -> continue k th.Proc.clock)
           | Self_eff -> Some (fun (k : (a, _) continuation) -> continue k th)
           | Wait_user_eff cond ->
@@ -132,8 +195,7 @@ let run_thread_body t (th : Proc.thread) (body : unit -> unit) =
                       | _ ->
                         if cond () then begin
                           th.Proc.clock <- Vtime.max th.Proc.clock t.now;
-                          schedule t ~time:th.Proc.clock (fun () ->
-                              resume_value t th k ());
+                          schedule_unit_resume t th k;
                           true
                         end
                         else false)
@@ -142,6 +204,9 @@ let run_thread_body t (th : Proc.thread) (body : unit -> unit) =
     }
 
 let spawn t th body =
+  (* install the per-thread resume machinery exactly once *)
+  th.Proc.resume_thunk <- (fun () -> do_resume t th);
+  th.Proc.return_fn <- (fun r -> syscall_return t th r);
   schedule t ~time:th.Proc.clock (fun () ->
       match th.Proc.tstate with
       | Proc.Dead -> () (* killed before it ever ran *)
@@ -153,22 +218,7 @@ let spawn t th body =
 let kick t =
   if not t.kick_scheduled then begin
     t.kick_scheduled <- true;
-    schedule t ~time:t.now (fun () ->
-        t.kick_scheduled <- false;
-        (* Retries may park threads again (or park new ones): run them
-           against a snapshot with the live list emptied, then merge the
-           survivors back with whatever was parked meanwhile. *)
-        let snapshot = t.blocked in
-        t.blocked <- [];
-        let still =
-          List.filter
-            (fun th ->
-              match th.Proc.tstate with
-              | Proc.Blocked b -> not (b.Proc.retry ())
-              | Proc.Ready | Proc.Trace_stopped _ | Proc.Dead -> false)
-            snapshot
-        in
-        t.blocked <- still @ t.blocked)
+    schedule t ~time:t.now t.kick_thunk
   end
 
 (* Removes a thread from the park list without retrying (used when a tracer
@@ -189,18 +239,20 @@ let run ?until t =
   let continue_past time =
     match until with None -> true | Some limit -> Vtime.(time <= limit)
   in
+  let slot = t.slot in
   let running = ref true in
   while !running do
-    match Event_queue.pop t.events with
-    | None -> running := false
-    | Some (time, thunk) ->
+    if not (Event_queue.pop_into t.events slot) then running := false
+    else begin
+      let time = Event_queue.slot_time slot in
       if not (continue_past time) then running := false
       else begin
         t.events_processed <- t.events_processed + 1;
         if t.events_processed > t.max_events then raise Event_budget_exhausted;
-        t.now <- Vtime.max t.now time;
-        thunk ()
+        if Vtime.(time > t.now) then t.now <- time;
+        (Event_queue.slot_payload slot) ()
       end
+    end
   done
 
 (* Effect-performing API for program bodies. *)

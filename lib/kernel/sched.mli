@@ -17,12 +17,14 @@ exception Thread_killed
 
 type t = {
   events : (unit -> unit) Event_queue.t;
+  slot : (unit -> unit) Event_queue.slot;  (** run-loop landing pad *)
   mutable now : Vtime.t;
   mutable syscall_handler :
     Proc.thread -> Syscall.call -> return:(Syscall.result -> unit) -> unit;
   mutable on_thread_exit : Proc.thread -> unit;
   mutable blocked : Proc.thread list;
   mutable kick_scheduled : bool;
+  mutable kick_thunk : unit -> unit;  (** preallocated retry sweep *)
   mutable events_processed : int;
   mutable max_events : int;
 }

@@ -29,7 +29,7 @@ type prot = { pr : bool; pw : bool; px : bool }
 type map_kind = Map_anon | Map_shared_anon | Map_file of fd
 
 type futex_op =
-  | Futex_wait of { addr : int64; expected : int; timeout_ns : int64 option }
+  | Futex_wait of { addr : int64; expected : int; timeout_ns : int option }
   | Futex_wake of { addr : int64; count : int }
 
 type fcntl_op = F_getfl | F_setfl of { nonblock : bool } | F_dupfd of int
@@ -63,10 +63,10 @@ type stat_info = {
   st_ino : int;
   st_size : int;
   st_kind : [ `Reg | `Dir | `Fifo | `Sock | `Special ];
-  st_mtime_ns : int64;
+  st_mtime_ns : int;
 }
 
-type itimer_spec = { interval_ns : int64; value_ns : int64 }
+type itimer_spec = { interval_ns : int; value_ns : int }
 
 type call =
   (* identity / time queries *)
@@ -90,7 +90,7 @@ type call =
   | Sysinfo
   | Uname
   | Sched_yield
-  | Nanosleep of int64
+  | Nanosleep of int
   | Getpgid
   | Getsid
   | Getrlimit of int (* resource id *)
@@ -130,10 +130,10 @@ type call =
   | Readv of fd * int list (* iovec lengths *)
   | Pread64 of fd * int * int (* fd, count, offset *)
   | Preadv of fd * int list * int
-  | Select of { readfds : fd list; writefds : fd list; timeout_ns : int64 option }
-  | Poll of { fds : (fd * poll_events) list; timeout_ns : int64 option }
-  | Pselect6 of { readfds : fd list; writefds : fd list; timeout_ns : int64 option }
-  | Ppoll of { fds : (fd * poll_events) list; timeout_ns : int64 option }
+  | Select of { readfds : fd list; writefds : fd list; timeout_ns : int option }
+  | Poll of { fds : (fd * poll_events) list; timeout_ns : int option }
+  | Pselect6 of { readfds : fd list; writefds : fd list; timeout_ns : int option }
+  | Ppoll of { fds : (fd * poll_events) list; timeout_ns : int option }
   (* sync family *)
   | Sync
   | Syncfs of fd
@@ -152,7 +152,7 @@ type call =
   | Pwrite64 of fd * string * int
   | Pwritev of fd * string list * int
   (* socket read family *)
-  | Epoll_wait of { epfd : fd; max_events : int; timeout_ns : int64 option }
+  | Epoll_wait of { epfd : fd; max_events : int; timeout_ns : int option }
   | Recvfrom of fd * int
   | Recvmsg of fd * int
   | Recvmmsg of fd * int * int (* fd, msgs, bytes each *)

@@ -354,6 +354,12 @@ let compare = Stdlib.compare
 let equal = Stdlib.( = )
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
+(* All constructors are constant, so values are small consecutive integers;
+   [index] exposes that for dense per-syscall counter arrays. *)
+external index : t -> int = "%identity"
+
+let slots = 256 (* > number of constructors; sizes index-keyed arrays *)
+
 module Set = Set.Make (struct
   type nonrec t = t
 

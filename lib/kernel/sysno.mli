@@ -182,4 +182,11 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
+val index : t -> int
+(** Dense 0-based constructor index (constant-constructor representation);
+    keys per-syscall counter arrays. *)
+
+val slots : int
+(** Strict upper bound on {!index}; sizes index-keyed arrays. *)
+
 module Set : Set.S with type elt = t

@@ -5,30 +5,48 @@
    host filesystem, which is why MVEE transparency matters: only the master
    replica may mutate it. *)
 
+(* Regular-file backing store: a growable byte array with an explicit
+   size. Appends are amortized O(1) (capacity doubles); [Buffer.t] was
+   unusable here because random-offset writes forced a full copy of the
+   file per write, which made append-heavy workloads quadratic. *)
+type filebuf = { mutable bytes : Bytes.t; mutable size : int }
+
 type node = {
   ino : int;
   mutable kind : kind;
-  mutable mtime_ns : int64;
+  mutable mtime_ns : int;
   mutable xattrs : (string * string) list;
 }
 
 and kind =
-  | Reg of Buffer.t
+  | Reg of filebuf
   | Dir of (string, node) Hashtbl.t
   | Symlink of string
   | Special of (unit -> string)
       (* content generated on open; used for /proc files *)
+
+let filebuf_create () = { bytes = Bytes.create 256; size = 0 }
+
+(* Grow capacity to hold [n] bytes; newly exposed bytes beyond the old
+   size are zeroed by the callers that create a gap. *)
+let filebuf_reserve fb n =
+  let cap = Bytes.length fb.bytes in
+  if n > cap then begin
+    let bigger = Bytes.create (max n (2 * cap)) in
+    Bytes.blit fb.bytes 0 bigger 0 fb.size;
+    fb.bytes <- bigger
+  end
 
 type t = { root : node; mutable next_ino : int }
 
 let mk_node t kind =
   let ino = t.next_ino in
   t.next_ino <- t.next_ino + 1;
-  { ino; kind; mtime_ns = 0L; xattrs = [] }
+  { ino; kind; mtime_ns = 0; xattrs = [] }
 
 let create () =
   let root =
-    { ino = 1; kind = Dir (Hashtbl.create 16); mtime_ns = 0L; xattrs = [] }
+    { ino = 1; kind = Dir (Hashtbl.create 16); mtime_ns = 0; xattrs = [] }
   in
   { root; next_ino = 2 }
 
@@ -127,7 +145,7 @@ let create_file t path =
         | Dir _ -> Error Errno.EISDIR
         | _ -> Error Errno.EEXIST)
       | None ->
-        let node = mk_node t (Reg (Buffer.create 256)) in
+        let node = mk_node t (Reg (filebuf_create ())) in
         Hashtbl.replace entries name node;
         Ok node)
     | _ -> Error Errno.ENOTDIR)
@@ -215,7 +233,7 @@ let list_dir node =
 
 let file_size node =
   match node.kind with
-  | Reg buf -> Buffer.length buf
+  | Reg fb -> fb.size
   | Symlink s -> String.length s
   | Dir _ -> 4096
   | Special _ -> 0
@@ -230,29 +248,28 @@ let stat_kind node =
 (* Reads up to [count] bytes at [offset] from a regular file. *)
 let read_at node ~offset ~count =
   match node.kind with
-  | Reg buf ->
-    let size = Buffer.length buf in
-    if offset >= size then Ok ""
+  | Reg fb ->
+    if offset >= fb.size then Ok ""
     else begin
-      let n = min count (size - offset) in
-      Ok (Buffer.sub buf offset n)
+      let n = min count (fb.size - offset) in
+      Ok (Bytes.sub_string fb.bytes offset n)
     end
   | Dir _ -> Error Errno.EISDIR
   | Symlink _ | Special _ -> Error Errno.EINVAL
 
-(* Writes [data] at [offset]; extends (zero-filling any gap) as needed. *)
+(* Writes [data] at [offset]; extends (zero-filling any gap) as needed.
+   Amortized O(|data|): only the written range is touched, plus a
+   capacity-doubling copy when the file outgrows its backing array. *)
 let write_at node ~offset ~data ~now_ns =
   match node.kind with
-  | Reg buf ->
-    let size = Buffer.length buf in
-    let content = Buffer.contents buf in
+  | Reg fb ->
     let dlen = String.length data in
-    let new_size = max size (offset + dlen) in
-    let bytes = Bytes.make new_size '\000' in
-    Bytes.blit_string content 0 bytes 0 size;
-    Bytes.blit_string data 0 bytes offset dlen;
-    Buffer.clear buf;
-    Buffer.add_bytes buf bytes;
+    let new_size = max fb.size (offset + dlen) in
+    filebuf_reserve fb new_size;
+    if offset > fb.size then
+      Bytes.fill fb.bytes fb.size (offset - fb.size) '\000';
+    Bytes.blit_string data 0 fb.bytes offset dlen;
+    fb.size <- new_size;
     node.mtime_ns <- now_ns;
     Ok dlen
   | Dir _ -> Error Errno.EISDIR
@@ -260,15 +277,12 @@ let write_at node ~offset ~data ~now_ns =
 
 let truncate node ~size ~now_ns =
   match node.kind with
-  | Reg buf ->
-    let content = Buffer.contents buf in
-    let cur = String.length content in
-    Buffer.clear buf;
-    if size <= cur then Buffer.add_string buf (String.sub content 0 size)
-    else begin
-      Buffer.add_string buf content;
-      Buffer.add_string buf (String.make (size - cur) '\000')
+  | Reg fb ->
+    if size > fb.size then begin
+      filebuf_reserve fb size;
+      Bytes.fill fb.bytes fb.size (size - fb.size) '\000'
     end;
+    fb.size <- size;
     node.mtime_ns <- now_ns;
     Ok ()
   | Dir _ -> Error Errno.EISDIR

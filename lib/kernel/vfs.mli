@@ -3,15 +3,19 @@
     of a kernel instance — MVEE transparency means only the master replica
     may mutate it. *)
 
+type filebuf = { mutable bytes : Bytes.t; mutable size : int }
+(** Regular-file backing store: growable byte array with explicit size;
+    appends are amortized O(1). *)
+
 type node = {
   ino : int;
   mutable kind : kind;
-  mutable mtime_ns : int64;
+  mutable mtime_ns : int;
   mutable xattrs : (string * string) list;
 }
 
 and kind =
-  | Reg of Buffer.t
+  | Reg of filebuf
   | Dir of (string, node) Hashtbl.t
   | Symlink of string
   | Special of (unit -> string) (** content generated on open (/proc) *)
@@ -39,8 +43,8 @@ val list_dir : node -> (string list, Errno.t) result
 val file_size : node -> int
 val stat_kind : node -> [ `Reg | `Dir | `Fifo | `Sock | `Special ]
 val read_at : node -> offset:int -> count:int -> (string, Errno.t) result
-val write_at : node -> offset:int -> data:string -> now_ns:int64 -> (int, Errno.t) result
-val truncate : node -> size:int -> now_ns:int64 -> (unit, Errno.t) result
+val write_at : node -> offset:int -> data:string -> now_ns:int -> (int, Errno.t) result
+val truncate : node -> size:int -> now_ns:int -> (unit, Errno.t) result
 
 val parent_and_name : t -> string -> (node * string, Errno.t) result
 (** The directory containing [path]'s final component, plus that name. *)

@@ -7,8 +7,8 @@
 
 type hist = {
   mutable count : int;
-  mutable sum_ns : int64;
-  mutable max_ns : int64;
+  mutable sum_ns : int;
+  mutable max_ns : int;
   buckets : int array; (* bucket i counts durations in [2^i, 2^(i+1)) ns *)
 }
 
@@ -25,21 +25,21 @@ let hist_find t name =
   match Hashtbl.find_opt t.hists name with
   | Some h -> h
   | None ->
-      let h = { count = 0; sum_ns = 0L; max_ns = 0L; buckets = Array.make 64 0 } in
+      let h = { count = 0; sum_ns = 0; max_ns = 0; buckets = Array.make 64 0 } in
       Hashtbl.add t.hists name h;
       h
 
 let bucket_of_ns ns =
-  if Int64.compare ns 1L <= 0 then 0
+  if ns <= 1 then 0
   else
-    let rec go i v = if Int64.compare v 1L <= 0 then i else go (i + 1) (Int64.shift_right_logical v 1) in
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
     min 63 (go 0 ns)
 
 let observe_ns t name ns =
   let h = hist_find t name in
   h.count <- h.count + 1;
-  h.sum_ns <- Int64.add h.sum_ns ns;
-  if Int64.compare ns h.max_ns > 0 then h.max_ns <- ns;
+  h.sum_ns <- h.sum_ns + ns;
+  if ns > h.max_ns then h.max_ns <- ns;
   let b = bucket_of_ns ns in
   h.buckets.(b) <- h.buckets.(b) + 1
 
@@ -64,7 +64,7 @@ let hist_count t name =
 (* p-quantile from the log2 buckets: returns the upper bound (2^(i+1) ns)
    of the bucket holding the q-th observation — coarse but deterministic. *)
 let hist_quantile_ns h q =
-  if h.count = 0 then 0L
+  if h.count = 0 then 0
   else begin
     let target = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
     let acc = ref 0 and b = ref 0 in
@@ -77,7 +77,7 @@ let hist_quantile_ns h q =
          end
        done
      with Exit -> ());
-    Int64.shift_left 1L (min 62 (!b + 1))
+    1 lsl min 62 (!b + 1)
   end
 
 let summary t =
@@ -86,11 +86,11 @@ let summary t =
   Hashtbl.iter (fun name r -> rows := (name ^ ".hwm", string_of_int !r) :: !rows) t.hwms;
   Hashtbl.iter
     (fun name h ->
-      let mean = if h.count = 0 then 0L else Int64.div h.sum_ns (Int64.of_int h.count) in
+      let mean = if h.count = 0 then 0 else h.sum_ns / h.count in
       rows := (name ^ ".count", string_of_int h.count) :: !rows;
-      rows := (name ^ ".mean_ns", Int64.to_string mean) :: !rows;
-      rows := (name ^ ".max_ns", Int64.to_string h.max_ns) :: !rows;
+      rows := (name ^ ".mean_ns", string_of_int mean) :: !rows;
+      rows := (name ^ ".max_ns", string_of_int h.max_ns) :: !rows;
       rows :=
-        (name ^ ".p99_le_ns", Int64.to_string (hist_quantile_ns h 0.99)) :: !rows)
+        (name ^ ".p99_le_ns", string_of_int (hist_quantile_ns h 0.99)) :: !rows)
     t.hists;
   List.sort (fun (a, _) (b, _) -> compare a b) !rows

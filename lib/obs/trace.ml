@@ -6,17 +6,18 @@
    byte-identical trace files, which the test suite exploits as an oracle
    for cross-domain-count and repeated-run determinism.
 
-   Timestamps are raw int64 nanoseconds of virtual time (this library
-   sits below lib/sim, so it does not depend on Vtime). Chrome's "ts"
-   field is microseconds; we render ns as a fixed-format "us.nnn" decimal
-   to keep full resolution without floating point. *)
+   Timestamps are raw int nanoseconds of virtual time (this library
+   sits below lib/sim, so it does not depend on Vtime; Vtime.t is itself
+   an int of ns). Chrome's "ts" field is microseconds; we render ns as a
+   fixed-format "us.nnn" decimal to keep full resolution without floating
+   point. *)
 
 type phase = Begin | End | Instant | Counter
 
 type arg = Int of int | I64 of int64 | Str of string
 
 type event = {
-  ts : int64; (* virtual ns *)
+  ts : int; (* virtual ns *)
   ph : phase;
   cat : string;
   name : string;
@@ -67,10 +68,9 @@ let escape buf s =
 
 (* ns -> "us.nnn" with all digits, no float rounding *)
 let add_ts buf ts =
-  Buffer.add_string buf (Int64.to_string (Int64.div ts 1000L));
+  Buffer.add_string buf (string_of_int (ts / 1000));
   Buffer.add_char buf '.';
-  Buffer.add_string buf
-    (Printf.sprintf "%03Ld" (Int64.rem ts 1000L))
+  Buffer.add_string buf (Printf.sprintf "%03d" (ts mod 1000))
 
 let add_arg buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)

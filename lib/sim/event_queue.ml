@@ -7,27 +7,35 @@
    - [length]/[is_empty] are O(1): a live-entry counter is maintained by
      add/cancel/pop instead of scanning the heap (these are called inside
      run loops).
-   - [add] is amortized O(1) for the common monotone-time insertion
+   - [add]/[add_] are amortized O(1) for the common monotone-time insertion
      pattern: a new entry that is not earlier than its parent needs a
      single comparison and no sift.
+   - Steady-state operation allocates nothing: entries are mutable records
+     recycled through a free pool, [add_] returns no handle, and
+     [pop_into] writes the popped event into a caller-owned slot instead
+     of building a tuple. The allocating [add]/[pop] remain for callers
+     that need cancellation handles or do not care.
    - Cancelled entries are compacted away once they outnumber the live
      ones, so a workload that schedules-and-cancels (timeouts, watchdogs)
      cannot grow the heap without bound. Compaction rebuilds the heap by
      (time, seq), a total order, so pop order is unaffected. *)
 
 type 'a entry = {
-  time : Vtime.t;
-  seq : int;
-  payload : 'a;
+  mutable time : Vtime.t;
+  mutable seq : int;
+  mutable payload : 'a;
   mutable live : bool;
-  owner : 'a t; (* for cancel to maintain the owner's live counter *)
 }
 
-and 'a t = {
+type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int; (* physical entries, live + dead *)
   mutable lives : int; (* live (non-cancelled, non-popped) entries *)
   mutable next_seq : int;
+  (* recycled entries: popped/compacted-away records come back here so the
+     steady state allocates no entry per event *)
+  mutable pool : 'a entry array;
+  mutable pooled : int;
   (* lifetime tallies, scraped into the observability metrics at run end;
      plain int increments, cheap enough to keep unconditionally *)
   mutable adds : int;
@@ -38,7 +46,16 @@ and 'a t = {
 
 type stats = { adds : int; cancels : int; pops : int; compactions : int }
 
-type handle = H : 'a entry -> handle
+(* The seq snapshot distinguishes the scheduled event from later reuses of
+   the same (recycled) entry record: cancel is a no-op once they differ. *)
+type handle = H : 'a t * 'a entry * int -> handle
+
+type 'a slot = { mutable s_time : Vtime.t; mutable s_payload : 'a }
+
+let make_slot payload = { s_time = Vtime.zero; s_payload = payload }
+
+let slot_time slot = slot.s_time
+let slot_payload slot = slot.s_payload
 
 let create () =
   {
@@ -46,6 +63,8 @@ let create () =
     size = 0;
     lives = 0;
     next_seq = 0;
+    pool = [||];
+    pooled = 0;
     adds = 0;
     cancels = 0;
     pops = 0;
@@ -62,9 +81,7 @@ let is_empty t = t.lives = 0
 let physical_size t = t.size
 
 let before a b =
-  match Vtime.compare a.time b.time with
-  | 0 -> a.seq < b.seq
-  | c -> c < 0
+  if a.time = b.time then a.seq < b.seq else Vtime.(a.time < b.time)
 
 let swap t i j =
   let tmp = t.heap.(i) in
@@ -99,6 +116,20 @@ let grow t =
     t.heap <- bigger
   end
 
+(* Return a recycled entry to the pool. The payload reference is kept (the
+   slot is overwritten on reuse); the heap array retained popped entries
+   before this change too, so the retention window is unchanged. *)
+let release t e =
+  e.live <- false;
+  let cap = Array.length t.pool in
+  if t.pooled >= cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) e in
+    Array.blit t.pool 0 bigger 0 t.pooled;
+    t.pool <- bigger
+  end;
+  t.pool.(t.pooled) <- e;
+  t.pooled <- t.pooled + 1
+
 (* Drop dead entries and re-establish the heap property bottom-up
    (Floyd heapify, O(size)). Run when dead entries outnumber live ones,
    which amortizes to O(1) per cancellation. *)
@@ -106,18 +137,31 @@ let compact (t : _ t) =
   t.compactions <- t.compactions + 1;
   let j = ref 0 in
   for i = 0 to t.size - 1 do
-    if t.heap.(i).live then begin
+    let e = t.heap.(i) in
+    if e.live then begin
       t.heap.(!j) <- t.heap.(i);
       incr j
     end
+    else release t e
   done;
   t.size <- !j;
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
   done
 
-let add t ~time payload =
-  let entry = { time; seq = t.next_seq; payload; live = true; owner = t } in
+let insert t ~time payload =
+  let entry =
+    if t.pooled > 0 then begin
+      t.pooled <- t.pooled - 1;
+      let e = t.pool.(t.pooled) in
+      e.time <- time;
+      e.seq <- t.next_seq;
+      e.payload <- payload;
+      e.live <- true;
+      e
+    end
+    else { time; seq = t.next_seq; payload; live = true }
+  in
   t.next_seq <- t.next_seq + 1;
   if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   grow t;
@@ -128,18 +172,25 @@ let add t ~time payload =
   (* fast path: events scheduled at non-decreasing times stay put *)
   let i = t.size - 1 in
   if i > 0 && before entry t.heap.((i - 1) / 2) then sift_up t i;
-  H entry
+  entry
 
-let cancel (H entry) =
-  if entry.live then begin
-    let t = entry.owner in
+let add t ~time payload =
+  let entry = insert t ~time payload in
+  H (t, entry, entry.seq)
+
+let add_ t ~time payload = ignore (insert t ~time payload : _ entry)
+
+let cancel (H (t, entry, seq)) =
+  if entry.live && entry.seq = seq then begin
     entry.live <- false;
     t.lives <- t.lives - 1;
     t.cancels <- t.cancels + 1;
     if t.size >= 32 && t.size - t.lives > t.lives then compact t
   end
 
-let rec pop t =
+(* Remove the heap top and hand the entry back; caller must read the
+   fields it needs before anything else touches the queue. *)
+let rec pop_entry t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
@@ -153,23 +204,48 @@ let rec pop t =
       top.live <- false;
       t.lives <- t.lives - 1;
       t.pops <- t.pops + 1;
-      Some (top.time, top.payload)
+      Some top
     end
-    else pop t
+    else begin
+      release t top;
+      pop_entry t
+    end
   end
+
+let pop t =
+  match pop_entry t with
+  | None -> None
+  | Some e ->
+    let r = Some (e.time, e.payload) in
+    release t e;
+    r
+
+(* Non-allocating pop used by the scheduler run loop. *)
+let pop_into t slot =
+  match pop_entry t with
+  | None -> false
+  | Some e ->
+    slot.s_time <- e.time;
+    slot.s_payload <- e.payload;
+    release t e;
+    true
 
 let peek_time t =
   let rec scan () =
     if t.size = 0 then None
-    else if t.heap.(0).live then Some t.heap.(0).time
     else begin
-      (* Drop dead entries lazily. *)
-      t.size <- t.size - 1;
-      if t.size > 0 then begin
-        t.heap.(0) <- t.heap.(t.size);
-        sift_down t 0
-      end;
-      scan ()
+      let top = t.heap.(0) in
+      if top.live then Some top.time
+      else begin
+        (* Drop dead entries lazily. *)
+        t.size <- t.size - 1;
+        if t.size > 0 then begin
+          t.heap.(0) <- t.heap.(t.size);
+          sift_down t 0
+        end;
+        release t top;
+        scan ()
+      end
     end
   in
   scan ()

@@ -1,11 +1,19 @@
 (** Binary min-heap of timestamped events with deterministic tie-breaking
-    (insertion order) and O(1) cancellation. *)
+    (insertion order), O(1) cancellation, and an allocation-free hot path
+    (recycled entry pool, [add_]/[pop_into]). *)
 
 type 'a t
 
 type stats = { adds : int; cancels : int; pops : int; compactions : int }
 
 type handle
+
+type 'a slot
+(** A caller-owned landing pad for [pop_into]: holds the time and payload
+    of the most recently popped event without allocating per pop. *)
+
+val make_slot : 'a -> 'a slot
+(** [make_slot dummy] creates a slot primed with a placeholder payload. *)
 
 val create : unit -> 'a t
 
@@ -24,11 +32,23 @@ val physical_size : 'a t -> int
 val add : 'a t -> time:Vtime.t -> 'a -> handle
 (** Schedules a payload; the returned handle can cancel it. *)
 
+val add_ : 'a t -> time:Vtime.t -> 'a -> unit
+(** [add] without the handle: allocation-free in steady state (the entry
+    comes from the recycle pool). For events that are never cancelled. *)
+
 val cancel : handle -> unit
-(** Marks an event dead; it will be skipped on pop. Idempotent. *)
+(** Marks an event dead; it will be skipped on pop. Idempotent, and a
+    no-op once the event was popped (even if its entry was recycled). *)
 
 val pop : 'a t -> (Vtime.t * 'a) option
 (** Removes and returns the earliest live event. *)
+
+val pop_into : 'a t -> 'a slot -> bool
+(** [pop_into t slot] pops the earliest live event into [slot] and
+    returns true, or returns false on an empty queue. Allocation-free. *)
+
+val slot_time : 'a slot -> Vtime.t
+val slot_payload : 'a slot -> 'a
 
 val peek_time : 'a t -> Vtime.t option
 (** Time of the earliest live event without removing it. *)

@@ -1,6 +1,10 @@
-(** Virtual time: 64-bit nanoseconds since simulation start. *)
+(** Virtual time: nanoseconds since simulation start, carried as an
+    immediate [int]. 63-bit ns covers ~146 years of virtual time, and
+    keeping the representation unboxed means time arithmetic on the
+    scheduler hot path allocates nothing (an [int64] would box on every
+    add/max/charge). *)
 
-type t = int64
+type t = int
 
 val zero : t
 val ns : int -> t
@@ -12,6 +16,9 @@ val of_float_ns : float -> t
 val to_float_ns : t -> float
 val of_float_s : float -> t
 val to_float_s : t -> float
+
+val to_int_ns : t -> int
+val of_int_ns : int -> t
 
 val add : t -> t -> t
 val sub : t -> t -> t

@@ -86,7 +86,7 @@ let fmt_ratio x = Printf.sprintf "%.2f" x
 let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)
 
 let fmt_ns ns =
-  let ns = Int64.to_float ns in
+  let ns = float_of_int ns in
   if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
   else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)

@@ -23,5 +23,5 @@ val fmt_ratio : float -> string
 val fmt_pct : float -> string
 (** Percentage with one decimal, e.g. [0.112] renders as ["11.2%"]. *)
 
-val fmt_ns : int64 -> string
+val fmt_ns : int -> string
 (** Human-readable duration from nanoseconds. *)

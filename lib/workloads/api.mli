@@ -87,7 +87,7 @@ val epoll_add : int -> int -> events:Syscall.poll_events -> user_data:int64 -> u
 val epoll_del : int -> int -> unit
 
 val epoll_wait :
-  ?timeout_ns:int64 -> int -> max_events:int -> (int64 * Syscall.poll_events) list
+  ?timeout_ns:int -> int -> max_events:int -> (int64 * Syscall.poll_events) list
 
 val set_nonblocking : int -> bool -> unit
 

@@ -16,7 +16,7 @@ type t = {
   mutable next_keep : int; (* observation index of the next kept sample *)
   cap : int;
   mutable count : int; (* exact observations *)
-  mutable sum_ns : int64; (* exact sum *)
+  mutable sum_ns : int; (* exact sum *)
   mutable max : Vtime.t; (* exact max *)
 }
 
@@ -30,7 +30,7 @@ let create ?(cap = default_cap) () =
     next_keep = 0;
     cap = max 2 cap;
     count = 0;
-    sum_ns = 0L;
+    sum_ns = 0;
     max = Vtime.zero;
   }
 
@@ -49,7 +49,7 @@ let decimate t =
 
 let record t v =
   t.count <- t.count + 1;
-  t.sum_ns <- Int64.add t.sum_ns v;
+  t.sum_ns <- t.sum_ns + v;
   if Vtime.(t.max < v) then t.max <- v;
   if t.count - 1 = t.next_keep then begin
     if t.n = t.cap then decimate t;
@@ -62,7 +62,7 @@ let count t = t.count
 let max_sample t = t.max
 
 let mean_ns t =
-  if t.count = 0 then 0.0 else Int64.to_float t.sum_ns /. float_of_int t.count
+  if t.count = 0 then 0.0 else float_of_int t.sum_ns /. float_of_int t.count
 
 (* Nearest-rank percentile over the stored (possibly decimated) samples. *)
 let percentile t q =

@@ -103,7 +103,7 @@ let run_op (env : Mvee.env) ctx rng op =
     ignore
       (Sched.syscall
          (Syscall.Poll
-            { fds = [ (ctx.sock_a, Syscall.ev_out) ]; timeout_ns = Some 0L }))
+            { fds = [ (ctx.sock_a, Syscall.ev_out) ]; timeout_ns = Some 0 }))
   | Op_lock ->
     env.Mvee.lock 7;
     env.Mvee.unlock 7

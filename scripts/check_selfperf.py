@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Self-performance regression gate (CI).
+
+Compares a freshly generated BENCH_selfperf.json against the checked-in
+baseline and fails the build when the simulator itself regressed:
+
+  * sequential events/s more than --max-slowdown (default 15%) below
+    the baseline's — wall-clock throughput of the event loop;
+  * sequential minor words per event above --words-budget (default 128)
+    — the zero-allocation dispatch budget (DESIGN.md section 13), an
+    absolute cap so allocation creep cannot ratchet the baseline up.
+
+Throughput is wall-clock and CI runners are noisy, hence the generous
+relative band; the allocation gate is exact (minor words per event is
+deterministic for a fixed workload) and carries most of the signal.
+
+Usage: check_selfperf.py BASELINE.json FRESH.json [options]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "remon-selfperf/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-slowdown", type=float, default=0.15,
+                    help="allowed fractional events/s drop vs baseline")
+    ap.add_argument("--words-budget", type=float, default=128.0,
+                    help="max sequential minor words per event")
+    args = ap.parse_args()
+
+    base, fresh = load(args.baseline), load(args.fresh)
+    if base["quick"] != fresh["quick"]:
+        sys.exit("baseline and fresh run disagree on quick mode; "
+                 "throughput is not comparable")
+
+    failures = []
+
+    b_eps = base["sequential"]["events_per_sec"]
+    f_eps = fresh["sequential"]["events_per_sec"]
+    floor = b_eps * (1.0 - args.max_slowdown)
+    print(f"events/s: baseline {b_eps:,.0f}  fresh {f_eps:,.0f}  "
+          f"floor {floor:,.0f}")
+    if f_eps < floor:
+        failures.append(
+            f"events/s {f_eps:,.0f} is more than "
+            f"{args.max_slowdown:.0%} below baseline {b_eps:,.0f}")
+
+    words = fresh["sequential"]["minor_words_per_event"]
+    print(f"minor words/event: fresh {words:.2f}  budget "
+          f"{args.words_budget:.2f}  "
+          f"(baseline {base['sequential']['minor_words_per_event']:.2f})")
+    if words > args.words_budget:
+        failures.append(
+            f"minor words/event {words:.2f} exceeds budget "
+            f"{args.words_budget:.2f}")
+
+    # per-workload allocation is deterministic: flag any backend whose
+    # allocation/event grew, as an early pointer to *where* it crept in
+    base_rows = {(w["name"], w["backend"]): w for w in base["workloads"]}
+    for w in fresh["workloads"]:
+        b = base_rows.get((w["name"], w["backend"]))
+        if b and w["minor_words_per_event"] > b["minor_words_per_event"] * 1.05:
+            failures.append(
+                f"{w['name']}/{w['backend']}: minor words/event "
+                f"{w['minor_words_per_event']:.2f} vs baseline "
+                f"{b['minor_words_per_event']:.2f} (+5% band)")
+
+    if failures:
+        print("\nSELFPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("selfperf gate passed")
+
+
+if __name__ == "__main__":
+    main()

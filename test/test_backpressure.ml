@@ -206,13 +206,13 @@ let test_epoll_writability_edge () =
                    user_data = 0xF00L;
                  })));
       (* writable while there is space *)
-      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0L }) with
+      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0 }) with
       | Syscall.Ok_epoll [ (ud, ev) ] ->
         check_bool "pollout before fill" true (Int64.equal ud 0xF00L && ev.Syscall.pollout)
       | _ -> Alcotest.fail "expected writable before fill");
       (* fill the peer's receive buffer: no longer writable *)
       ignore (expect_int "fill" (sys (Syscall.Write (a, String.make 256 'x'))));
-      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0L }) with
+      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0 }) with
       | Syscall.Ok_epoll [] -> ()
       | _ -> Alcotest.fail "expected not writable when full");
       (* drain in another thread; a blocking epoll_wait reports the edge *)

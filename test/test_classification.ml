@@ -161,37 +161,37 @@ let test_temporal_needs_approvals () =
   let st = Policy.make_temporal_state ~seed:1 in
   let cfg = { Policy.default_temporal with Policy.exempt_probability = 1.0 } in
   Alcotest.(check bool) "no approvals: no exemption" false
-    (Policy.temporal_exempts st ~now:0L Sysno.Read ~cfg);
+    (Policy.temporal_exempts st ~now:0 Sysno.Read ~cfg);
   for _ = 1 to cfg.Policy.min_approvals do
-    Policy.record_approval st ~now:0L Sysno.Read ~cfg
+    Policy.record_approval st ~now:0 Sysno.Read ~cfg
   done;
   Alcotest.(check bool) "enough approvals + p=1: exempted" true
-    (Policy.temporal_exempts st ~now:1L Sysno.Read ~cfg);
+    (Policy.temporal_exempts st ~now:1 Sysno.Read ~cfg);
   Alcotest.(check bool) "different sysno unaffected" false
-    (Policy.temporal_exempts st ~now:1L Sysno.Write ~cfg)
+    (Policy.temporal_exempts st ~now:1 Sysno.Write ~cfg)
 
 let test_temporal_window_expiry () =
   let st = Policy.make_temporal_state ~seed:2 in
   let cfg =
-    { Policy.min_approvals = 4; exempt_probability = 1.0; window_ns = 1000L }
+    { Policy.min_approvals = 4; exempt_probability = 1.0; window_ns = 1000 }
   in
   for _ = 1 to 4 do
-    Policy.record_approval st ~now:0L Sysno.Read ~cfg
+    Policy.record_approval st ~now:0 Sysno.Read ~cfg
   done;
   Alcotest.(check bool) "within window: exempt" true
-    (Policy.temporal_exempts st ~now:500L Sysno.Read ~cfg);
+    (Policy.temporal_exempts st ~now:500 Sysno.Read ~cfg);
   Alcotest.(check bool) "after window: approvals forgotten" false
-    (Policy.temporal_exempts st ~now:5000L Sysno.Read ~cfg)
+    (Policy.temporal_exempts st ~now:5000 Sysno.Read ~cfg)
 
 let test_temporal_probability_zero () =
   let st = Policy.make_temporal_state ~seed:3 in
   let cfg =
-    { Policy.min_approvals = 1; exempt_probability = 0.0; window_ns = 1_000_000L }
+    { Policy.min_approvals = 1; exempt_probability = 0.0; window_ns = 1_000_000 }
   in
-  Policy.record_approval st ~now:0L Sysno.Read ~cfg;
+  Policy.record_approval st ~now:0 Sysno.Read ~cfg;
   for _ = 1 to 50 do
     Alcotest.(check bool) "p=0 never exempts" false
-      (Policy.temporal_exempts st ~now:1L Sysno.Read ~cfg)
+      (Policy.temporal_exempts st ~now:1 Sysno.Read ~cfg)
   done
 
 let prop_required_level_consistent =

@@ -82,7 +82,7 @@ let observe ops (_ : Mvee.env) (log : string list ref) =
         match
           Remon_kernel.Sched.syscall
             (Syscall.Poll
-               { fds = [ (pipe_r, Syscall.ev_in) ]; timeout_ns = Some 0L })
+               { fds = [ (pipe_r, Syscall.ev_in) ]; timeout_ns = Some 0 })
         with
         | Syscall.Ok_poll ready -> record "poll=%d" (List.length ready)
         | _ -> record "poll=err")
@@ -262,8 +262,8 @@ let vfs_model =
             | Ok node ->
               if not (Hashtbl.mem model p) then ok := false
               else begin
-                ignore (Vfs.truncate node ~size:0 ~now_ns:0L);
-                ignore (Vfs.write_at node ~offset:0 ~data ~now_ns:0L);
+                ignore (Vfs.truncate node ~size:0 ~now_ns:0);
+                ignore (Vfs.write_at node ~offset:0 ~data ~now_ns:0);
                 Hashtbl.replace model p data
               end
             | Error _ -> if Hashtbl.mem model p then ok := false)

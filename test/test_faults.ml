@@ -292,9 +292,9 @@ let test_fault_parse_defaults () =
       | { Fault.kind = Fault.Delay ns; _ } -> ns
       | _ -> Alcotest.fail "expected a delay spec"
     in
-    Alcotest.(check int64) "ms" (Vtime.ms 2) (d a);
-    Alcotest.(check int64) "us" (Vtime.us 30) (d b);
-    Alcotest.(check int64) "ns" (Vtime.ns 400) (d c)
+    Alcotest.(check int) "ms" (Vtime.ms 2) (d a);
+    Alcotest.(check int) "us" (Vtime.us 30) (d b);
+    Alcotest.(check int) "ns" (Vtime.ns 400) (d c)
   | _ -> Alcotest.fail "delay list should parse"
 
 let () =

@@ -81,9 +81,9 @@ let test_degraded_window_closes_at_drain () =
      quarantine instant and the (drain-stamped) rejoin instant *)
   let t_q = first_instant o "quarantine" in
   let t_r = first_instant o "rejoin" in
-  Alcotest.(check int64)
+  Alcotest.(check int)
     "degraded_ns = rejoin(ts) - quarantine(ts)"
-    (Int64.sub t_r t_q) outcome.Mvee.degraded_ns;
+    (t_r - t_q) outcome.Mvee.degraded_ns;
   (* regression pin: the window must exclude the monitored-silence gap.
      With the drain accounted at lockstep rejoin, degraded_ns would be
      >= gap_ms here. *)
@@ -125,7 +125,7 @@ let test_connect_retry_backoff () =
   Alcotest.(check bool) "elapsed covers the backoff schedule" true
     (Vtime.compare elapsed (Vtime.ms 15) >= 0);
   let _, elapsed2, _ = retry_run () in
-  Alcotest.(check int64) "deterministic elapsed time" elapsed elapsed2
+  Alcotest.(check int) "deterministic elapsed time" elapsed elapsed2
 
 (* ------------------------------------------------------------------ *)
 (* Chaos scenarios *)

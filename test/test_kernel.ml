@@ -66,7 +66,7 @@ let test_getpid_and_time () =
           | _ -> Alcotest.fail "clock_gettime"
         in
         check_bool "time advances across compute" true
-          (Int64.compare t1 (Int64.add t0 (Vtime.us 500)) >= 0)
+          (Int64.compare t1 (Int64.add t0 (Int64.of_int (Vtime.us 500))) >= 0)
       | _ -> Alcotest.fail "clock_gettime failed"))
 
 let test_file_roundtrip () =
@@ -244,7 +244,7 @@ let test_epoll () =
                    user_data = 0xDEADBEEFL;
                  })));
       (* not ready: zero timeout returns empty *)
-      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0L }) with
+      (match sys (Syscall.Epoll_wait { epfd; max_events = 8; timeout_ns = Some 0 }) with
       | Syscall.Ok_epoll [] -> ()
       | _ -> Alcotest.fail "expected no events");
       let self = Sched.self () in
@@ -393,7 +393,7 @@ let test_select () =
       (match
          sys
            (Syscall.Select
-              { readfds = [ rfd ]; writefds = [ wfd ]; timeout_ns = Some 0L })
+              { readfds = [ rfd ]; writefds = [ wfd ]; timeout_ns = Some 0 })
        with
       | Syscall.Ok_poll ready ->
         check_int "only writer ready" 1 (List.length ready);

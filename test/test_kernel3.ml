@@ -82,11 +82,11 @@ let test_eventfd_epoll () =
        with
       | Syscall.Ok_int 0 -> ()
       | _ -> Alcotest.fail "epoll_ctl");
-      (match sys (Syscall.Epoll_wait { epfd; max_events = 4; timeout_ns = Some 0L }) with
+      (match sys (Syscall.Epoll_wait { epfd; max_events = 4; timeout_ns = Some 0 }) with
       | Syscall.Ok_epoll [] -> ()
       | _ -> Alcotest.fail "not ready yet");
       ignore (sys (Syscall.Write (efd, "e")));
-      match sys (Syscall.Epoll_wait { epfd; max_events = 4; timeout_ns = Some 0L }) with
+      match sys (Syscall.Epoll_wait { epfd; max_events = 4; timeout_ns = Some 0 }) with
       | Syscall.Ok_epoll [ (9L, _) ] -> ()
       | _ -> Alcotest.fail "eventfd should be epoll-readable")
 
@@ -206,12 +206,12 @@ let test_pselect_ppoll () =
       let rfd, wfd = expect_pair "pipe" (sys Syscall.Pipe) in
       ignore (sys (Syscall.Write (wfd, "!")));
       (match
-         sys (Syscall.Pselect6 { readfds = [ rfd ]; writefds = []; timeout_ns = Some 0L })
+         sys (Syscall.Pselect6 { readfds = [ rfd ]; writefds = []; timeout_ns = Some 0 })
        with
       | Syscall.Ok_poll [ (fd, _) ] -> Alcotest.(check int) "pselect ready" rfd fd
       | _ -> Alcotest.fail "pselect6");
       match
-        sys (Syscall.Ppoll { fds = [ (rfd, Syscall.ev_in) ]; timeout_ns = Some 0L })
+        sys (Syscall.Ppoll { fds = [ (rfd, Syscall.ev_in) ]; timeout_ns = Some 0 })
       with
       | Syscall.Ok_poll [ (fd, _) ] -> Alcotest.(check int) "ppoll ready" rfd fd
       | _ -> Alcotest.fail "ppoll")

@@ -19,7 +19,7 @@ let test_export_empty () =
 
 let test_export_single_instant () =
   let t = Trace.create () in
-  Trace.instant t ~ts:1500L ~cat:"sys" ~name:"entry" ~pid:3 ~tid:7 [];
+  Trace.instant t ~ts:1500 ~cat:"sys" ~name:"entry" ~pid:3 ~tid:7 [];
   Alcotest.(check string) "ns rendered as us.nnn, instant gets scope"
     "{\"traceEvents\":[\n\
      {\"name\":\"entry\",\"cat\":\"sys\",\"ph\":\"i\",\"ts\":1.500,\"pid\":3,\"tid\":7,\"s\":\"t\"}\n\
@@ -28,9 +28,9 @@ let test_export_single_instant () =
 
 let test_export_span_pair_and_args () =
   let t = Trace.create () in
-  Trace.span_begin t ~ts:0L ~cat:"c" ~name:"s" ~pid:1 ~tid:1
+  Trace.span_begin t ~ts:0 ~cat:"c" ~name:"s" ~pid:1 ~tid:1
     [ ("n", Trace.Int 42); ("big", Trace.I64 5_000_000_000L); ("w", Trace.Str "x") ];
-  Trace.span_end t ~ts:2_000L ~cat:"c" ~name:"s" ~pid:1 ~tid:1 [];
+  Trace.span_end t ~ts:2_000 ~cat:"c" ~name:"s" ~pid:1 ~tid:1 [];
   Alcotest.(check string) "B/E phases, args object, comma-newline join"
     ("{\"traceEvents\":[\n"
    ^ "{\"name\":\"s\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0.000,\"pid\":1,\"tid\":1,"
@@ -41,7 +41,7 @@ let test_export_span_pair_and_args () =
 
 let test_export_escaping () =
   let t = Trace.create () in
-  Trace.instant t ~ts:0L ~cat:"c" ~name:"q\"b\\s\nnl\tt\x01u" ~pid:0 ~tid:0 [];
+  Trace.instant t ~ts:0 ~cat:"c" ~name:"q\"b\\s\nnl\tt\x01u" ~pid:0 ~tid:0 [];
   let s = Trace.export_string t in
   let expected = "\"name\":\"q\\\"b\\\\s\\nnl\\tt\\u0001u\"" in
   let contains hay needle =
@@ -62,7 +62,7 @@ let test_export_metrics_block () =
 let test_export_is_json () =
   (* structural sanity independent of the byte-level assertions *)
   let t = Trace.create () in
-  Trace.instant t ~ts:123_456L ~cat:"c" ~name:"n" ~pid:0 ~tid:0
+  Trace.instant t ~ts:123_456 ~cat:"c" ~name:"n" ~pid:0 ~tid:0
     [ ("s", Trace.Str "v\"w") ];
   let s = Trace.export_string ~metrics:[ ("k", "v") ] t in
   (* count balanced braces as a cheap well-formedness proxy *)
@@ -90,10 +90,10 @@ let test_export_is_json () =
 let test_metrics_buckets () =
   List.iter
     (fun (ns, b) ->
-      Alcotest.(check int) (Printf.sprintf "bucket(%Ldns)" ns) b
+      Alcotest.(check int) (Printf.sprintf "bucket(%dns)" ns) b
         (Metrics.bucket_of_ns ns))
-    [ (0L, 0); (1L, 0); (2L, 1); (3L, 1); (4L, 2); (7L, 2); (8L, 3);
-      (1024L, 10); (1025L, 10); (Int64.max_int, 62) ]
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3);
+      (1024, 10); (1025, 10); (max_int, 61) ]
 
 let test_metrics_counters_and_hwm () =
   let m = Metrics.create () in
@@ -110,11 +110,11 @@ let test_metrics_counters_and_hwm () =
 
 let test_metrics_histogram_summary () =
   let m = Metrics.create () in
-  Metrics.observe_ns m "lat" 5L;
+  Metrics.observe_ns m "lat" 5;
   (* bucket 2 *)
-  Metrics.observe_ns m "lat" 11L;
+  Metrics.observe_ns m "lat" 11;
   (* bucket 3 *)
-  Metrics.observe_ns m "lat" 11L;
+  Metrics.observe_ns m "lat" 11;
   Alcotest.(check int) "hist count" 3 (Metrics.hist_count m "lat");
   Alcotest.(check (list (pair string string))) "derived rows, key-sorted"
     [ ("lat.count", "3"); ("lat.max_ns", "11"); ("lat.mean_ns", "9");
@@ -226,7 +226,7 @@ let test_tracing_does_not_perturb () =
     plain.Runner.outcome.Mvee.metrics;
   Alcotest.(check bool) "identical outcome modulo metrics" true
     ({ traced.Runner.outcome with Mvee.metrics = [] } = plain.Runner.outcome);
-  Alcotest.(check int64) "identical virtual duration" traced.Runner.duration
+  Alcotest.(check int) "identical virtual duration" traced.Runner.duration
     plain.Runner.duration;
   Alcotest.(check bool) "metrics populated when enabled" true
     (List.length traced.Runner.outcome.Mvee.metrics > 0)

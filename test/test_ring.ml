@@ -1,0 +1,347 @@
+(* The batched syscall ring (lib/core/syscall_ring.ml).
+
+   The determinism contract under test: the ring re-schedules *when*
+   records reach the replication buffer, never their order or content, so
+   verdicts and replica-visible digests are invariant under the batch
+   size and the flush deadline — only virtual time moves. Plus the
+   arbitration corner the ring must not break: an RB overflow/reset while
+   part of a batch is still in flight (a blocked call holding an unfilled
+   slot while other threads keep submitting). *)
+
+open Remon_kernel
+open Remon_core
+open Remon_sim
+open Remon_util
+open Remon_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic digest workloads (test_fuzz's observable-result rules:
+   byte counts, read data, errnos — never virtual time) *)
+
+type op =
+  | File_rw of string * int
+  | Pipe_rw of string
+  | Sock_rw of string
+  | Open_close
+  | Compute of int (* microseconds *)
+
+let digest_result buf tag (r : Syscall.result) =
+  Buffer.add_string buf tag;
+  Buffer.add_string buf
+    (match r with
+    | Syscall.Ok_unit -> "u"
+    | Syscall.Ok_int n -> string_of_int n
+    | Syscall.Ok_data s -> "d:" ^ s
+    | Syscall.Error e -> "e:" ^ Errno.to_string e
+    | _ -> "?");
+  Buffer.add_char buf '|'
+
+let gen_ops ~seed ~nops =
+  let rng = Rng.make (0x12164 + (seed * 0x9E3779B1)) in
+  List.init nops (fun j ->
+      let payload =
+        Printf.sprintf "r%d.%d.%s" seed j
+          (String.init
+             (1 + Rng.int_in_range rng ~lo:0 ~hi:23)
+             (fun _ ->
+               Char.chr (Char.code 'a' + Rng.int_in_range rng ~lo:0 ~hi:25)))
+      in
+      match Rng.int_in_range rng ~lo:0 ~hi:7 with
+      | 0 | 1 | 2 -> File_rw (payload, Rng.int_in_range rng ~lo:0 ~hi:4096)
+      | 3 | 4 -> Pipe_rw payload
+      | 5 -> Sock_rw payload
+      | 6 -> Open_close
+      | _ -> Compute (Rng.int_in_range rng ~lo:5 ~hi:120))
+
+let body ops (digests : string array) (env : Mvee.env) =
+  let sys = Sched.syscall in
+  let buf = Buffer.create 512 in
+  let data_fd =
+    Api.open_file ~flags:{ Syscall.o_rdwr with create = true } "/tmp/ring-data"
+  in
+  let pipe_r, pipe_w = Api.pipe () in
+  let sock_a, sock_b = Api.socketpair () in
+  List.iter
+    (fun op ->
+      match op with
+      | File_rw (s, off) ->
+        digest_result buf "w" (sys (Syscall.Pwrite64 (data_fd, s, off)));
+        digest_result buf "r"
+          (sys (Syscall.Pread64 (data_fd, String.length s, off)))
+      | Pipe_rw s ->
+        digest_result buf "pw" (sys (Syscall.Write (pipe_w, s)));
+        digest_result buf "pr" (sys (Syscall.Read (pipe_r, String.length s)))
+      | Sock_rw s ->
+        digest_result buf "ss" (sys (Syscall.Sendto (sock_a, s)));
+        digest_result buf "sr" (sys (Syscall.Recvfrom (sock_b, String.length s)))
+      | Open_close -> (
+        match
+          sys
+            (Syscall.Open
+               ("/tmp/ring-scratch", { Syscall.o_rdwr with create = true }))
+        with
+        | Syscall.Ok_int fd -> digest_result buf "c" (sys (Syscall.Close fd))
+        | r -> digest_result buf "o" r)
+      | Compute us -> Sched.compute (Vtime.us us))
+    ops;
+  digests.(env.Mvee.variant) <- Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Running one workload under one backend at one ring setting *)
+
+let run ?(nreplicas = 3) ?(seed = 7) ?(flush_us = 50) ?rb_size
+    ?(level = Classification.Nonsocket_rw_level) ~backend ~batch body =
+  let mode_override =
+    (* only the in-process engines consult the ring; leave GHUMVEE-only
+       and native runs on their backend-default modes *)
+    match backend with
+    | Mvee.Varan ->
+      Some
+        {
+          Context.varan_mode with
+          Context.ring_batch = batch;
+          ring_flush_ns = Vtime.us flush_us;
+        }
+    | Mvee.Remon ->
+      Some
+        {
+          Context.remon_mode with
+          Context.ring_batch = batch;
+          ring_flush_ns = Vtime.us flush_us;
+        }
+    | _ -> None
+  in
+  let nreplicas = match backend with Mvee.Native -> 1 | _ -> nreplicas in
+  let policy =
+    match backend with
+    | Mvee.Ghumvee_only -> Policy.monitor_everything
+    | _ -> Policy.spatial level
+  in
+  let config =
+    {
+      Mvee.default_config with
+      Mvee.backend;
+      nreplicas;
+      seed;
+      policy;
+      mode_override;
+      rb_size =
+        (match rb_size with
+        | Some b -> b
+        | None -> Replication_buffer.default_size);
+    }
+  in
+  let digests = Array.make nreplicas "<unfinished>" in
+  let kernel = Kernel.create ~seed () in
+  let h = Mvee.launch kernel config ~name:"ring-test" ~body:(body digests) in
+  Kernel.run kernel;
+  (Mvee.finish h, digests)
+
+let verdict_str (o : Mvee.outcome) =
+  match o.Mvee.verdict with
+  | None -> "clean"
+  | Some v -> Divergence.to_string v
+
+(* One comparable line per run: everything that must be batch-invariant. *)
+let summary (o : Mvee.outcome) (digests : string array) =
+  Printf.sprintf "%s / %s" (verdict_str o)
+    (String.concat " ; " (Array.to_list digests))
+
+(* ------------------------------------------------------------------ *)
+(* 1. Digests and verdicts are invariant under the batch size *)
+
+let batch_backends = [ Mvee.Ghumvee_only; Mvee.Varan; Mvee.Remon ]
+
+let test_batch_invariance () =
+  let ops = gen_ops ~seed:3 ~nops:40 in
+  List.iter
+    (fun backend ->
+      let name = Mvee.backend_to_string backend in
+      let o1, d1 = run ~backend ~batch:1 (body ops) in
+      Alcotest.(check string) (name ^ " batch 1 clean") "clean" (verdict_str o1);
+      List.iter
+        (fun batch ->
+          let ob, db = run ~backend ~batch (body ops) in
+          Alcotest.(check string)
+            (Printf.sprintf "%s batch %d = batch 1" name batch)
+            (summary o1 d1) (summary ob db))
+        [ 8; 64 ])
+    batch_backends
+
+(* The sanity companion: at batch > 1 the in-process engines really did
+   route records through the ring, within the declared batch bound. *)
+let test_ring_stats_sane () =
+  let ops = gen_ops ~seed:5 ~nops:60 in
+  List.iter
+    (fun backend ->
+      let name = Mvee.backend_to_string backend in
+      let o, _ = run ~backend ~batch:8 (body ops) in
+      Alcotest.(check bool) (name ^ " flushed") true (o.Mvee.ring_flushes > 0);
+      Alcotest.(check bool)
+        (name ^ " records flowed") true
+        (o.Mvee.ring_records > 0);
+      Alcotest.(check bool)
+        (name ^ " records within rb total") true
+        (o.Mvee.ring_records <= o.Mvee.rb_records);
+      Alcotest.(check bool)
+        (name ^ " batch bound") true
+        (o.Mvee.ring_max_batch <= 8))
+    [ Mvee.Varan; Mvee.Remon ];
+  (* batch=1 must not even create the ring *)
+  let o, _ = run ~backend:Mvee.Remon ~batch:1 (body ops) in
+  Alcotest.(check int) "no ring at batch 1" 0 o.Mvee.ring_flushes
+
+(* ------------------------------------------------------------------ *)
+(* 2. RB overflow/reset arbitration with a partial batch in flight.
+
+   A helper thread parks a blocking pipe read in the ring (an unfilled
+   slot) while the main thread's writes overflow a deliberately tiny RB:
+   the reset must drain around the in-flight slot, and once the main
+   thread feeds the pipe, the parked record must still reach the slaves
+   with its payload intact. The helper works on its own file and fds, so
+   every digested result is scheduling-invariant and the digests can be
+   compared across batch sizes and backends. *)
+
+let overflow_body (digests : string array) (env : Mvee.env) =
+  let sys = Sched.syscall in
+  let main_buf = Buffer.create 512 in
+  let helper_buf = Buffer.create 512 in
+  let helper_done = ref false in
+  let pipe_r, pipe_w = Api.pipe () in
+  let helper_fd =
+    Api.open_file ~flags:{ Syscall.o_rdwr with create = true } "/tmp/ring-ovf-h"
+  in
+  ignore
+    (env.Mvee.spawn_thread (fun () ->
+         (* blocks until the main thread has overflowed the RB: this
+            call's ring slot stays in flight across the reset *)
+         digest_result helper_buf "hr" (sys (Syscall.Read (pipe_r, 9)));
+         for j = 0 to 11 do
+           let s = Printf.sprintf "helper-%02d-%s" j (String.make 80 'h') in
+           digest_result helper_buf "hw"
+             (sys (Syscall.Pwrite64 (helper_fd, s, j * 128)));
+           digest_result helper_buf "hrd"
+             (sys (Syscall.Pread64 (helper_fd, String.length s, j * 128)))
+         done;
+         helper_done := true));
+  let main_fd =
+    Api.open_file ~flags:{ Syscall.o_rdwr with create = true } "/tmp/ring-ovf-m"
+  in
+  let main_rw j =
+    let s = Printf.sprintf "main-%02d-%s" j (String.make 200 'm') in
+    digest_result main_buf "mw" (sys (Syscall.Pwrite64 (main_fd, s, j * 256)));
+    digest_result main_buf "mr"
+      (sys (Syscall.Pread64 (main_fd, String.length s, j * 256)))
+  in
+  (* a few records while the helper's read is parked in flight — then feed
+     the pipe BEFORE the buffer can overflow: an overflow wait needs the
+     slaves fully drained, and they cannot drain past a blocked call's
+     unresulted record, so the blocking window must not overlap the waits *)
+  for j = 0 to 3 do
+    main_rw j
+  done;
+  digest_result main_buf "mp" (sys (Syscall.Write (pipe_w, "unblocked")));
+  (* now overflow the tiny RB several times over, concurrently with the
+     helper's stream, so drains and resets hit in-flight slots *)
+  for j = 4 to 59 do
+    main_rw j
+  done;
+  Sched.wait_user (fun () -> !helper_done);
+  digests.(env.Mvee.variant) <-
+    Buffer.contents main_buf ^ "##" ^ Buffer.contents helper_buf
+
+let overflow_backends =
+  [ Mvee.Native; Mvee.Ghumvee_only; Mvee.Varan; Mvee.Remon ]
+
+let test_overflow_partial_batch () =
+  (* ~360 bytes per record against a 4 KiB buffer *)
+  let rb_size = 4096 in
+  let reference = ref None in
+  List.iter
+    (fun backend ->
+      let name = Mvee.backend_to_string backend in
+      let o1, d1 = run ~backend ~batch:1 ~rb_size overflow_body in
+      Alcotest.(check string) (name ^ " clean") "clean" (verdict_str o1);
+      (* master digests agree across backends (timing-invariant body) *)
+      (match !reference with
+      | None -> reference := Some d1.(0)
+      | Some r ->
+        Alcotest.(check string) (name ^ " master digest vs reference") r d1.(0));
+      List.iter
+        (fun batch ->
+          let ob, db = run ~backend ~batch ~rb_size overflow_body in
+          Alcotest.(check string)
+            (Printf.sprintf "%s batch %d = batch 1" name batch)
+            (summary o1 d1) (summary ob db);
+          match backend with
+          | Mvee.Varan | Mvee.Remon ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s batch %d hit the reset path" name batch)
+              true (ob.Mvee.rb_resets > 0);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s batch %d used the ring" name batch)
+              true
+              (ob.Mvee.ring_records > 0)
+          | _ -> ())
+        [ 16; 64 ])
+    overflow_backends
+
+(* ------------------------------------------------------------------ *)
+(* 3. Determinism across worker domains: the whole batch sweep, fanned
+   out over 1 vs. 4 domains, must produce identical summaries *)
+
+let test_domains_invariance () =
+  let ops = gen_ops ~seed:11 ~nops:25 in
+  let jobs =
+    List.concat_map
+      (fun backend -> List.map (fun b -> (backend, b)) [ 1; 8; 64 ])
+      [ Mvee.Varan; Mvee.Remon ]
+  in
+  let sweep domains =
+    Pool.map ~domains
+      (fun (backend, batch) ->
+        let o, d = run ~backend ~batch (body ops) in
+        Printf.sprintf "%s b%d %s f%d" (Mvee.backend_to_string backend) batch
+          (summary o d) o.Mvee.ring_flushes)
+      jobs
+  in
+  List.iter2
+    (Alcotest.(check string) "domains 1 vs 4")
+    (sweep 1) (sweep 4)
+
+(* ------------------------------------------------------------------ *)
+(* 4. QCheck property: any (batch, flush deadline, scenario) triple is
+   digest- and verdict-equivalent to the unbatched run on every engine *)
+
+let prop_ring_invariant =
+  QCheck.Test.make ~count:25 ~name:"random batch/deadline = batch 1"
+    QCheck.(
+      triple (int_range 1 64) (int_range 1 500) (int_range 0 1000))
+    (fun (batch, flush_us, seed) ->
+      let ops = gen_ops ~seed ~nops:(8 + (seed mod 23)) in
+      List.for_all
+        (fun backend ->
+          let o1, d1 = run ~backend ~batch:1 (body ops) in
+          let ob, db = run ~backend ~batch ~flush_us (body ops) in
+          String.equal (summary o1 d1) (summary ob db))
+        batch_backends)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ring"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "batch sweep invariant" `Quick
+            test_batch_invariance;
+          Alcotest.test_case "ring stats sane" `Quick test_ring_stats_sane;
+          Alcotest.test_case "domains 1 vs 4" `Quick test_domains_invariance;
+          QCheck_alcotest.to_alcotest prop_ring_invariant;
+        ] );
+      ( "arbitration",
+        [
+          Alcotest.test_case "rb overflow with partial batch" `Quick
+            test_overflow_partial_batch;
+        ] );
+    ]

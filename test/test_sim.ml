@@ -3,14 +3,14 @@
 open Remon_sim
 
 let test_vtime_units () =
-  Alcotest.(check int64) "us" 1_000L (Vtime.us 1);
-  Alcotest.(check int64) "ms" 1_000_000L (Vtime.ms 1);
-  Alcotest.(check int64) "s" 1_000_000_000L (Vtime.s 1);
-  Alcotest.(check int64) "add" 3L Vtime.(ns 1 + ns 2);
+  Alcotest.(check int) "us" 1_000 (Vtime.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Vtime.ms 1);
+  Alcotest.(check int) "s" 1_000_000_000 (Vtime.s 1);
+  Alcotest.(check int) "add" 3 Vtime.(ns 1 + ns 2);
   Alcotest.(check bool) "ordering" true Vtime.(ms 1 < s 1)
 
 let test_vtime_scale () =
-  Alcotest.(check int64) "scale" 1_500L (Vtime.scale (Vtime.us 1) 1.5)
+  Alcotest.(check int) "scale" 1_500 (Vtime.scale (Vtime.us 1) 1.5)
 
 let test_event_queue_order () =
   let q = Event_queue.create () in
@@ -61,10 +61,10 @@ let test_event_queue_peek () =
   let q = Event_queue.create () in
   ignore (Event_queue.add q ~time:(Vtime.ms 9) ());
   let h = Event_queue.add q ~time:(Vtime.ms 2) () in
-  Alcotest.(check (option int64)) "peek earliest" (Some (Vtime.ms 2))
+  Alcotest.(check (option int)) "peek earliest" (Some (Vtime.ms 2))
     (Event_queue.peek_time q);
   Event_queue.cancel h;
-  Alcotest.(check (option int64)) "peek skips cancelled" (Some (Vtime.ms 9))
+  Alcotest.(check (option int)) "peek skips cancelled" (Some (Vtime.ms 9))
     (Event_queue.peek_time q)
 
 (* length/is_empty are backed by a live counter, so they must stay exact
@@ -158,7 +158,7 @@ let test_event_queue_cancel_after_pop_compaction () =
   (* cancel the popped handles again, post-compaction: still no-ops *)
   Array.iter Event_queue.cancel handles;
   Alcotest.(check int) "all cancels idempotent" 0 (Event_queue.length q);
-  Alcotest.(check (option int64)) "nothing left to pop" None
+  Alcotest.(check (option int)) "nothing left to pop" None
     (match Event_queue.pop q with Some (t, _) -> Some t | None -> None);
   let st = Event_queue.stats q in
   Alcotest.(check int) "adds tallied" 64 st.Event_queue.adds;

@@ -71,7 +71,7 @@ let test_table_mismatch () =
 let test_fmt_helpers () =
   Alcotest.(check string) "pct" "11.2%" (Table.fmt_pct 0.112);
   Alcotest.(check string) "ratio" "1.09" (Table.fmt_ratio 1.09);
-  Alcotest.(check string) "ns" "1.500 us" (Table.fmt_ns 1500L)
+  Alcotest.(check string) "ns" "1.500 us" (Table.fmt_ns 1500)
 
 (* property tests *)
 let prop_geomean_scale =
