@@ -45,7 +45,15 @@ let aligns = List.map (fun _ -> Table.Right) header
 
 let run ?(quick = false) ?domains () =
   print_endline "=== Fleet chaos: availability vs. injected fault rate ===\n";
-  let d = Fchaos.default_cfg in
+  (* REMON_RECORD_DIR: dump a replayable recording for every instance
+     generation that ends with a divergence verdict (reproducer artifacts;
+     feed them to `remon replay`) *)
+  let d =
+    {
+      Fchaos.default_cfg with
+      Fchaos.record_dir = Sys.getenv_opt "REMON_RECORD_DIR";
+    }
+  in
   Printf.printf
     "%d instances x %d replicas (%s), %d requests over %d open-loop workers,\n\
      LB %s probes every %s\n\n"
@@ -68,6 +76,14 @@ let run ?(quick = false) ?domains () =
     reports;
   Table.print t;
   print_newline ();
+  (match
+     List.concat_map (fun (r : Fchaos.report) -> r.Fchaos.recordings) reports
+   with
+  | [] -> ()
+  | paths ->
+    Printf.printf "reproducer recordings (replay with `remon replay FILE`):\n";
+    List.iter (fun p -> Printf.printf "  %s\n" p) paths;
+    print_newline ());
   (* rolling restart under live traffic, no injected faults *)
   let rolling_cells =
     List.concat_map

@@ -259,14 +259,33 @@ let run_repeated workload config latency ~repeat ~domains ~trace_file ~metrics =
       | None -> ())
     rows
 
+(* Publish the recording a run captured ([--record FILE]); the workload
+   name is patched in so `remon replay` can resolve the body again. *)
+let dump_recording ~record ~workload_name (outcome : Mvee.outcome option) =
+  match (record, outcome) with
+  | Some path, Some { Mvee.recording = Some r; _ } ->
+    let r = Recording.with_workload r workload_name in
+    Recording.to_file r path;
+    Printf.printf "recording written  : %s (%d events, digest %s)\n" path
+      (Array.length r.Recording.events)
+      (Recording.stream_digest r)
+  | Some path, _ ->
+    Printf.eprintf "recording NOT written to %s: no stream captured\n" path
+  | None, _ -> ()
+
 let run_workload name backend nreplicas level latency seed faults on_failure
-    trace_lines trace_file metrics repeat domains =
+    trace_lines trace_file metrics repeat domains record =
   match Registry.find name with
   | None ->
     Printf.eprintf "unknown workload %S; try `remon list`\n" name;
     exit 2
   | Some workload -> (
+    if record <> None && repeat > 1 then begin
+      Printf.eprintf "--record needs a single run (drop --repeat)\n";
+      exit 2
+    end;
     let config = config_of backend nreplicas level seed faults on_failure in
+    let config = { config with Mvee.record = record <> None } in
     let latency = Vtime.of_float_ns (latency *. 1e6) in
     if repeat > 1 then begin
       Printf.printf "workload : %s\n" (Registry.describe workload);
@@ -330,6 +349,7 @@ let run_workload name backend nreplicas level latency seed faults on_failure
           o.Mvee.quarantines o.Mvee.respawns o.Mvee.watchdog_retries;
         Printf.printf "degraded time      : %s\n" (Vtime.to_string o.Mvee.degraded_ns)
       end;
+      dump_recording ~record ~workload_name:name (Some o);
       (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ())
     | Registry.Server_workload (server, client) ->
       let native =
@@ -352,12 +372,16 @@ let run_workload name backend nreplicas level latency seed faults on_failure
         (Latency.summary_to_string under.Runner.latency);
       Printf.printf "  (native          : %s)\n"
         (Latency.summary_to_string native.Runner.latency);
+      dump_recording ~record ~workload_name:name
+        (Some under.Runner.server_outcome);
       (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ())
     with Runner.Mvee_terminated v ->
       (* a fatal verdict (e.g. under --faults with the kill-group policy)
          is a legitimate outcome, not a crash — dump what was collected
-         before exiting, it is exactly what a failure wants looked at *)
+         before exiting, it is exactly what a failure wants looked at.
+         The recording especially: it reproduces this very verdict. *)
       Printf.printf "mvee terminated    : %s\n" (Divergence.to_string v);
+      dump_recording ~record ~workload_name:name !Runner.last_outcome;
       (match obs with Some o -> finalize_obs ~trace_file ~metrics o | None -> ());
       exit 1)
 
@@ -411,12 +435,170 @@ let run_cmd =
             "Fan --repeat runs out over D domains (default: \
              REMON_DOMAINS or the machine's core count minus one).")
   in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Capture the master's full replicated stream (syscalls, \
+             lock-order decisions, signal deliveries, ring flushes) into \
+             FILE as a versioned binary recording; replay it offline with \
+             `remon replay FILE`. Written even when the run is killed by a \
+             verdict — the recording reproduces that verdict.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload under an MVEE configuration.")
     Term.(
       const run_workload $ name_arg $ backend_arg $ replicas_arg $ level_arg
       $ latency_arg $ seed_arg $ faults_arg $ on_failure_arg $ trace_lines_arg
-      $ trace_file_arg $ metrics_arg $ repeat_arg $ domains_arg)
+      $ trace_file_arg $ metrics_arg $ repeat_arg $ domains_arg $ record_arg)
+
+(* ------------------------------------------------------------------ *)
+(* remon replay FILE: offline replay + divergence bisection *)
+
+let print_header (h : Recording.header) =
+  Printf.printf "format    : v%d\n" Recording.version;
+  Printf.printf "backend   : %s, %d replica(s)\n" h.Recording.backend
+    h.Recording.nreplicas;
+  Printf.printf "workload  : %s\n"
+    (if h.Recording.workload = "" then "<unnamed>" else h.Recording.workload);
+  Printf.printf "seed      : %d, level %s, on-failure %s\n" h.Recording.seed
+    h.Recording.level h.Recording.on_failure;
+  if h.Recording.faults <> "" then
+    Printf.printf "faults    : %s\n" h.Recording.faults
+
+let replay_recording file backend context show_events trace_file metrics =
+  match Recording.of_file file with
+  | Error e ->
+    Printf.eprintf "cannot load %s: %s\n" file (Remon_kernel.Syswire.error_to_string e);
+    exit 2
+  | Ok recorded -> (
+    let h = recorded.Recording.header in
+    print_header h;
+    Printf.printf "events    : %d (stream digest %s)\n"
+      (Array.length recorded.Recording.events)
+      (Recording.stream_digest recorded);
+    (match recorded.Recording.verdict with
+    | Some (_, rendered) -> Printf.printf "verdict   : %s\n" rendered
+    | None -> Printf.printf "verdict   : clean\n");
+    if show_events > 0 then begin
+      Printf.printf "\nfirst %d records:\n" show_events;
+      Array.iteri
+        (fun i ev ->
+          if i < show_events then
+            Printf.printf "  %6d  %s\n" i (Recording.event_to_string ev))
+        recorded.Recording.events
+    end;
+    match Registry.find h.Recording.workload with
+    | None ->
+      Printf.eprintf
+        "\nworkload %S is not in the registry (a test-harness recording?); \
+         cannot re-execute it here. The header, digest and records above \
+         are still authoritative.\n"
+        h.Recording.workload;
+      exit 2
+    | Some (Registry.Server_workload _) ->
+      Printf.eprintf
+        "\nserver workloads need a live client fleet; offline replay \
+         re-executes profile workloads only.\n";
+      exit 2
+    | Some (Registry.Profile_workload profile) -> (
+      let obs =
+        if trace_file <> None || metrics then Some (Obs.create ()) else None
+      in
+      Printf.printf "\nreplaying under %s...\n"
+        (match backend with
+        | Some b -> Mvee.backend_to_string b
+        | None -> h.Recording.backend);
+      match
+        Replayer.replay ?backend ?context ?obs recorded
+          ~body:(Profile.body profile)
+      with
+      | Error msg ->
+        Printf.eprintf "replay failed: %s\n" msg;
+        exit 2
+      | Ok report ->
+        let cross = backend <> None && Some h.Recording.backend <> Option.map Mvee.backend_to_string backend in
+        Printf.printf "replayed  : %d events (stream digest %s)\n"
+          (Array.length report.Replayer.replayed.Recording.events)
+          (Recording.stream_digest report.Replayer.replayed);
+        (match report.Replayer.replayed.Recording.verdict with
+        | Some (_, rendered) -> Printf.printf "verdict   : %s\n" rendered
+        | None -> Printf.printf "verdict   : clean\n");
+        Printf.printf "identical : %s\n"
+          (if report.Replayer.identical then "yes (byte-identical recording)"
+           else "no");
+        Printf.printf "verdicts  : %s\n"
+          (if report.Replayer.verdict_class_agrees then "same class"
+           else "DIFFERENT class");
+        (match report.Replayer.divergence with
+        | Some d ->
+          Printf.printf "\n%s\n" (Divergence.replay_divergence_to_string d)
+        | None -> ());
+        (match obs with
+        | Some o -> finalize_obs ~trace_file ~metrics o
+        | None -> ());
+        (* exit 0 = replay agrees with the recording: byte-identical on
+           the same backend, verdict-class agreement across backends *)
+        let ok =
+          if cross then report.Replayer.verdict_class_agrees
+          else report.Replayer.identical
+        in
+        exit (if ok then 0 else 1)))
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Recording written by `remon run --record`.")
+  in
+  let backend_override_arg =
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "b"; "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Replay under this backend instead of the recorded one \
+             (cross-backend replay compares verdict classes, not bytes).")
+  in
+  let context_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "context" ] ~docv:"K"
+          ~doc:
+            "Half-width of the record window printed around the first \
+             divergence (default 3).")
+  in
+  let show_events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "show-events" ] ~docv:"N"
+          ~doc:"Print the first N decoded records before replaying.")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the replay run's structured trace to FILE.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the replay run's metrics summary.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recording offline: re-execute its configuration, check \
+          the replayed stream against the recorded one byte for byte, and \
+          on a fork binary-search for the first divergent record.")
+    Term.(
+      const replay_recording $ file_arg $ backend_override_arg $ context_arg
+      $ show_events_arg $ trace_file_arg $ metrics_arg)
 
 let attack_cmd =
   let run backend nreplicas level seed =
@@ -601,4 +783,5 @@ let () =
   let info = Cmd.info "remon" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; attack_cmd; fleet_cmd; policy_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; replay_cmd; attack_cmd; fleet_cmd; policy_cmd ]))

@@ -59,3 +59,55 @@ let to_string = function
 
 (* Pretty-printer for syscalls in verdicts. *)
 let render_call (c : Syscall.call) = Format.asprintf "%a" Syscall.pp_call c
+
+(* Verdict class: the constructor alone, without its payload. Recordings
+   store it next to the rendered verdict so replay-under-a-different-
+   backend can check class agreement (payloads legitimately differ across
+   detectors). *)
+let class_of = function
+  | Args_mismatch _ -> "args-mismatch"
+  | Sequence_mismatch _ -> "sequence-mismatch"
+  | Rendezvous_timeout _ -> "rendezvous-timeout"
+  | Replica_crash _ -> "replica-crash"
+  | Exit_mismatch _ -> "exit-mismatch"
+  | Token_violation _ -> "token-violation"
+  | Shared_memory_rejected _ -> "shared-memory-rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Replay divergence (time-travel bisection report) *)
+
+type replay_divergence = {
+  first_rank : int;  (* first stream index where the digests fork *)
+  total_recorded : int;
+  total_replayed : int;
+  thread_rank : int option;  (* thread rank of the divergent record *)
+  syscall : string option;  (* rendered divergent call, when it is one *)
+  recorded_ev : string option;  (* rendered events at [first_rank] *)
+  replayed_ev : string option;
+  context : (int * string option * string option) list;
+      (* +/-K window around the fork: index, recorded, replayed *)
+}
+
+let replay_divergence_to_string d =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "first divergent record: %d (recorded stream %d records, replayed %d)\n"
+    d.first_rank d.total_recorded d.total_replayed;
+  (match d.thread_rank with
+  | Some r -> Printf.bprintf b "thread rank: %d\n" r
+  | None -> ());
+  (match d.syscall with
+  | Some c -> Printf.bprintf b "syscall: %s\n" c
+  | None -> ());
+  let cell = function Some s -> s | None -> "<end of stream>" in
+  List.iter
+    (fun (i, rec_ev, rep_ev) ->
+      let marker = if i = d.first_rank then ">" else " " in
+      if rec_ev = rep_ev then
+        Printf.bprintf b "%s %6d  %s\n" marker i (cell rec_ev)
+      else begin
+        Printf.bprintf b "%s %6d  recorded: %s\n" marker i (cell rec_ev);
+        Printf.bprintf b "%s %6s  replayed: %s\n" marker "" (cell rep_ev)
+      end)
+    d.context;
+  Buffer.contents b

@@ -24,5 +24,28 @@ type t =
 val detector_to_string : detector -> string
 val to_string : t -> string
 
+val class_of : t -> string
+(** The constructor alone, without its payload — what replay-under-a-
+    different-backend compares, since payloads legitimately differ across
+    detectors. *)
+
 val render_call : Syscall.call -> string
 (** Rendering used inside verdicts. *)
+
+(** {1 Replay divergence (time-travel bisection report)} *)
+
+(** Where a replayed stream first forks from a recording, with a ±K-record
+    context window. Produced by {!Replayer.bisect}. *)
+type replay_divergence = {
+  first_rank : int;  (** first stream index where the digests fork *)
+  total_recorded : int;
+  total_replayed : int;
+  thread_rank : int option;  (** thread rank of the divergent record *)
+  syscall : string option;  (** rendered divergent call, when it is one *)
+  recorded_ev : string option;  (** rendered events at [first_rank] *)
+  replayed_ev : string option;
+  context : (int * string option * string option) list;
+      (** ±K window around the fork: index, recorded, replayed *)
+}
+
+val replay_divergence_to_string : replay_divergence -> string

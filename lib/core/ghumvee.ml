@@ -244,6 +244,11 @@ let inject_deferred t (arrivals : arrival list) =
   while not (Queue.is_empty t.deferred_signals) do
     let sg = Queue.pop t.deferred_signals in
     t.signals_injected <- t.signals_injected + 1;
+    (* every replica receives the injection at the same logical point, so
+       the recording carries one event, stamped with the rendezvous rank *)
+    (match arrivals with
+    | a :: _ -> Record_log.note_signal (journal t) ~rank:a.th.Proc.rank ~signo:sg
+    | [] -> ());
     List.iter (fun a -> Kernel.inject_signal_now t.kernel a.th sg) arrivals
   done;
   t.g.Context.rb.Replication_buffer.signals_pending <- false
@@ -584,6 +589,8 @@ and flush_waiting_rejoin t ~rank =
 let enable_replay_feed t =
   Record_log.set_on_journal_append (journal t) (fun ~rank -> feed_waiting t ~rank)
 
+let is_replaying t ~variant = Hashtbl.mem t.replaying variant
+
 (* A respawned variant starts replaying the journal from the beginning. *)
 let begin_replay t ~variant =
   enable_replay_feed t;
@@ -660,7 +667,10 @@ let handle_exit t (th : Proc.thread) (call : Syscall.call)
 
 let handle_signal t (th : Proc.thread) sg =
   if t.shutting_down then ()
-  else if Sigdefs.synchronous sg then Kernel.resume t.kernel th Proc.Resume_deliver
+  else if Sigdefs.synchronous sg then begin
+    Record_log.note_signal (journal t) ~rank:th.Proc.rank ~signo:sg;
+    Kernel.resume t.kernel th Proc.Resume_deliver
+  end
   else begin
     (* defer: take ownership and set the RB flag so replicas restart calls
        as monitored calls until the injection happens (Section 3.8) *)

@@ -69,6 +69,10 @@ val purge_variant : t -> variant:int -> unit
     survivors are not stranded. Called by the recovery handler after the
     variant's process is killed. *)
 
+val is_replaying : t -> variant:int -> bool
+(** The variant is between respawn and journal drain: still consuming the
+    master syscall journal, not yet rejoined to lockstep. *)
+
 val begin_replay : t -> variant:int -> unit
 (** Start journal replay for a freshly respawned variant: its calls are
     verified against the master syscall journal and satisfied the way the

@@ -23,6 +23,13 @@ let backend_to_string = function
   | Varan -> "varan"
   | Remon -> "remon"
 
+let backend_of_string = function
+  | "native" -> Some Native
+  | "ghumvee" -> Some Ghumvee_only
+  | "varan" -> Some Varan
+  | "remon" -> Some Remon
+  | _ -> None
+
 (* Re-exported so callers can say [Mvee.Quarantine]. *)
 type failure_policy = Context.failure_policy =
   | Kill_group
@@ -48,7 +55,35 @@ type config = {
          lowering the odds of a successful guessing attack *)
   on_failure : failure_policy;
   faults : Fault.plan; (* deterministic fault-injection plan; [] = none *)
+  record : bool; (* capture the replicated stream into outcome.recording *)
+  shm_key : int option;
+      (* pin the group's SysV key instead of drawing from the process-global
+         counter; replay sets this so shm traffic is byte-identical no
+         matter how many launches preceded the recording run *)
 }
+
+let on_failure_to_string = function
+  | Kill_group -> "kill-group"
+  | Quarantine -> "quarantine"
+  | Respawn { max_respawns; backoff_ns } ->
+    Printf.sprintf "respawn:%d:%d" max_respawns
+      (Vtime.to_int_ns backoff_ns)
+
+let on_failure_of_string s =
+  match String.split_on_char ':' s with
+  | [ "kill-group" ] | [ "kill" ] -> Some Kill_group
+  | [ "quarantine" ] -> Some Quarantine
+  | [ "respawn" ] -> Some (Respawn { max_respawns = 3; backoff_ns = Vtime.ms 1 })
+  | [ "respawn"; n ] -> (
+    match int_of_string_opt n with
+    | Some max_respawns -> Some (Respawn { max_respawns; backoff_ns = Vtime.ms 1 })
+    | None -> None)
+  | [ "respawn"; n; ns ] -> (
+    match (int_of_string_opt n, int_of_string_opt ns) with
+    | Some max_respawns, Some ns ->
+      Some (Respawn { max_respawns; backoff_ns = Vtime.ns ns })
+    | _ -> None)
+  | _ -> None
 
 let default_config =
   {
@@ -65,6 +100,25 @@ let default_config =
     rb_migration_interval = None;
     on_failure = Kill_group;
     faults = [];
+    record = false;
+    shm_key = None;
+  }
+
+(* The recording header describing a configuration; [workload] is the
+   registry name when the caller knows it (the CLI does), [""] otherwise. *)
+let header_of_config (config : config) ~workload =
+  {
+    Recording.backend = backend_to_string config.backend;
+    nreplicas = config.nreplicas;
+    seed = config.seed;
+    level =
+      (match config.policy.Policy.spatial with
+      | Some l -> Classification.level_to_string l
+      | None -> "monitor-all");
+    on_failure = on_failure_to_string config.on_failure;
+    faults = Fault.to_string config.faults;
+    workload;
+    shm_key = Option.value config.shm_key ~default:0;
   }
 
 (* The replica's view of the MVEE runtime, handed to program bodies. *)
@@ -90,6 +144,7 @@ type handle = {
   mutable master_exit_ns : Vtime.t option;
   mutable exit_codes : (int * int) list; (* variant, code *)
   mutable heap_bases : int64 array;
+  recorder : Recording.builder option;
 }
 
 type outcome = {
@@ -117,6 +172,7 @@ type outcome = {
   watchdog_retries : int;
   metrics : (string * string) list;
       (* the observability summary (key-sorted); [] when tracing is off *)
+  recording : Recording.t option; (* the captured stream, when config.record *)
 }
 
 (* Atomic: groups are created from concurrently running simulations when
@@ -168,7 +224,10 @@ let make_group kernel (config : config) nreplicas =
     file_map = File_map.create ();
     epoll_map = Epoll_map.create ~nreplicas;
     ikb;
-    shm_key = Context.mvee_shm_key_base + (shm_serial * 16);
+    shm_key =
+      (match config.shm_key with
+      | Some key -> key
+      | None -> Context.mvee_shm_key_base + (shm_serial * 16));
     ring;
     replicas = [||];
     divergence = None;
@@ -261,6 +320,22 @@ let launch (kernel : Kernel.t) (config : config) ~name
   | Context.Respawn _ ->
     Record_log.enable_journal group.Context.rb.Replication_buffer.sync_log
   | Context.Kill_group | Context.Quarantine -> ());
+  let recorder =
+    if config.record then begin
+      (* the header pins the key the group actually drew, so a replay of
+         this recording reproduces the exact same shm traffic *)
+      let b =
+        Recording.builder
+          {
+            (header_of_config config ~workload:"") with
+            Recording.shm_key = group.Context.shm_key;
+          }
+      in
+      Recording.attach b group.Context.rb.Replication_buffer.sync_log;
+      Some b
+    end
+    else None
+  in
   let handle =
     {
       kernel;
@@ -272,6 +347,7 @@ let launch (kernel : Kernel.t) (config : config) ~name
       master_exit_ns = None;
       exit_codes = [];
       heap_bases = Array.make nreplicas 0L;
+      recorder;
     }
   in
   (* when the kernel carries an observability sink, the RB reports into it
@@ -353,7 +429,7 @@ let launch (kernel : Kernel.t) (config : config) ~name
   group.Context.ikb.Ikb.master_proc <- Some replicas.(0);
   (* the recovery policy: what [Context.replica_fault] dispatches to *)
   let respawn_attempts = Array.make nreplicas 0 in
-  let do_respawn variant =
+  let rec do_respawn variant =
     match ghumvee with
     | None -> ()
     | Some g ->
@@ -381,10 +457,30 @@ let launch (kernel : Kernel.t) (config : config) ~name
         in
         group.Context.replicas.(variant) <- p;
         Ghumvee.attach g p;
-        watch_exit variant p
+        watch_exit variant p;
+        (* A respawn that dies before rejoining lockstep — still replaying
+           the journal, e.g. a second injected crash mid-replay — is a
+           failed attempt, not a monitor-controlled death. Purge the stale
+           replay state (parked [waiting_replay] arrivals of the dead
+           incarnation would otherwise be fed into the next incarnation's
+           journal positions) so the next attempt re-consumes the journal
+           and lock-order log from position zero, then retry within budget.
+           Replay-mismatch kills drop the variant from the replaying set
+           before killing, so they stay permanently quarantined as designed. *)
+        Kernel.on_process_exit p (fun code ->
+            if
+              code >= 128
+              && (not group.Context.shutdown)
+              && Ghumvee.is_replaying g ~variant
+            then begin
+              Ghumvee.purge_variant g ~variant;
+              match config.on_failure with
+              | Context.Respawn { max_respawns; backoff_ns } ->
+                schedule_respawn variant ~max_respawns ~backoff_ns
+              | _ -> ()
+            end)
       end
-  in
-  let schedule_respawn variant ~max_respawns ~backoff_ns =
+  and schedule_respawn variant ~max_respawns ~backoff_ns =
     if respawn_attempts.(variant) < max_respawns then begin
       let attempt = respawn_attempts.(variant) in
       respawn_attempts.(variant) <- attempt + 1;
@@ -545,6 +641,17 @@ let finish (h : handle) : outcome =
           | None -> Kernel.now h.kernel);
     watchdog_retries = h.group.Context.watchdog_retries;
     metrics;
+    recording =
+      (match h.recorder with
+      | None -> None
+      | Some b ->
+        Recording.detach b h.group.Context.rb.Replication_buffer.sync_log;
+        let verdict =
+          match h.group.Context.divergence with
+          | None -> None
+          | Some v -> Some (Divergence.class_of v, Divergence.to_string v)
+        in
+        Some (Recording.finish b ~verdict));
   }
 
 (* One-shot convenience: fresh kernel, launch, run to completion. *)

@@ -12,6 +12,9 @@ type backend =
 
 val backend_to_string : backend -> string
 
+val backend_of_string : string -> backend option
+(** Inverse of {!backend_to_string}; recordings store the backend by name. *)
+
 (** What happens when a non-master replica diverges, crashes or stalls
     (re-export of {!Context.failure_policy}): [Kill_group] is the paper's
     treat-every-fault-as-an-attack behavior; [Quarantine] detaches the
@@ -41,7 +44,22 @@ type config = {
           randomized addresses *)
   on_failure : failure_policy;
   faults : Fault.plan; (** deterministic fault-injection plan; [[]] = none *)
+  record : bool;
+      (** capture the master's replicated stream into a {!Recording.t},
+          surfaced as [outcome.recording] *)
+  shm_key : int option;
+      (** pin the group's SysV key instead of drawing from the
+          process-global counter; replay sets this so shm traffic is
+          byte-identical regardless of how many launches preceded the
+          recording run. [None] (the default) allocates normally. *)
 }
+
+val on_failure_to_string : failure_policy -> string
+(** ["kill-group"], ["quarantine"], or ["respawn:N:BACKOFF_NS"] — the
+    fully-parameterized form recordings store. *)
+
+val on_failure_of_string : string -> failure_policy option
+(** Accepts the CLI's short forms too ([respawn], [respawn:N]). *)
 
 val default_config : config
 (** ReMon, 2 replicas, SOCKET_RW_LEVEL, ASLR + DCL, 16 MiB RB. *)
@@ -69,6 +87,7 @@ type handle = {
   mutable master_exit_ns : Vtime.t option;
   mutable exit_codes : (int * int) list;
   mutable heap_bases : int64 array;
+  recorder : Recording.builder option;
 }
 
 type outcome = {
@@ -96,7 +115,12 @@ type outcome = {
   metrics : (string * string) list;
       (** observability summary (key-sorted name/value rows, see
           {!Remon_obs.Metrics.summary}); [[]] when tracing is off *)
+  recording : Recording.t option;
+      (** the captured stream, when [config.record] was set *)
 }
+
+val header_of_config : config -> workload:string -> Recording.header
+(** The recording header describing this configuration. *)
 
 val launch : Kernel.t -> config -> name:string -> body:(env -> unit) -> handle
 (** Spawns the replica set; every replica runs [body]. Drive the simulation

@@ -22,6 +22,16 @@ type callrec = { jcall : Syscall.call; jresult : Syscall.result }
 
 type jstream = { mutable recs : callrec array; mutable jlen : int }
 
+(* Live capture sink: sees every replicated master call, lock-order event,
+   injected signal and ring-flush boundary, independent of whether the
+   respawn journal is enabled. *)
+type sink = {
+  sink_call : rank:int -> call:Syscall.call -> result:Syscall.result -> unit;
+  sink_lock : lock_id:int -> thread_rank:int -> unit;
+  sink_signal : rank:int -> signo:int -> unit;
+  sink_flush : reason:string -> count:int -> unit;
+}
+
 type t = {
   mutable events : event array;
   mutable len : int;
@@ -31,6 +41,7 @@ type t = {
   mutable on_journal_append : (rank:int -> unit) option;
       (* fired after each journal append; GHUMVEE uses it to feed records
          to replaying replicas waiting at the head of the stream *)
+  mutable recorder : sink option;
 }
 
 let create ~nreplicas =
@@ -41,11 +52,15 @@ let create ~nreplicas =
     journal = Hashtbl.create 4;
     journal_enabled = false;
     on_journal_append = None;
+    recorder = None;
   }
 
 let length t = t.len
 
 let append t ~lock_id ~thread_rank =
+  (match t.recorder with
+  | Some s -> s.sink_lock ~lock_id ~thread_rank
+  | None -> ());
   if t.len = Array.length t.events then begin
     let bigger = Array.make (2 * t.len) t.events.(0) in
     Array.blit t.events 0 bigger 0 t.len;
@@ -80,6 +95,11 @@ let jstream t rank =
     s
 
 let journal_append t ~rank ~call ~result =
+  (* the recorder sees the full replicated stream even when the (memory-
+     costly) respawn journal is off *)
+  (match t.recorder with
+  | Some s -> s.sink_call ~rank ~call ~result
+  | None -> ());
   if t.journal_enabled then begin
     let s = jstream t rank in
     if s.jlen = Array.length s.recs then begin
@@ -100,3 +120,15 @@ let journal_nth t ~rank n =
   match Hashtbl.find_opt t.journal rank with
   | Some s when n >= 0 && n < s.jlen -> Some s.recs.(n)
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Recording sink *)
+
+let set_recorder t sink = t.recorder <- Some sink
+let clear_recorder t = t.recorder <- None
+
+let note_signal t ~rank ~signo =
+  match t.recorder with Some s -> s.sink_signal ~rank ~signo | None -> ()
+
+let note_flush t ~reason ~count =
+  match t.recorder with Some s -> s.sink_flush ~reason ~count | None -> ()

@@ -14,6 +14,16 @@ type event = { lock_id : int; thread_rank : int }
 (** One replicated master call, as the journal stores it. *)
 type callrec = { jcall : Syscall.call; jresult : Syscall.result }
 
+(** Live capture sink ({!Recording} installs one): sees every replicated
+    master call, lock-order event, injected signal and ring-flush boundary
+    as it happens, independent of whether the respawn journal is enabled. *)
+type sink = {
+  sink_call : rank:int -> call:Syscall.call -> result:Syscall.result -> unit;
+  sink_lock : lock_id:int -> thread_rank:int -> unit;
+  sink_signal : rank:int -> signo:int -> unit;
+  sink_flush : reason:string -> count:int -> unit;
+}
+
 type t
 
 val create : nreplicas:int -> t
@@ -46,3 +56,16 @@ val journal_append :
 
 val journal_length : t -> rank:int -> int
 val journal_nth : t -> rank:int -> int -> callrec option
+
+(** {1 Recording sink} *)
+
+val set_recorder : t -> sink -> unit
+(** Install the live-capture sink. At most one; the last install wins. *)
+
+val clear_recorder : t -> unit
+
+val note_signal : t -> rank:int -> signo:int -> unit
+(** Feed a delivered/injected signal to the recorder. No-op without one. *)
+
+val note_flush : t -> reason:string -> count:int -> unit
+(** Feed a ring-flush boundary to the recorder. No-op without one. *)

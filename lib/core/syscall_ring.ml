@@ -28,6 +28,13 @@ module Rb = Replication_buffer
 
 type flush_reason = Full | Deadline | Barrier | Overflow | Demand
 
+let flush_reason_to_string = function
+  | Full -> "full"
+  | Deadline -> "deadline"
+  | Barrier -> "barrier"
+  | Overflow -> "overflow"
+  | Demand -> "demand"
+
 (* One submission slot; pooled and recycled so steady-state batching
    allocates nothing per call. *)
 type slot = {
@@ -179,6 +186,9 @@ let rec flush ?th t reason =
     | Demand -> t.flushes_demand <- t.flushes_demand + 1);
     t.records_flushed <- t.records_flushed + !drained;
     if !drained > t.max_batch then t.max_batch <- !drained;
+    Record_log.note_flush t.rb.Rb.sync_log
+      ~reason:(flush_reason_to_string reason)
+      ~count:!drained;
     (* fixed costs, once per drain instead of once per record: the append
        and publish writes, one round of cache-line bounces as the slaves
        pull the fresh records, and — only when someone sleeps — the wake *)

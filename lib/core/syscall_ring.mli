@@ -21,6 +21,8 @@ type flush_reason =
   | Overflow  (** pending bytes no longer fit the RB's free space *)
   | Demand  (** a slave needed a parked record before the batch filled *)
 
+val flush_reason_to_string : flush_reason -> string
+
 type slot
 (** One in-flight record: reserved by {!submit}, finished by {!complete}. *)
 

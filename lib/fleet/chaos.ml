@@ -33,6 +33,9 @@ type cfg = {
   rolling : int option; (* [Some max_unavailable] runs a rolling restart *)
   seed : int;
   trace : bool; (* attach an observability sink *)
+  record_dir : string option;
+      (* dump a recording for every instance generation that ends with a
+         divergence verdict: the chaos sweep's reproducer artifacts *)
 }
 
 let default_cfg =
@@ -50,6 +53,7 @@ let default_cfg =
     rolling = None;
     seed = 42;
     trace = false;
+    record_dir = None;
   }
 
 type report = {
@@ -73,6 +77,7 @@ type report = {
   faults_injected : int;
   served : int; (* server-side successful requests (masters only) *)
   verdict_classes : string list; (* sorted, deduplicated *)
+  recordings : string list; (* reproducer files written to [record_dir] *)
   metrics : (string * string) list; (* [] when [trace] is off *)
 }
 
@@ -110,6 +115,7 @@ let mvee_config cfg =
       (if cfg.recovery then
          Mvee.Respawn { max_respawns = 2; backoff_ns = Vtime.ms 1 }
        else Mvee.Kill_group);
+    record = cfg.record_dir <> None;
   }
 
 let faults_for cfg ~nreplicas ~idx ~generation =
@@ -241,6 +247,38 @@ let run_scenario ?obs cfg : report =
     if traffic.attempted = 0 then 1.0
     else float_of_int traffic.succeeded /. float_of_int traffic.attempted
   in
+  (* reproducer dump: one recording per instance generation that ended
+     with a verdict — replayable offline with `remon replay` *)
+  let recordings =
+    match cfg.record_dir with
+    | None -> []
+    | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      List.rev fleet.Fleet.handles
+      |> List.mapi (fun i (h : Mvee.handle) -> (i, h))
+      |> List.filter_map (fun (i, (h : Mvee.handle)) ->
+             match (h.Mvee.group.Context.divergence, h.Mvee.recorder) with
+             | Some v, Some b ->
+               let log =
+                 h.Mvee.group.Context.rb.Replication_buffer.sync_log
+               in
+               Recording.detach b log;
+               let r =
+                 Recording.finish b
+                   ~verdict:(Some (Divergence.class_of v, Divergence.to_string v))
+               in
+               let r = Recording.with_workload r "chaos-kv" in
+               let path =
+                 Filename.concat dir
+                   (Printf.sprintf "chaos-seed%d-rate%.4f-rec%s-gen%d.rmrc"
+                      cfg.seed cfg.fault_rate
+                      (if cfg.recovery then "on" else "off")
+                      i)
+               in
+               Recording.to_file r path;
+               Some path
+             | _ -> None)
+  in
   {
     attempted = traffic.attempted;
     succeeded = traffic.succeeded;
@@ -263,6 +301,7 @@ let run_scenario ?obs cfg : report =
     served = fleet.Fleet.stats.Servers.served;
     verdict_classes =
       List.sort_uniq compare (List.map verdict_class totals.Fleet.verdicts);
+    recordings;
     metrics = Remon_obs.Obs.summary obs;
   }
 

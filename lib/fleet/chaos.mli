@@ -23,6 +23,10 @@ type cfg = {
   rolling : int option;  (** [Some max_unavailable] runs a rolling restart *)
   seed : int;
   trace : bool;
+  record_dir : string option;
+      (** dump a {!Recording} for every instance generation that ends with
+          a divergence verdict — the sweep's offline-replayable reproducer
+          artifacts *)
 }
 
 val default_cfg : cfg
@@ -50,6 +54,8 @@ type report = {
   faults_injected : int;
   served : int;
   verdict_classes : string list;  (** sorted, deduplicated *)
+  recordings : string list;
+      (** reproducer recordings written to [cfg.record_dir] *)
   metrics : (string * string) list;  (** [[]] when [trace] is off *)
 }
 

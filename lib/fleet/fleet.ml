@@ -78,6 +78,16 @@ let instance_config t inst =
     t.base_config with
     Mvee.seed;
     faults = t.faults_for ~idx:inst.idx ~generation:inst.generation;
+    (* pin the group's SysV key to a function of (instance, generation)
+       rather than the process-global counter: fleet cells fanned out over
+       a domain pool would otherwise allocate keys in pool-schedule order,
+       and the keys leak into recorded Shmget events — recordings must be
+       byte-identical for any --domains value *)
+    shm_key =
+      Some
+        (Context.mvee_shm_key_base
+        + ((inst.idx + 1) * 0x10000)
+        + (inst.generation * 16));
   }
 
 let rec launch_instance t inst =

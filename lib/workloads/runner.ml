@@ -18,6 +18,13 @@ type run_result = {
    sweep domains re-writing a name produce byte-identical content. *)
 let trace_dir : string option ref = ref None
 
+(* The most recent run's outcome, stashed before the verdict check so a
+   caller that catches [Mvee_terminated] can still reach the outcome —
+   in particular [outcome.recording], which IS the reproducer of the very
+   failure that raised. Domain-local discipline: only meaningful for
+   single-run callers (the CLI), not for Pool.map sweeps. *)
+let last_outcome : Mvee.outcome option ref = ref None
+
 let dump_trace ~dir ~name (config : Mvee.config) o =
   let sanitized =
     String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
@@ -48,6 +55,7 @@ let run_body ?cost ?(net_latency = Vtime.us 50) ?(check_verdict = true) ?obs
   let h = Mvee.launch kernel config ~name ~body in
   Kernel.run kernel;
   let outcome = Mvee.finish h in
+  last_outcome := Some outcome;
   (match (obs, !trace_dir) with
   | Some o, Some dir -> dump_trace ~dir ~name config o
   | _ -> ());
@@ -133,6 +141,7 @@ let run_server_bench ?(latency = Vtime.us 100) ?sock_buf ?obs
   let meas = Clients.launch kernel server client in
   Kernel.run kernel;
   let outcome = Mvee.finish h in
+  last_outcome := Some outcome;
   (match (obs, !trace_dir) with
   | Some o, Some dir -> dump_trace ~dir ~name:server.Servers.name config o
   | _ -> ());

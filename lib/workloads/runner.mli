@@ -14,6 +14,12 @@ val trace_dir : string option ref
     structured trace into the directory as
     [NAME-BACKEND-nN-seedS.json] (atomic tmp+rename publish). *)
 
+val last_outcome : Mvee.outcome option ref
+(** The most recent run's outcome, stashed before the verdict check so a
+    caller that catches {!Mvee_terminated} can still reach
+    [outcome.recording] — the reproducer of the failure that raised.
+    Single-run callers only (not [Pool.map] sweeps). *)
+
 val run_body :
   ?cost:Cost_model.t ->
   ?net_latency:Vtime.t ->

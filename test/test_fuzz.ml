@@ -227,12 +227,13 @@ let config_of sc backend =
     faults;
   }
 
-let run_backend ?obs sc backend =
+let run_backend ?obs ?(record = false) sc backend =
   let digests = Array.make sc.nreplicas "<unfinished>" in
   let kernel = Kernel.create ~seed:sc.sim_seed () in
   (match obs with Some o -> Kernel.set_obs kernel o | None -> ());
+  let config = { (config_of sc backend) with Mvee.record } in
   let h =
-    Mvee.launch kernel (config_of sc backend)
+    Mvee.launch kernel config
       ~name:(Printf.sprintf "fuzz%d" sc.id)
       ~body:(body sc digests)
   in
@@ -388,6 +389,27 @@ let dump_traces sc =
       path)
     backends
 
+(* The minimal scenario's recorded streams, one per backend: versioned
+   binary reproducers a later session can diff and bisect offline. *)
+let dump_recordings sc =
+  List.filter_map
+    (fun b ->
+      let o, _ = run_backend ~record:true sc b in
+      match o.Mvee.recording with
+      | None -> None
+      | Some r ->
+        let r =
+          Recording.with_workload r (Printf.sprintf "fuzz:%d" sc.id)
+        in
+        let path =
+          Filename.concat (dump_dir ())
+            (Printf.sprintf "fuzz-failure-%d-%s.rmrc" sc.id
+               (Mvee.backend_to_string b))
+        in
+        Recording.to_file r path;
+        Some path)
+    backends
+
 (* ------------------------------------------------------------------ *)
 
 let test_conformance () =
@@ -403,10 +425,12 @@ let test_conformance () =
         match check_scenario minimal with Some m -> m | None -> msg
       in
       let traces = dump_traces minimal in
+      let recordings = dump_recordings minimal in
       Printf.printf
-        "conformance violation (original scenario %d):\n%s\nminimal reproducer:\n%s\ntraces: %s\n%!"
+        "conformance violation (original scenario %d):\n%s\nminimal reproducer:\n%s\ntraces: %s\nrecordings: %s\n%!"
         sc.id msg (render_scenario minimal)
-        (String.concat ", " traces);
+        (String.concat ", " traces)
+        (String.concat ", " recordings);
       Printf.printf "violation: %s\n%!" why
   done;
   if !failures > 0 then
