@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig3 --trace DIR   # + dump per-run traces
 
    Experiments: table1 fig3 fig4 fig5 table2 dense ablations micro faults
-   saturation chaos selfperf ring
+   saturation chaos selfperf ring pdes
 
    Simulation runs are independent (own kernel, clock, seeded RNG), so the
    drivers fan them out across OCaml 5 domains via [Pool.map] and print the
@@ -30,6 +30,7 @@ let experiments =
     ("chaos", fun ~quick ~domains () -> Chaos.run ~quick ~domains ());
     ("selfperf", fun ~quick ~domains () -> Selfperf.run ~quick ~domains ());
     ("ring", fun ~quick ~domains () -> Ring.run ~quick ~domains ());
+    ("pdes", fun ~quick ~domains () -> Pdes.run ~quick ~domains ());
   ]
 
 let () =

@@ -1,0 +1,101 @@
+(* Sharded-simulation (PDES) scaling sweep (DESIGN.md section 15).
+
+   A saturation-grade multi-host scenario — four MVEE server hosts plus a
+   client host, cross-host traffic only — is run at increasing shard
+   counts on OCaml 5 domains. Two things are reported:
+
+   - the determinism contract, checked bit-for-bit: every shard count must
+     reproduce the shards=1 outcome digest and RMRC recordings exactly
+     (this is the hard invariant; a speedup that perturbs outcomes is a
+     bug, not a feature);
+   - the scaling curve: wall-clock per shard count and the conservative
+     round count (the synchronization overhead the link-latency lookahead
+     has to amortize). Wall times go to stderr so stdout stays diffable
+     across machines and core counts. *)
+
+open Remon_core
+open Remon_sim
+open Remon_util
+open Remon_workloads
+
+let scenario ~quick =
+  {
+    Topology.id = 0;
+    seed = 0xBEEF;
+    server_hosts = 4;
+    nreplicas = 3;
+    backend = Mvee.Remon;
+    arch = Servers.Epoll_loop;
+    requests_per_server = (if quick then 60 else 240);
+    concurrency = 4;
+    requests_per_conn = 4;
+    link_latency = Vtime.us 200;
+    faults = "";
+    record = true;
+  }
+
+let run ?(quick = false) ?domains:_ () =
+  print_endline "=== Sharded simulation (conservative PDES) ===\n";
+  let sc = scenario ~quick in
+  print_endline (Topology.render sc);
+  Printf.printf "host shards run on OCaml domains; lookahead = link latency\n\n";
+  let shard_counts = [ 1; 2; 4; 5 ] in
+  let t =
+    Table.create ~title:"shard scaling (5 hosts: 4 server + 1 client)"
+      ~header:
+        [ "shards"; "digest"; "recordings"; "rounds"; "responses"; "errors" ]
+      ()
+  in
+  let reference = ref None in
+  List.iter
+    (fun shards ->
+      let w0 = Unix.gettimeofday () in
+      let r = Topology.run ~shards sc in
+      let wall = Unix.gettimeofday () -. w0 in
+      let digest_ok, recordings_ok =
+        match !reference with
+        | None ->
+          reference := Some (r, wall);
+          (true, true)
+        | Some (ref_r, ref_wall) ->
+          Printf.eprintf "  shards=%d wall %.3f s (%.2fx vs shards=1)\n%!"
+            shards wall
+            (ref_wall /. wall);
+          ( r.Topology.digest = ref_r.Topology.digest,
+            List.for_all2
+              (fun (h1, r1) (h2, r2) ->
+                h1 = h2
+                && Recording.to_string r1 = Recording.to_string r2)
+              r.Topology.recordings ref_r.Topology.recordings )
+      in
+      if shards = 1 then
+        Printf.eprintf "  shards=1 wall %.3f s (reference)\n%!"
+          (match !reference with Some (_, w) -> w | None -> 0.);
+      Table.add_row t
+        [
+          string_of_int shards;
+          (if digest_ok then "identical" else "DIVERGED");
+          (if recordings_ok then "identical" else "DIVERGED");
+          string_of_int r.Topology.rounds;
+          string_of_int r.Topology.responses;
+          string_of_int r.Topology.transport_errors;
+        ];
+      if not (digest_ok && recordings_ok) then
+        failwith
+          (Printf.sprintf
+             "PDES determinism violation at shards=%d: outcomes diverged \
+              from the sequential reference"
+             shards))
+    shard_counts;
+  Table.print t;
+  print_newline ();
+  (* chaos variant: fault injection on one host must not change the story *)
+  let sc_chaos = { sc with Topology.faults = "delay@15:1=1500us"; id = 1 } in
+  let r1 = Topology.run ~shards:1 sc_chaos in
+  let r4 = Topology.run ~shards:4 sc_chaos in
+  Printf.printf "chaos variant (%s): shards 1 vs 4 digests %s\n"
+    sc_chaos.Topology.faults
+    (if r1.Topology.digest = r4.Topology.digest then "identical" else "DIVERGED");
+  if r1.Topology.digest <> r4.Topology.digest then
+    failwith "PDES determinism violation under fault injection";
+  print_newline ()

@@ -4,6 +4,7 @@
      remon run -w parsec.dedup           run a workload under an MVEE config
      remon attack [-b varan]             stage the Section 4 attack scenarios
      remon fleet --rate 0.004            chaos a fleet behind a load balancer
+     remon pdes --shards 4 --verify      sharded multi-host run + determinism check
      remon policy                        print the Table 1 classification *)
 
 open Cmdliner
@@ -762,6 +763,102 @@ let fleet_cmd =
       $ requests_arg $ workers_arg $ no_recovery_arg $ policy_arg
       $ rolling_arg $ seed_arg $ metrics_arg $ trace_arg)
 
+let pdes_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~docv:"N"
+          ~doc:
+            "Host shards run on OCaml domains (1 = sequential reference; \
+             clamped to the host count). Outcomes are byte-identical at \
+             every value.")
+  in
+  let hosts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "hosts" ] ~docv:"N"
+          ~doc:
+            "Simulated server hosts, one MVEE group each; a client host is \
+             added on top.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per server group.")
+  in
+  let latency_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "link-latency-us" ] ~docv:"US"
+          ~doc:
+            "Inter-host link latency in microseconds — also the \
+             conservative synchronizer's lookahead.")
+  in
+  let pdes_faults_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:"Fault plan for the host-0 group (same syntax as run).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-run sequentially (shards=1) and fail unless digests and \
+             recordings match byte-for-byte.")
+  in
+  let run backend nreplicas shards hosts requests latency_us faults seed
+      verify =
+    let sc =
+      {
+        Topology.id = 0;
+        seed;
+        server_hosts = hosts;
+        nreplicas;
+        backend;
+        arch = Servers.Epoll_loop;
+        requests_per_server = requests;
+        concurrency = 4;
+        requests_per_conn = 4;
+        link_latency = Vtime.us latency_us;
+        faults;
+        record = true;
+      }
+    in
+    (* the shard count goes to stderr: stdout must be byte-identical for
+       every --shards value, so CI can diff it directly *)
+    Printf.printf "%s\n\n" (Topology.render sc);
+    Printf.eprintf "shards   : %d\n%!" shards;
+    let r = Topology.run ~shards sc in
+    print_string r.Topology.digest;
+    if verify then begin
+      let ref_r = Topology.run ~shards:1 sc in
+      let ok =
+        r.Topology.digest = ref_r.Topology.digest
+        && List.length r.Topology.recordings
+           = List.length ref_r.Topology.recordings
+        && List.for_all2
+             (fun (h1, a) (h2, b) ->
+               h1 = h2 && Recording.to_string a = Recording.to_string b)
+             r.Topology.recordings ref_r.Topology.recordings
+      in
+      Printf.printf "\nverify vs shards=1: %s\n"
+        (if ok then "identical" else "DIVERGED");
+      if not ok then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "pdes"
+       ~doc:
+         "Run a multi-host MVEE topology under the sharded \
+          conservative-parallel simulator; outcomes are byte-identical at \
+          every shard count.")
+    Term.(
+      const run $ backend_arg $ replicas_arg $ shards_arg $ hosts_arg
+      $ requests_arg $ latency_arg $ pdes_faults_arg $ seed_arg $ verify_arg)
+
 let policy_cmd =
   let run () =
     List.iter
@@ -784,4 +881,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; replay_cmd; attack_cmd; fleet_cmd; policy_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            replay_cmd;
+            attack_cmd;
+            fleet_cmd;
+            pdes_cmd;
+            policy_cmd;
+          ]))

@@ -596,6 +596,7 @@ let finish (h : handle) : outcome =
       Remon_obs.Metrics.add m "eq.cancels" eq.Event_queue.cancels;
       Remon_obs.Metrics.add m "eq.pops" eq.Event_queue.pops;
       Remon_obs.Metrics.add m "eq.compactions" eq.Event_queue.compactions;
+      Remon_obs.Metrics.add m "eq.lazy_drops" eq.Event_queue.lazy_drops;
       Remon_obs.Metrics.add m "epoll.untranslatable"
         (Epoll_map.untranslatable h.group.Context.epoll_map);
       Remon_obs.Metrics.add m "recovery.quarantines" h.group.Context.quarantines;

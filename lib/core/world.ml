@@ -1,0 +1,289 @@
+(* Multi-host world: conservative-parallel (PDES) shard runner.
+
+   Each simulated host is a shard that owns a whole kernel — processes,
+   scheduler, event queue, VFS, network — outright. The only cross-host
+   state is the set of typed [Link]s between the per-host [Hostnet]
+   gateways, and every link carries a fixed positive latency that doubles
+   as the conservative synchronizer's lookahead.
+
+   The runner is barrier-synchronous (CMB-style null messages collapsed
+   into a coordinator round):
+
+     1. E_i  = min(next local event time, earliest queued inbound message)
+     2. F    = the fixed point of  F_i = min(E_i, min over inbound links
+               j->i of F_j + latency_ji)  — "host i cannot act, and hence
+               cannot send, before F_i"
+     3. bound_i = min over inbound links j->i of F_j + latency_ji — no
+        message host i has not yet seen can arrive before bound_i
+     4. drain every inbound message with at < bound_i, in canonical
+        (at, src host, link seq) order, scheduling each as a local event
+        at its delivery time
+     5. every shard runs its hosts' events strictly below bound_i
+        ([Sched.run_before]); barrier; repeat until every E_i is infinite.
+
+   Safety: a message sent by host j during round r is stamped at its send
+   event's time t >= F_j (j only runs events below its own bound, but any
+   event it runs is >= its frontier at round start), so it is delivered at
+   t + latency >= F_j + latency >= bound_i — never inside the window a
+   concurrent shard is executing.
+
+   Determinism across shard counts: rounds are identical whether shards
+   run sequentially or on domains — bounds depend only on post-barrier
+   state, draining is done by the coordinator in canonical order, link
+   sequence numbers are assigned by the (single-threaded) sending host in
+   its own deterministic event order, and hosts share no other state. The
+   [shards = 1] path is the very same round loop with the domain barrier
+   elided, so outcome digests, recordings and traces are byte-identical at
+   any shard count. *)
+
+open Remon_kernel
+open Remon_sim
+
+type host = {
+  idx : int;
+  kernel : Kernel.t;
+  hostnet : Hostnet.t;
+  inbound : (int * Link.t) list; (* (src host, link), sorted by src *)
+}
+
+type t = {
+  hosts : host array;
+  frontier : Vtime.t array; (* F_i scratch *)
+  bound : Vtime.t array; (* per-round execution bounds *)
+  mutable rounds : int;
+}
+
+(* Saturating add: [Vtime.infinity] is [max_int], so a plain add would
+   wrap around. *)
+let ( +! ) a b = if Vtime.is_finite a then Vtime.add a b else Vtime.infinity
+
+let create ?(link_latency = Vtime.ns (Cost_model.link_latency Cost_model.default))
+    ~n ~(mk : int -> Kernel.t) () =
+  if n < 1 then invalid_arg "World.create: need at least one host";
+  let kernels = Array.init n mk in
+  let hostnets =
+    Array.init n (fun i -> Hostnet.create ~host:i kernels.(i))
+  in
+  (* full mesh of links; [links.(i).(j)] carries i -> j *)
+  let links =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then None
+            else Some (Link.create ~src:i ~dst:j ~latency:link_latency)))
+  in
+  Array.iteri
+    (fun i hn ->
+      Array.iter
+        (function Some l when Link.src l = i -> Hostnet.add_link hn l | _ -> ())
+        links.(i))
+    hostnets;
+  let hosts =
+    Array.init n (fun j ->
+        let inbound =
+          List.filter_map
+            (fun i ->
+              match links.(i).(j) with Some l -> Some (i, l) | None -> None)
+            (List.init n Fun.id)
+        in
+        { idx = j; kernel = kernels.(j); hostnet = hostnets.(j); inbound })
+  in
+  {
+    hosts;
+    frontier = Array.make n Vtime.infinity;
+    bound = Array.make n Vtime.infinity;
+    rounds = 0;
+  }
+
+let n_hosts t = Array.length t.hosts
+let kernel t i = t.hosts.(i).kernel
+let hostnet t i = t.hosts.(i).hostnet
+let rounds t = t.rounds
+
+(* Every host must know the static port map: the owning host falls through
+   to its local listener table, everyone else routes via the gateway. *)
+let route t ~port ~host =
+  Array.iter (fun h -> Hostnet.add_route h.hostnet ~port ~host) t.hosts
+
+let link_stats t =
+  Array.to_list t.hosts
+  |> List.concat_map (fun h ->
+         List.map
+           (fun (src, l) ->
+             let sent, bytes = Link.stats l in
+             (src, h.idx, sent, bytes))
+           h.inbound)
+
+(* ------------------------------------------------------------------ *)
+(* The synchronizer *)
+
+(* Computes E, F and the per-host bounds; returns [true] while there is
+   work left anywhere. *)
+let compute_bounds t =
+  let n = Array.length t.hosts in
+  let live = ref false in
+  for i = 0 to n - 1 do
+    let h = t.hosts.(i) in
+    let local = Sched.next_event_time (Kernel.sched h.kernel) in
+    let e =
+      List.fold_left
+        (fun acc (_, l) -> Vtime.min acc (Link.peek_at l))
+        local h.inbound
+    in
+    t.frontier.(i) <- e;
+    if Vtime.is_finite e then live := true
+  done;
+  if !live then begin
+    (* relax F to its fixed point; latencies are positive, so this
+       terminates (each pass only lowers values, floored by min E) *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n - 1 do
+        let f =
+          List.fold_left
+            (fun acc (src, l) ->
+              Vtime.min acc (t.frontier.(src) +! Link.latency l))
+            t.frontier.(i) t.hosts.(i).inbound
+        in
+        if Vtime.(f < t.frontier.(i)) then begin
+          t.frontier.(i) <- f;
+          changed := true
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      t.bound.(i) <-
+        List.fold_left
+          (fun acc (src, l) ->
+            Vtime.min acc (t.frontier.(src) +! Link.latency l))
+          Vtime.infinity t.hosts.(i).inbound
+    done
+  end;
+  !live
+
+(* Drain every inbound message below the host's bound and schedule it as a
+   local event at its delivery time. Canonical (at, src, seq) order makes
+   the event queue's insertion-order tie-break deterministic regardless of
+   which link delivered first. *)
+let drain_round t =
+  Array.iter
+    (fun h ->
+      let msgs =
+        List.concat_map
+          (fun (src, l) ->
+            List.map
+              (fun m -> (src, m))
+              (Link.drain_before l ~bound:t.bound.(h.idx)))
+          h.inbound
+      in
+      let msgs =
+        List.sort
+          (fun (s1, (m1 : Link.msg)) (s2, (m2 : Link.msg)) ->
+            match Vtime.compare m1.Link.at m2.Link.at with
+            | 0 -> (
+              match compare (s1 : int) s2 with
+              | 0 -> compare m1.Link.seq m2.Link.seq
+              | c -> c)
+            | c -> c)
+          msgs
+      in
+      List.iter
+        (fun (src, (m : Link.msg)) ->
+          Sched.schedule (Kernel.sched h.kernel) ~time:m.Link.at (fun () ->
+              Hostnet.apply h.hostnet ~src m))
+        msgs)
+    t.hosts
+
+let run_host t (h : host) =
+  Sched.run_before (Kernel.sched h.kernel) ~bound:t.bound.(h.idx)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let run_seq t =
+  while compute_bounds t do
+    t.rounds <- t.rounds + 1;
+    drain_round t;
+    Array.iter (fun h -> run_host t h) t.hosts
+  done
+
+(* Parallel rounds on persistent domains. The barrier is a mutex/condvar
+   phase counter rather than a spin loop: shards may outnumber cores (the
+   determinism contract must hold on a 1-CPU box too), and a spinning
+   coordinator would stall the very workers it waits for. The monitor
+   gives the happens-before edges both ways — the coordinator's drain
+   writes are visible to workers, worker event processing is visible to
+   the next bound computation. Static host -> shard assignment
+   ([idx mod shards]) keeps placement deterministic, though determinism
+   does not depend on it: hosts only interact through the links. *)
+let run_par t ~shards =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let phase = ref 0 in
+  let done_count = ref 0 in
+  let stop = ref false in
+  let failure = ref None in
+  let run_shard s =
+    Array.iter (fun h -> if h.idx mod shards = s then run_host t h) t.hosts
+  in
+  let worker s =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock m;
+      while !phase = !seen && not !stop do
+        Condition.wait cv m
+      done;
+      seen := !phase;
+      let stopping = !stop in
+      Mutex.unlock m;
+      if stopping then running := false
+      else begin
+        let err = (try run_shard s; None with e -> Some e) in
+        Mutex.lock m;
+        (match (err, !failure) with
+        | Some e, None -> failure := Some e
+        | _ -> ());
+        incr done_count;
+        Condition.broadcast cv;
+        Mutex.unlock m
+      end
+    done
+  in
+  let domains =
+    List.init (shards - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let release_and_join () =
+    Mutex.lock m;
+    stop := true;
+    Condition.broadcast cv;
+    Mutex.unlock m;
+    List.iter Domain.join domains
+  in
+  (try
+     while compute_bounds t do
+       t.rounds <- t.rounds + 1;
+       drain_round t;
+       Mutex.lock m;
+       done_count := 0;
+       incr phase;
+       Condition.broadcast cv;
+       Mutex.unlock m;
+       run_shard 0;
+       Mutex.lock m;
+       while !done_count < shards - 1 do
+         Condition.wait cv m
+       done;
+       let err = !failure in
+       Mutex.unlock m;
+       match err with Some e -> raise e | None -> ()
+     done
+   with e ->
+     release_and_join ();
+     raise e);
+  release_and_join ()
+
+let run ?(shards = 1) t =
+  if shards < 1 then invalid_arg "World.run: shards must be >= 1";
+  let shards = min shards (Array.length t.hosts) in
+  if shards = 1 then run_seq t else run_par t ~shards

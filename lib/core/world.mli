@@ -1,0 +1,39 @@
+(** Multi-host world: conservative-parallel (PDES) shard runner.
+
+    Each simulated host owns a whole kernel; hosts interact only through
+    typed inter-host links with a fixed positive latency (the lookahead).
+    [run] drives all hosts in barrier-synchronous conservative rounds —
+    sequentially with [shards = 1], on OCaml 5 domains otherwise — and the
+    round structure is identical either way, so every observable outcome
+    (digests, recordings, traces) is byte-identical at any shard count. *)
+
+open Remon_kernel
+open Remon_sim
+
+type t
+
+val create :
+  ?link_latency:Vtime.t -> n:int -> mk:(int -> Kernel.t) -> unit -> t
+(** [create ~n ~mk ()] builds [n] hosts with a full mesh of links; host
+    [i]'s kernel is [mk i]. [link_latency] defaults to the cost model's
+    inter-host latency ({!Cost_model.link_latency} of the default model)
+    and must be positive — it is the conservative lookahead. *)
+
+val n_hosts : t -> int
+val kernel : t -> int -> Kernel.t
+val hostnet : t -> int -> Hostnet.t
+
+val route : t -> port:int -> host:int -> unit
+(** Statically declare that [port] is served from [host]; connects from
+    every other host are carried over the links. Routing must be set up
+    before [run]. *)
+
+val run : ?shards:int -> t -> unit
+(** Runs every host to completion. [shards] is clamped to the host count;
+    [shards = 1] (default) is the sequential reference execution. *)
+
+val rounds : t -> int
+(** Conservative rounds executed so far (a parallelism diagnostic). *)
+
+val link_stats : t -> (int * int * int * int) list
+(** Per-link [(src, dst, messages, data_bytes)] tallies. *)

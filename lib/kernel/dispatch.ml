@@ -100,7 +100,10 @@ let poll_desc k (d : Proc.desc) : Syscall.poll_events =
       Syscall.ev_none with
       pollin = Bytestream.length s.incoming > 0 || stream_eof s;
       pollout =
-        (not (Net.peer_gone s)) && (not s.wr_shut) && Net.send_space s > 0;
+        s.Net.connected
+        && (not (Net.peer_gone s))
+        && (not s.wr_shut)
+        && Net.send_space s > 0;
       pollhup = Net.peer_gone s;
     }
   | Proc.Epoll_fd _ -> Syscall.ev_none
@@ -194,7 +197,10 @@ let release_desc k (p : Proc.process) (d : Proc.desc) =
         (* writers blocked on a reader-less pipe get SIGPIPE/EPIPE on retry *)
         ()
     | Proc.Pipe_write pi -> pi.writers <- pi.writers - 1
-    | Proc.Stream s -> Net.close_stream s
+    | Proc.Stream s ->
+      Net.close_stream s;
+      (* a cross-host endpoint: let the gateway flush and send FIN *)
+      if s.Net.remote then K.gw_poke k s
     | Proc.Listener l -> Net.close_listener k.K.net l
     | Proc.Epoll_fd _ | Proc.Timer_fd _ | Proc.Event_fd _ | Proc.Regular _
     | Proc.Directory _ | Proc.Dev_null | Proc.Proc_maps _
@@ -326,6 +332,8 @@ let rec do_read k (th : Proc.thread) (d : Proc.desc) ~count ~(ret : Syscall.resu
       let attempt () =
         if Bytestream.length s.incoming > 0 then begin
           let data = Net.recv s count in
+          (* cross-host streams return the freed space as link credit *)
+          if s.Net.remote then K.gw_drained k s (String.length data);
           (* draining frees receive-buffer space: wake blocked senders *)
           Sched.kick k.K.sched;
           Some data
@@ -429,16 +437,21 @@ and do_write k (th : Proc.thread) (d : Proc.desc) ~data ~(ret : Syscall.result -
          nonblocking one sees a partial write or EAGAIN. *)
       let deliver chunk peer =
         let bytes = String.length chunk in
-        (* local pairs (socketpair/loopback) skip the NIC: memcpy only *)
-        if s.Net.local then
-          charge th (Cost_model.local_copy_ns k.K.cost ~bytes)
-        else charge th (Cost_model.wire_ns k.K.cost ~bytes);
+        (* local pairs (socketpair/loopback) skip the NIC: memcpy only.
+           Cross-host endpoints pay the NIC/wire cost here, but the hop to
+           the local gateway is near-free: the propagation delay lives on
+           the inter-host link behind it. *)
+        if s.Net.remote || not s.Net.local then
+          charge th (Cost_model.wire_ns k.K.cost ~bytes)
+        else charge th (Cost_model.local_copy_ns k.K.cost ~bytes);
         let latency =
           if s.Net.local then Vtime.us 2 else k.K.net.Net.latency
         in
         let arrival = Vtime.add (Vtime.max th.clock (K.now k)) latency in
         Sched.schedule k.K.sched ~time:arrival (fun () ->
             Net.commit peer chunk;
+            (* the peer of a cross-host app endpoint is gateway-held *)
+            if peer.Net.remote then K.gw_poke k peer;
             Sched.kick k.K.sched)
       in
       (* Everything before [offset] has been accepted already, so an error
@@ -1018,16 +1031,41 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
         match d.kind with
         | Proc.Stream placeholder -> (
           match Net.find_listener k.K.net ~port with
-          | None ->
-            (* RST arrives one round trip later *)
-            block k th ~what:"connect(refused)"
-              ~timeout_ns:(Vtime.scale k.K.net.Net.latency 2.)
-              ~poll:(fun () -> None)
-              ~on_ready:(fun (r : Syscall.result) -> ret r)
-              ~complete:(fun r ->
-                if r = err Errno.ETIMEDOUT then ret (err Errno.ECONNREFUSED)
-                else ret r)
-              ()
+          | None -> (
+            match k.K.gateway with
+            | Some g when g.K.gw_has_port port ->
+              (* port statically routed to another host: the gateway runs
+                 the SYN handshake over the inter-host link, and whether a
+                 listener exists there is resolved at SYN-arrival virtual
+                 time (deterministically, like the local backlog check) *)
+              let local_port =
+                if placeholder.local_port <> 0 then placeholder.local_port
+                else Net.ephemeral_port k.K.net
+              in
+              let client, progress = g.K.gw_connect ~local_port ~port in
+              d.kind <- Proc.Stream client;
+              if d.nonblock then ret (err Errno.EINPROGRESS)
+              else
+                block k th ~what:"connect(remote)"
+                  ~poll:(fun () ->
+                    match !progress with
+                    | K.Gw_connecting -> None
+                    | (K.Gw_connected | K.Gw_refused) as st -> Some st)
+                  ~on_ready:(fun st ->
+                    match st with
+                    | K.Gw_connected -> ret (Syscall.Ok_int 0)
+                    | _ -> ret (err Errno.ECONNREFUSED))
+                  ~complete:ret ()
+            | _ ->
+              (* RST arrives one round trip later *)
+              block k th ~what:"connect(refused)"
+                ~timeout_ns:(Vtime.scale k.K.net.Net.latency 2.)
+                ~poll:(fun () -> None)
+                ~on_ready:(fun (r : Syscall.result) -> ret r)
+                ~complete:(fun r ->
+                  if r = err Errno.ETIMEDOUT then ret (err Errno.ECONNREFUSED)
+                  else ret r)
+                ())
           | Some l ->
             let client_port =
               if placeholder.local_port <> 0 then placeholder.local_port
@@ -1111,6 +1149,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
           | Syscall.Shut_rdwr ->
             s.rd_shut <- true;
             s.wr_shut <- true);
+          if s.Net.remote then K.gw_poke k s;
           Sched.kick k.K.sched;
           ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))

@@ -1,0 +1,348 @@
+(* Cross-host network gateway: one per simulated host in a sharded (PDES)
+   run. Implements the [Kstate.gateway] hooks over typed inter-host links.
+
+   A cross-host TCP connection is modeled as two *local* stream pairs, one
+   per host, stitched together by the gateway:
+
+     client app <-> client gw   ~~~ link (latency) ~~~   server gw <-> server app
+
+   The application endpoints are ordinary [Net.stream]s, so every read,
+   write, poll, epoll and backpressure path in the dispatcher works
+   unchanged; only the gateway endpoints and the link protocol are new.
+   The local pairs carry the intra-host hop (memcpy cost, ~2us); the wire
+   propagation delay lives on the link and doubles as the conservative
+   synchronizer's lookahead.
+
+   Flow control is credit-based: the SYN/SYN_OK handshake advertises each
+   application endpoint's receive buffer, DATA consumes credit, and WINDOW
+   returns it as the application drains. A sender therefore never puts
+   more in flight than the remote buffer can absorb — the same invariant
+   [Net.send_start] enforces locally — and backpressure propagates
+   end-to-end: remote buffer full -> no credit -> gateway buffer fills ->
+   local writer blocks.
+
+   Determinism: every hook runs inside a scheduled event of the owning
+   host (a commit event, a syscall retry, or a link-message application
+   event), so send timestamps and per-link sequence numbers are pure
+   functions of virtual time. Connection ids are globally unique without
+   coordination: initiator host index * 2^24 + a per-host counter. *)
+
+module K = Kstate
+
+type conn = {
+  cid : int;
+  app : Net.stream; (* the endpoint owned by an application fd *)
+  gw : Net.stream; (* our end of the local pair; buffers outbound data *)
+  link : Link.t; (* outbound link towards the remote end *)
+  mutable credits : int; (* bytes the remote app buffer can still absorb *)
+  mutable progress : K.gw_progress ref option;
+      (* Some on the initiating side until SYN_OK/SYN_REFUSED resolves *)
+  mutable fin_sent : bool;
+  mutable fin_rcvd : bool;
+  mutable rst_sent : bool;
+}
+
+type t = {
+  host : int;
+  k : K.t;
+  routes : (int, int) Hashtbl.t; (* port -> owning host index *)
+  out : (int, Link.t) Hashtbl.t; (* destination host -> outbound link *)
+  conns : (int, conn) Hashtbl.t; (* conn id -> connection *)
+  by_sid : (int, conn) Hashtbl.t; (* app/gw stream sid -> connection *)
+  mutable next_conn : int;
+  (* lifetime tallies *)
+  mutable opened : int;
+  mutable refused : int;
+  mutable resets : int;
+}
+
+let conn_id_stride = 0x1_000_000
+
+let host t = t.host
+
+let add_route t ~port ~host = Hashtbl.replace t.routes port host
+
+let add_link t link =
+  if Link.src link <> t.host then
+    invalid_arg "Hostnet.add_link: link does not originate here";
+  Hashtbl.replace t.out (Link.dst link) link
+
+let active_conns t = Hashtbl.length t.conns
+
+let stats t = (t.opened, t.refused, t.resets)
+
+(* ------------------------------------------------------------------ *)
+(* Connection bookkeeping *)
+
+let mark_remote (a : Net.stream) (b : Net.stream) =
+  (* local: the pair is an intra-host hop (cheap, ~2us); remote: the
+     dispatcher charges wire cost and calls the gateway hooks *)
+  a.Net.local <- true;
+  b.Net.local <- true;
+  a.Net.remote <- true;
+  b.Net.remote <- true
+
+let register t c =
+  Hashtbl.replace t.conns c.cid c;
+  Hashtbl.replace t.by_sid c.app.Net.sid c;
+  Hashtbl.replace t.by_sid c.gw.Net.sid c
+
+let unregister t c =
+  Hashtbl.remove t.conns c.cid;
+  Hashtbl.remove t.by_sid c.app.Net.sid;
+  Hashtbl.remove t.by_sid c.gw.Net.sid
+
+let established c =
+  match c.progress with None -> true | Some p -> !p = K.Gw_connected
+
+(* Both directions torn down: release everything. Closing is idempotent
+   and never drops committed-but-unread data (EOF is after-drain). *)
+let maybe_gc t c =
+  if c.fin_sent && c.fin_rcvd then begin
+    Net.close_stream c.gw;
+    Net.close_stream c.app;
+    unregister t c
+  end
+
+(* Pump buffered outbound bytes onto the link, within credit; emit FIN
+   once the application's write side is done and everything is flushed.
+   Safe to call from any hook: it does nothing when there is nothing to
+   do. *)
+let pump t c =
+  if established c && not c.fin_sent then begin
+    let now = Sched.now t.k.K.sched in
+    let avail = Bytestream.length c.gw.Net.incoming in
+    let n = min avail c.credits in
+    if n > 0 then begin
+      let data = Net.recv c.gw n in
+      c.credits <- c.credits - n;
+      Link.send c.link ~now (Link.Data { conn = c.cid; data });
+      (* freed gateway buffer space: a blocked local writer may resume *)
+      Sched.kick t.k.K.sched
+    end;
+    let flushed =
+      Bytestream.length c.gw.Net.incoming = 0 && c.gw.Net.in_flight = 0
+    in
+    let write_done = Net.peer_gone c.gw || c.app.Net.wr_shut in
+    (* FIN only once flushed: the peer's own FIN says it stopped writing,
+       not reading — a half-closed peer still wants our residue. Unflushable
+       residue (receiver application gone, credit exhausted) is torn down by
+       the RST path instead. *)
+    if write_done && flushed then begin
+      c.fin_sent <- true;
+      Link.send c.link ~now (Link.Fin { conn = c.cid });
+      maybe_gc t c
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gateway hooks (outbound side) *)
+
+let gw_has_port t port =
+  match Hashtbl.find_opt t.routes port with
+  | Some h -> h <> t.host
+  | None -> false
+
+let gw_connect t ~local_port ~port =
+  let dst =
+    match Hashtbl.find_opt t.routes port with
+    | Some h when h <> t.host -> h
+    | _ -> invalid_arg "Hostnet.gw_connect: port is not remotely routed"
+  in
+  let link =
+    match Hashtbl.find_opt t.out dst with
+    | Some l -> l
+    | None -> invalid_arg "Hostnet.gw_connect: no link to destination host"
+  in
+  let app, gw =
+    Net.make_pair t.k.K.net ~client_port:local_port ~server_port:port
+  in
+  mark_remote app gw;
+  let cid = (t.host * conn_id_stride) + t.next_conn in
+  t.next_conn <- t.next_conn + 1;
+  t.opened <- t.opened + 1;
+  let progress = ref K.Gw_connecting in
+  let c =
+    {
+      cid;
+      app;
+      gw;
+      link;
+      credits = 0;
+      progress = Some progress;
+      fin_sent = false;
+      fin_rcvd = false;
+      rst_sent = false;
+    }
+  in
+  register t c;
+  Link.send link
+    ~now:(Sched.now t.k.K.sched)
+    (Link.Syn
+       {
+         conn = cid;
+         src_port = local_port;
+         dst_port = port;
+         window = app.Net.rcvbuf;
+       });
+  (app, progress)
+
+let gw_poke t s =
+  match Hashtbl.find_opt t.by_sid s.Net.sid with
+  | Some c -> pump t c
+  | None -> ()
+
+let gw_drained t s n =
+  if n > 0 then
+    match Hashtbl.find_opt t.by_sid s.Net.sid with
+    | Some c when not c.fin_sent ->
+      Link.send c.link
+        ~now:(Sched.now t.k.K.sched)
+        (Link.Window { conn = c.cid; bytes = n })
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Inbound message application *)
+
+(* Applies one drained link message. Must run as a scheduled event of this
+   host at the message's delivery time [m.at] (the shard runner arranges
+   that), so everything it does is ordinary in-timestamp-order simulation
+   work. [src] is the sending host (for SYN replies; established
+   connections carry their own outbound link). *)
+let apply t ~src (m : Link.msg) =
+  let k = t.k in
+  let now = Sched.now k.K.sched in
+  let reply payload =
+    match Hashtbl.find_opt t.out src with
+    | Some l -> Link.send l ~now payload
+    | None -> ()
+  in
+  match m.Link.payload with
+  | Link.Syn { conn; src_port; dst_port; window } -> (
+    match Net.find_listener k.K.net ~port:dst_port with
+    | None ->
+      t.refused <- t.refused + 1;
+      reply (Link.Syn_refused { conn })
+    | Some l ->
+      let gw, app =
+        Net.make_pair k.K.net ~client_port:src_port ~server_port:dst_port
+      in
+      mark_remote app gw;
+      if Net.try_enqueue l app then begin
+        let c =
+          {
+            cid = conn;
+            app;
+            gw;
+            link =
+              (match Hashtbl.find_opt t.out src with
+              | Some l -> l
+              | None ->
+                invalid_arg "Hostnet.apply: SYN from an unlinked host");
+            credits = window;
+            progress = None;
+            fin_sent = false;
+            fin_rcvd = false;
+            rst_sent = false;
+          }
+        in
+        register t c;
+        t.opened <- t.opened + 1;
+        reply (Link.Syn_ok { conn; window = app.Net.rcvbuf });
+        Sched.kick k.K.sched
+      end
+      else begin
+        (* backlog full at SYN arrival, like the local enqueue check *)
+        t.refused <- t.refused + 1;
+        Net.close_stream gw;
+        Net.close_stream app;
+        reply (Link.Syn_refused { conn })
+      end)
+  | Link.Syn_ok { conn; window } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some c ->
+      c.credits <- window;
+      c.app.Net.connected <- true;
+      (match c.progress with Some p -> p := K.Gw_connected | None -> ());
+      pump t c;
+      Sched.kick k.K.sched)
+  | Link.Syn_refused { conn } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some c ->
+      (match c.progress with Some p -> p := K.Gw_refused | None -> ());
+      Net.close_stream c.gw;
+      Net.close_stream c.app;
+      unregister t c;
+      Sched.kick k.K.sched)
+  | Link.Data { conn; data } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> () (* both sides torn down already: late data is dropped *)
+    | Some c ->
+      if Net.peer_gone c.gw then begin
+        (* the receiving application closed: a real stack answers
+           data-after-close with RST *)
+        if not c.rst_sent then begin
+          c.rst_sent <- true;
+          t.resets <- t.resets + 1;
+          Link.send c.link ~now (Link.Rst { conn = c.cid })
+        end
+      end
+      else begin
+        Net.commit_inbound c.app data;
+        Sched.kick k.K.sched
+      end)
+  | Link.Window { conn; bytes } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some c ->
+      c.credits <- c.credits + bytes;
+      pump t c)
+  | Link.Fin { conn } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some c ->
+      c.fin_rcvd <- true;
+      (* half-close: the application observes EOF once it has drained,
+         but may keep writing (its own close/SHUT_WR sends our FIN) *)
+      c.gw.Net.wr_shut <- true;
+      pump t c;
+      maybe_gc t c;
+      Sched.kick k.K.sched)
+  | Link.Rst { conn } -> (
+    match Hashtbl.find_opt t.conns conn with
+    | None -> ()
+    | Some c ->
+      t.resets <- t.resets + 1;
+      Net.close_stream c.gw;
+      Net.close_stream c.app;
+      unregister t c;
+      Sched.kick k.K.sched)
+
+(* ------------------------------------------------------------------ *)
+
+let create ~host k =
+  let t =
+    {
+      host;
+      k;
+      routes = Hashtbl.create 16;
+      out = Hashtbl.create 8;
+      conns = Hashtbl.create 32;
+      by_sid = Hashtbl.create 64;
+      next_conn = 0;
+      opened = 0;
+      refused = 0;
+      resets = 0;
+    }
+  in
+  k.K.gateway <-
+    Some
+      {
+        K.gw_has_port = gw_has_port t;
+        gw_connect = (fun ~local_port ~port -> gw_connect t ~local_port ~port);
+        gw_poke = gw_poke t;
+        gw_drained = gw_drained t;
+      };
+  t

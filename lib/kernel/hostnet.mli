@@ -1,0 +1,33 @@
+(** Cross-host network gateway: one per simulated host in a sharded (PDES)
+    run. Models a cross-host TCP connection as two local stream pairs — an
+    application endpoint and a gateway endpoint on each host — stitched
+    together by a credit-windowed SYN/DATA/WINDOW/FIN/RST protocol over
+    typed inter-host {!Link}s, so every dispatcher read/write/poll/
+    backpressure path works unchanged. Installs itself as the kernel's
+    {!Kstate.gateway}. *)
+
+type t
+
+val create : host:int -> Kstate.t -> t
+(** Builds the gateway for host [host] and installs its hooks into the
+    kernel. Routes and links are added afterwards. *)
+
+val host : t -> int
+
+val add_route : t -> port:int -> host:int -> unit
+(** Declare statically that [port] is served from [host]. Connects to a
+    port routed to another host go through the gateway; whether a listener
+    actually exists there is resolved at SYN-arrival virtual time. *)
+
+val add_link : t -> Link.t -> unit
+(** Register an outbound link (must originate at this host). *)
+
+val apply : t -> src:int -> Link.msg -> unit
+(** Apply one drained inbound message from host [src]. The shard runner
+    must invoke this from a scheduled event of this host at the message's
+    delivery time, in the canonical (at, src, seq) order. *)
+
+val active_conns : t -> int
+
+val stats : t -> int * int * int
+(** [(opened, refused, resets)] lifetime tallies. *)

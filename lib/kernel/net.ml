@@ -34,6 +34,10 @@ type stream = {
   mutable in_flight : int; (* bytes sent but not yet committed *)
   mutable connected : bool;
   mutable local : bool; (* same-host pair (socketpair): no link latency *)
+  mutable remote : bool;
+      (* application endpoint of a cross-host connection: the local "pair"
+         only models the host's socket buffer, the real latency lives on
+         the inter-host link behind the gateway *)
   mutable sndbuf : int; (* max bytes one send may accept (SO_SNDBUF) *)
   mutable rcvbuf : int; (* cap on incoming + in_flight (SO_RCVBUF) *)
   mutable buffered_hwm : int; (* high-water mark of incoming + in_flight *)
@@ -81,6 +85,7 @@ let fresh_stream t =
     in_flight = 0;
     connected = false;
     local = false;
+    remote = false;
     sndbuf = t.bufcap;
     rcvbuf = t.bufcap;
     buffered_hwm = 0;
@@ -196,6 +201,14 @@ let at_eof stream =
 (* Draining the committed queue frees receive-buffer space; the dispatcher
    kicks the scheduler afterwards so blocked senders retry. *)
 let recv stream count = Bytestream.pull stream.incoming count
+
+(* Receiver side of a cross-host link: the per-connection credit window
+   reserved the space end-to-end, so arriving bytes go straight into the
+   committed queue (there is no local in-flight phase). *)
+let commit_inbound stream data =
+  Bytestream.push stream.incoming data;
+  let b = buffered stream in
+  if b > stream.buffered_hwm then stream.buffered_hwm <- b
 
 (* Endpoint close: detach from peer so the peer observes EOF / EPIPE. *)
 let close_stream stream =

@@ -31,6 +31,7 @@ type stream = {
   mutable in_flight : int;
   mutable connected : bool;
   mutable local : bool; (** same-host pair: memcpy cost, ~no latency *)
+  mutable remote : bool; (** gateway endpoint of a cross-host connection *)
   mutable sndbuf : int; (** max bytes a single send may accept *)
   mutable rcvbuf : int; (** cap on [incoming] + [in_flight] *)
   mutable buffered_hwm : int; (** high-water mark of buffered bytes *)
@@ -91,6 +92,12 @@ val send_start : stream -> string -> (int * stream, Errno.t) result
     [accepted = 0] means the buffer is full: block or return EAGAIN. *)
 
 val commit : stream -> string -> unit
+
+val commit_inbound : stream -> string -> unit
+(** Push bytes straight into [incoming] with no in-flight accounting — the
+    cross-host gateway's entry point, where flow control is the link-level
+    credit window rather than [in_flight]. Maintains [buffered_hwm]. *)
+
 val peer_gone : stream -> bool
 val readable : stream -> bool
 val at_eof : stream -> bool

@@ -235,25 +235,61 @@ let blocked_threads t =
 
 exception Event_budget_exhausted
 
-let run ?until t =
-  let continue_past time =
-    match until with None -> true | Some limit -> Vtime.(time <= limit)
-  in
+(* Unbounded drain: the common case, kept free of any per-event bound
+   check or peek. *)
+let run_all t =
   let slot = t.slot in
   let running = ref true in
   while !running do
     if not (Event_queue.pop_into t.events slot) then running := false
     else begin
+      t.events_processed <- t.events_processed + 1;
+      if t.events_processed > t.max_events then raise Event_budget_exhausted;
       let time = Event_queue.slot_time slot in
-      if not (continue_past time) then running := false
-      else begin
+      if Vtime.(time > t.now) then t.now <- time;
+      (Event_queue.slot_payload slot) ()
+    end
+  done
+
+(* Bounded drain. [strict] selects [time < limit] (shard windows) vs
+   [time <= limit] (the historical [run ~until] contract). The first
+   out-of-bound event is *peeked*, not popped: the old loop popped it to
+   look at its timestamp and then dropped it on the floor, silently losing
+   one future event per bounded run. *)
+let run_bounded t ~limit ~strict =
+  let slot = t.slot in
+  let running = ref true in
+  while !running do
+    match Event_queue.peek_time t.events with
+    | None -> running := false
+    | Some time when (if strict then Vtime.(time >= limit) else Vtime.(time > limit)) ->
+      running := false
+    | Some _ ->
+      if Event_queue.pop_into t.events slot then begin
         t.events_processed <- t.events_processed + 1;
         if t.events_processed > t.max_events then raise Event_budget_exhausted;
+        let time = Event_queue.slot_time slot in
         if Vtime.(time > t.now) then t.now <- time;
         (Event_queue.slot_payload slot) ()
       end
-    end
+      else running := false
   done
+
+let run ?until t =
+  match until with
+  | None -> run_all t
+  | Some limit -> run_bounded t ~limit ~strict:false
+
+(* Conservative-parallel window: process everything strictly below
+   [bound], leave the rest queued. *)
+let run_before t ~bound = run_bounded t ~limit:bound ~strict:true
+
+(* Time of the next runnable event, [Vtime.infinity] on an empty queue:
+   the E_i input of the shard synchronizer's lookahead fixed point. *)
+let next_event_time t =
+  match Event_queue.peek_time t.events with
+  | Some time -> time
+  | None -> Vtime.infinity
 
 (* Effect-performing API for program bodies. *)
 let syscall call : Syscall.result = Effect.perform (Syscall_eff call)

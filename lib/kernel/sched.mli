@@ -51,6 +51,17 @@ val spawn : t -> Proc.thread -> (unit -> unit) -> unit
 exception Event_budget_exhausted
 
 val run : ?until:Vtime.t -> t -> unit
+(** Drains the event queue; with [~until] only events with [time <= until]
+    run and later ones stay queued (a bounded run no longer discards the
+    first event past the limit). *)
+
+val run_before : t -> bound:Vtime.t -> unit
+(** Processes every event with [time < bound] (strict) and leaves the rest
+    queued: one conservative-parallel shard window. *)
+
+val next_event_time : t -> Vtime.t
+(** Time of the earliest queued event, or [Vtime.infinity] when idle — the
+    local component of the shard synchronizer's lookahead fixed point. *)
 
 (** {1 Effect-performing API for program bodies} *)
 

@@ -46,6 +46,11 @@ type t = {
   replay_record_ns : int;
       (* per-record cost of satisfying a respawned replica's syscall from
          the master's journal during resynchronization *)
+  link_latency_ns : int;
+      (* one-way propagation delay of an inter-host link (LAN-scale
+         default). In sharded runs this is also the conservative
+         synchronization lookahead: a shard may run ahead of its peers by
+         exactly this much, so it bounds both fidelity and parallelism. *)
 }
 
 let default =
@@ -71,6 +76,7 @@ let default =
     cacheline_bounce_ns = 45;
     respawn_spawn_ns = 450_000;
     replay_record_ns = 400;
+    link_latency_ns = 200_000;
   }
 
 (* A hypothetical machine with very cheap context switches: used by the
@@ -94,3 +100,5 @@ let compare_ns t ~bytes =
 
 let wire_ns t ~bytes =
   t.nic_overhead_ns + int_of_float (t.wire_ns_per_byte *. float_of_int bytes)
+
+let link_latency t = t.link_latency_ns

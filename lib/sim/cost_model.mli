@@ -29,6 +29,9 @@ type t = {
       (** monitor-side cost of forking + attaching a replacement replica *)
   replay_record_ns : int;
       (** per-record cost of journal-driven resynchronization replay *)
+  link_latency_ns : int;
+      (** one-way inter-host propagation delay; doubles as the
+          conservative-synchronization lookahead of sharded runs *)
 }
 
 val default : t
@@ -52,3 +55,7 @@ val compare_ns : t -> bytes:int -> int
 val wire_ns : t -> bytes:int -> int
 (** Per-message network processing + serialization cost (excludes
     propagation latency, which is a property of the link). *)
+
+val link_latency : t -> int
+(** The [link_latency_ns] field, as the default per-link latency (and
+    lookahead) of multi-host topologies. *)

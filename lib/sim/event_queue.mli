@@ -4,7 +4,13 @@
 
 type 'a t
 
-type stats = { adds : int; cancels : int; pops : int; compactions : int }
+type stats = {
+  adds : int;
+  cancels : int;
+  pops : int;
+  compactions : int;
+  lazy_drops : int;  (** dead entries discarded by [peek_time]'s lazy sweep *)
+}
 
 type handle
 
@@ -54,6 +60,6 @@ val peek_time : 'a t -> Vtime.t option
 (** Time of the earliest live event without removing it. *)
 
 val stats : 'a t -> stats
-(** Lifetime add/cancel/pop/compaction tallies, for the observability
-    metrics scrape. Always maintained; four int increments per queue
-    operation. *)
+(** Lifetime add/cancel/pop/compaction/lazy-drop tallies, for the
+    observability metrics scrape. Always maintained; plain int increments
+    per queue operation. *)

@@ -8,6 +8,13 @@
 type t = int
 
 let zero = 0
+
+(* Horizon sentinel for conservative-parallel synchronization: later than
+   any reachable event time, absorbing under [min]. *)
+let infinity = max_int
+
+let is_finite t = t <> max_int
+
 let ns n = n
 let us n = n * 1_000
 let ms n = n * 1_000_000

@@ -7,6 +7,14 @@
 type t = int
 
 val zero : t
+
+val infinity : t
+(** Later than any reachable event time; the identity of [min]. Used as
+    the horizon of an idle shard in conservative-parallel runs. *)
+
+val is_finite : t -> bool
+(** [is_finite t] is [false] only for {!infinity}. *)
+
 val ns : int -> t
 val us : int -> t
 val ms : int -> t

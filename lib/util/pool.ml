@@ -12,14 +12,22 @@
    atomics), so a single-domain run is not merely equivalent to the old
    sequential harness — it *is* the old sequential harness. *)
 
+(* A malformed or non-positive REMON_DOMAINS is a configuration error:
+   silently falling back to the core count would mask a misconfigured CI
+   or bench invocation (the run would still "work", just not the way the
+   operator asked), so fail fast instead. *)
 let default_domains () =
-  let fallback = max 1 (Domain.recommended_domain_count () - 1) in
   match Sys.getenv_opt "REMON_DOMAINS" with
-  | None -> fallback
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> fallback)
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf
+           "REMON_DOMAINS=%S: expected a positive integer (number of worker \
+            domains)"
+           s))
 
 (* Parallel body: [n] workers total (n-1 spawned domains plus the calling
    domain) race down an atomic job index. Per-job exceptions are captured
@@ -64,4 +72,8 @@ let map ?domains (f : 'a -> 'b) (jobs : 'a list) : 'b list =
   let n =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
-  if n = 1 || List.length jobs <= 1 then List.map f jobs else map_parallel n f jobs
+  (* match on the list shape instead of forcing a full List.length just to
+     test "at most one job" *)
+  match jobs with
+  | [] | [ _ ] -> List.map f jobs
+  | _ :: _ :: _ -> if n = 1 then List.map f jobs else map_parallel n f jobs

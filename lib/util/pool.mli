@@ -6,8 +6,11 @@
 
 val default_domains : unit -> int
 (** Worker count used when [map] gets no [?domains]: the [REMON_DOMAINS]
-    environment variable when set to a positive integer, otherwise
-    [Domain.recommended_domain_count () - 1], floored at 1. *)
+    environment variable when set, otherwise
+    [Domain.recommended_domain_count () - 1], floored at 1. A set but
+    malformed or non-positive [REMON_DOMAINS] raises [Invalid_argument]
+    instead of silently falling back — a misconfigured CI or bench run
+    should fail loudly, not quietly change its parallelism. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f jobs] applies [f] to every job and returns the results

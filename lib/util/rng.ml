@@ -13,6 +13,38 @@ let make seed = { state = Int64.of_int seed }
 
 let of_int64 seed = { state = seed }
 
+(* ------------------------------------------------------------------ *)
+(* Stable seed derivation.
+
+   [Hashtbl.hash] is explicitly *not* stable across OCaml releases, so a
+   seed derived from it silently changes the whole simulation after a
+   compiler upgrade — recorded runs stop replaying byte-identically.
+   Components that key RNG streams by a name and a small integer rank
+   derive their seeds through these fixed, in-repo mixers instead. *)
+
+(* FNV-1a over the bytes of a string (64-bit offset basis / prime). *)
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+(* One SplitMix64 finalization round: a stateless bijective mixer. *)
+let splitmix64 z =
+  let z = Int64.add z golden_gamma in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Stable (name, rank) -> seed: FNV-1a over the name bytes, then the rank
+   folded in through splitmix so that adjacent ranks land far apart. The
+   result is a non-negative OCaml int, usable directly with [make]. *)
+let stable_seed name rank =
+  let h = splitmix64 (Int64.logxor (fnv1a64 name) (Int64.of_int rank)) in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
 (* SplitMix64 finalizer: advances the state by the golden-ratio increment and
    scrambles it through two xor-shift-multiply rounds. *)
 let next_int64 t =

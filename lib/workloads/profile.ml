@@ -129,8 +129,11 @@ let body t (env : Mvee.env) =
   let ops = Array.of_list (List.map snd t.mix) in
   let done_count = ref 0 in
   let worker rank ctx () =
-    (* identical RNG stream in every replica: keyed by profile + rank *)
-    let rng = Rng.make (Hashtbl.hash (t.name, rank)) in
+    (* identical RNG stream in every replica: keyed by profile + rank
+       through the stable mixer ([Hashtbl.hash] varies across OCaml
+       releases, which would break byte-identical replay of recordings
+       made under a different compiler) *)
+    let rng = Rng.make (Rng.stable_seed t.name rank) in
     let issued = ref 0 in
     while !issued < t.total_calls_per_thread do
       let op = ops.(Rng.weighted rng weights) in

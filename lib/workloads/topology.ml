@@ -1,0 +1,296 @@
+(* Multi-host topologies: the workload layer of sharded (PDES) runs.
+
+   A scenario places one MVEE-monitored server group on each of
+   [server_hosts] simulated hosts and a client fleet on one more host; the
+   clients reach the servers only through the inter-host links behind the
+   per-host gateways. The same scenario can be driven with any shard
+   count, and everything the run reports — the outcome digest, the RMRC
+   recordings, the trace exports — must be byte-identical across shard
+   counts. That invariant is what the determinism corpus (test_pdes and
+   the CI pdes-smoke job) checks.
+
+   Determinism notes baked in here:
+   - every MVEE group pins its SysV shm key ([config.shm_key]); the
+     process-global key counter depends on how many launches preceded
+     this one, which is exactly the kind of cross-run state a digest
+     must not observe;
+   - per-host kernel seeds are derived from the scenario seed and the
+     host index, never from global state;
+   - the digest contains only virtual-time quantities (no wall clock,
+     no Hashtbl iteration order). *)
+
+open Remon_kernel
+open Remon_core
+open Remon_sim
+open Remon_util
+
+type scenario = {
+  id : int;
+  seed : int;
+  server_hosts : int; (* one MVEE server group per host *)
+  nreplicas : int;
+  backend : Mvee.backend;
+  arch : Servers.arch;
+  requests_per_server : int;
+  concurrency : int; (* client workers per server *)
+  requests_per_conn : int; (* 1 = ab-like, >1 = keep-alive *)
+  link_latency : Vtime.t;
+  faults : string; (* --faults syntax, applied to the host-0 group *)
+  record : bool;
+}
+
+type server_report = {
+  host : int;
+  port : int;
+  outcome : Mvee.outcome;
+  served : int;
+  truncated : int;
+}
+
+type result = {
+  digest : string;
+      (* canonical text rendering of every shard-invariant observable *)
+  recordings : (int * Recording.t) list; (* per recording server host *)
+  traces : (int * string) list; (* per-host structured trace exports *)
+  servers : server_report list;
+  responses : int;
+  transport_errors : int;
+  connect_retries : int;
+  client_latency : Latency.summary list; (* one per server fleet *)
+  rounds : int;
+}
+
+let base_port = 7100
+
+let spec_for sc i : Servers.spec =
+  Servers.web ~arch:sc.arch ~work_ns:3_000 ~response_bytes:512
+    (Printf.sprintf "pdes-srv%d" i)
+    (base_port + i)
+
+let render (sc : scenario) =
+  Printf.sprintf
+    "scenario %d: seed=%d hosts=%d+1 backend=%s nreplicas=%d arch=%s \
+     req=%dx%d conn=%d lat=%s faults=%S"
+    sc.id sc.seed sc.server_hosts
+    (Mvee.backend_to_string sc.backend)
+    sc.nreplicas
+    (match sc.arch with
+    | Servers.Epoll_loop -> "epoll"
+    | Servers.Thread_per_conn -> "threads"
+    | Servers.Iterative -> "iterative")
+    sc.requests_per_server sc.server_hosts sc.concurrency
+    (Vtime.to_string sc.link_latency)
+    sc.faults
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let digest_outcome buf (r : server_report) =
+  let o = r.outcome in
+  Printf.bprintf buf
+    "host%d port=%d dur=%s verdict=%s exits=%s syscalls=%d monitored=%d \
+     fastpath=%d rendezvous=%d rb=%d tokens=%d/%d faults=%d quarantines=%d \
+     respawns=%d served=%d truncated=%d rec=%s\n"
+    r.host r.port
+    (Vtime.to_string o.Mvee.duration)
+    (match o.Mvee.verdict with
+    | None -> "clean"
+    | Some v -> Divergence.to_string v)
+    (String.concat ","
+       (List.map
+          (fun (v, c) -> Printf.sprintf "%d:%d" v c)
+          o.Mvee.exit_codes))
+    o.Mvee.syscalls o.Mvee.monitored o.Mvee.ipmon_fastpath o.Mvee.rendezvous
+    o.Mvee.rb_records o.Mvee.tokens_granted o.Mvee.tokens_rejected
+    o.Mvee.faults_injected o.Mvee.quarantines o.Mvee.respawns r.served
+    r.truncated
+    (match o.Mvee.recording with
+    | Some rec_ -> Recording.stream_digest rec_
+    | None -> "-")
+
+let run ?(shards = 1) ?(with_obs = false) (sc : scenario) : result =
+  let n = sc.server_hosts + 1 in
+  let client_host = sc.server_hosts in
+  let world =
+    World.create ~link_latency:sc.link_latency ~n
+      ~mk:(fun i -> Kernel.create ~seed:(sc.seed + (i * 101)) ())
+      ()
+  in
+  let obs =
+    Array.init n (fun i ->
+        if with_obs then begin
+          let o = Remon_obs.Obs.create () in
+          Kernel.set_obs (World.kernel world i) o;
+          Some o
+        end
+        else None)
+  in
+  let specs = List.init sc.server_hosts (spec_for sc) in
+  List.iteri
+    (fun i (spec : Servers.spec) ->
+      World.route world ~port:spec.Servers.port ~host:i)
+    specs;
+  let faults =
+    match Fault.of_string sc.faults with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Topology.run: bad fault plan: " ^ e)
+  in
+  let launches =
+    List.mapi
+      (fun i (spec : Servers.spec) ->
+        let stats = Servers.make_stats () in
+        let config =
+          {
+            Mvee.default_config with
+            Mvee.backend = sc.backend;
+            nreplicas = sc.nreplicas;
+            seed = sc.seed + i;
+            record = sc.record;
+            faults = (if i = 0 then faults else Mvee.default_config.Mvee.faults);
+            (* pinned: the process-global key counter must not leak into
+               recordings (its value depends on prior launches) *)
+            shm_key = Some (Context.mvee_shm_key_base + ((i + 1) * 0x40));
+          }
+        in
+        let h =
+          Mvee.launch (World.kernel world i) config ~name:spec.Servers.name
+            ~body:(Servers.body ~stats spec)
+        in
+        (i, spec, stats, h))
+      specs
+  in
+  let client_spec =
+    {
+      Clients.name = "pdes-client";
+      concurrency = sc.concurrency;
+      total_requests = sc.requests_per_server;
+      requests_per_conn = sc.requests_per_conn;
+    }
+  in
+  let measurements =
+    List.map
+      (fun (spec : Servers.spec) ->
+        Clients.launch (World.kernel world client_host) spec client_spec)
+      specs
+  in
+  World.run ~shards world;
+  let reports =
+    List.map
+      (fun (i, (spec : Servers.spec), (stats : Servers.stats), h) ->
+        {
+          host = i;
+          port = spec.Servers.port;
+          outcome = Mvee.finish h;
+          served = stats.Servers.served;
+          truncated = stats.Servers.truncated;
+        })
+      launches
+  in
+  let responses =
+    List.fold_left (fun a m -> a + m.Clients.responses) 0 measurements
+  in
+  let transport_errors =
+    List.fold_left (fun a m -> a + m.Clients.transport_errors) 0 measurements
+  in
+  let connect_retries =
+    List.fold_left (fun a m -> a + m.Clients.connect_retries) 0 measurements
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "%s\n" (render sc);
+  List.iter (digest_outcome buf) reports;
+  List.iteri
+    (fun i (m : Clients.measurement) ->
+      Printf.bprintf buf
+        "client%d responses=%d errors=%d retries=%d dur=%s latency=[%s]\n" i
+        m.Clients.responses m.Clients.transport_errors
+        m.Clients.connect_retries
+        (Vtime.to_string (Clients.duration m))
+        (Latency.summary_to_string (Latency.summary m.Clients.latency)))
+    measurements;
+  List.iter
+    (fun (src, dst, msgs, bytes) ->
+      Printf.bprintf buf "link %d->%d msgs=%d bytes=%d\n" src dst msgs bytes)
+    (World.link_stats world);
+  List.iteri
+    (fun i _ ->
+      let opened, refused, resets = Hostnet.stats (World.hostnet world i) in
+      Printf.bprintf buf "gw%d opened=%d refused=%d resets=%d\n" i opened
+        refused resets)
+    (Array.to_list (Array.make n ()));
+  Printf.bprintf buf "rounds=%d\n" (World.rounds world);
+  {
+    digest = Buffer.contents buf;
+    recordings =
+      List.filter_map
+        (fun r ->
+          match r.outcome.Mvee.recording with
+          | Some rec_ -> Some (r.host, rec_)
+          | None -> None)
+        reports;
+    traces =
+      List.filter_map
+        (fun i ->
+          match obs.(i) with
+          | Some o -> Some (i, Remon_obs.Obs.export_string o)
+          | None -> None)
+        (List.init n Fun.id);
+    servers = reports;
+    responses;
+    transport_errors;
+    connect_retries;
+    client_latency =
+      List.map (fun m -> Latency.summary m.Clients.latency) measurements;
+    rounds = World.rounds world;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The determinism corpus: seeded scenarios spanning backends, server
+   architectures, replica counts, link latencies, keep-alive vs one-shot
+   clients, and fault chaos. *)
+
+let corpus ~n =
+  List.init n (fun id ->
+      let rng = Rng.make (Rng.stable_seed "pdes-corpus" id) in
+      let backend =
+        match Rng.int_in_range rng ~lo:0 ~hi:2 with
+        | 0 -> Mvee.Remon
+        | 1 -> Mvee.Varan
+        | _ -> Mvee.Ghumvee_only
+      in
+      let arch =
+        match Rng.int_in_range rng ~lo:0 ~hi:2 with
+        | 0 -> Servers.Epoll_loop
+        | 1 -> Servers.Thread_per_conn
+        | _ -> Servers.Iterative
+      in
+      let nreplicas = 2 + Rng.int_in_range rng ~lo:0 ~hi:1 in
+      let faults =
+        match Rng.int_in_range rng ~lo:0 ~hi:3 with
+        | 0 ->
+          Printf.sprintf "delay@%d:%d=%dus"
+            (Rng.int_in_range rng ~lo:6 ~hi:30)
+            (Rng.int_in_range rng ~lo:0 ~hi:(nreplicas - 1))
+            (Rng.int_in_range rng ~lo:100 ~hi:2000)
+        | 1 ->
+          (* slave crash: the group dies under the default policy, the
+             clients fail over / exhaust retries — chaos on purpose *)
+          Printf.sprintf "crash@%d:%d"
+            (Rng.int_in_range rng ~lo:12 ~hi:40)
+            (max 1 (nreplicas - 1))
+        | _ -> ""
+      in
+      {
+        id;
+        seed = 0x9DE5 + (id * 7919);
+        server_hosts = 2 + Rng.int_in_range rng ~lo:0 ~hi:2;
+        nreplicas;
+        backend;
+        arch;
+        requests_per_server = 12 + (4 * Rng.int_in_range rng ~lo:0 ~hi:5);
+        concurrency = 2 + Rng.int_in_range rng ~lo:0 ~hi:2;
+        requests_per_conn =
+          (if Rng.int_in_range rng ~lo:0 ~hi:1 = 0 then 1 else 4);
+        link_latency = Vtime.us (150 + (50 * Rng.int_in_range rng ~lo:0 ~hi:5));
+        faults;
+        record = true;
+      })

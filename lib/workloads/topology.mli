@@ -1,0 +1,61 @@
+(** Multi-host topologies for sharded (PDES) runs.
+
+    A scenario places one MVEE-monitored server group on each of
+    [server_hosts] simulated hosts and a client fleet on one extra host;
+    clients reach servers only over the inter-host links. The contract that
+    the determinism corpus enforces: running the same scenario with any
+    shard count yields a byte-identical {!result.digest}, byte-identical
+    RMRC recordings, and byte-identical trace exports. *)
+
+open Remon_sim
+open Remon_core
+
+type scenario = {
+  id : int;
+  seed : int;
+  server_hosts : int;  (** one MVEE server group per host *)
+  nreplicas : int;
+  backend : Mvee.backend;
+  arch : Servers.arch;
+  requests_per_server : int;
+  concurrency : int;  (** client workers per server *)
+  requests_per_conn : int;  (** 1 = ab-like, >1 = keep-alive *)
+  link_latency : Vtime.t;
+  faults : string;  (** [--faults] syntax, applied to the host-0 group *)
+  record : bool;
+}
+
+type server_report = {
+  host : int;
+  port : int;
+  outcome : Mvee.outcome;
+  served : int;
+  truncated : int;
+}
+
+type result = {
+  digest : string;
+      (** canonical text rendering of every shard-invariant observable *)
+  recordings : (int * Recording.t) list;
+  traces : (int * string) list;
+  servers : server_report list;
+  responses : int;
+  transport_errors : int;
+  connect_retries : int;
+  client_latency : Latency.summary list;
+  rounds : int;
+}
+
+val render : scenario -> string
+(** One-line human description of a scenario. *)
+
+val run : ?shards:int -> ?with_obs:bool -> scenario -> result
+(** Builds the world, runs it with [shards] (default 1), and collects the
+    digest and artifacts. [with_obs] attaches a trace collector to every
+    host and fills {!result.traces}; the digest itself never depends on
+    [with_obs]. *)
+
+val corpus : n:int -> scenario list
+(** [n] seeded scenarios spanning backends, server architectures, replica
+    counts, link latencies, keep-alive vs one-shot clients and fault
+    chaos. Stable across runs (seeded from {!Remon_util.Rng.stable_seed}). *)

@@ -220,6 +220,110 @@ let prop_event_queue_model =
       in
       !ok && drain [] = expected && Event_queue.is_empty q)
 
+(* The recycled-entry pool and the allocation-free pop path together: a
+   handle taken before its entry is popped and recycled into a *new*
+   event must stay inert — cancelling it afterwards must not kill the
+   recycled occupant — and a single [pop_into] slot reused for every pop
+   must always carry the latest (time, payload), including across failed
+   pops on an empty queue (which must leave the slot untouched). *)
+let prop_event_queue_recycling =
+  QCheck2.Test.make
+    ~name:"handle safety across entry recycling + pop_into slot aliasing"
+    ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 300) (pair (int_range 0 3) (int_range 0 5_000)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let slot = Event_queue.make_slot (-1) in
+      let handles = ref [||] in
+      let alive = ref [] in
+      let ok = ref true in
+      let nadds = ref 0 in
+      let fresh_id () =
+        let id = !nadds in
+        incr nadds;
+        id
+      in
+      List.iter
+        (fun (op, x) ->
+          (match op with
+          | 0 ->
+            (* handled add: cancellable later, even after recycling *)
+            let id = fresh_id () in
+            let h = Event_queue.add q ~time:(Vtime.ns x) id in
+            handles := Array.append !handles [| (id, h) |];
+            alive := (id, x) :: !alive
+          | 1 ->
+            (* handle-free add: comes straight from the recycle pool *)
+            let id = fresh_id () in
+            Event_queue.add_ q ~time:(Vtime.ns x) id;
+            alive := (id, x) :: !alive
+          | 2 ->
+            (* cancel an arbitrary earlier handle: must only kill its own
+               event, never a recycled successor in the same entry *)
+            if Array.length !handles > 0 then begin
+              let victim, h = !handles.(x mod Array.length !handles) in
+              Event_queue.cancel h;
+              alive := List.filter (fun (id, _) -> id <> victim) !alive
+            end
+          | _ ->
+            let before = Event_queue.slot_payload slot in
+            (* ids are assigned in insertion order, so (time, id) is the
+               queue's (time, insertion) tie-break *)
+            let expected_id =
+              match
+                List.sort
+                  (fun (i1, t1) (i2, t2) -> compare (t1, i1) (t2, i2))
+                  !alive
+              with
+              | (i, _) :: _ -> Some i
+              | [] -> None
+            in
+            if Event_queue.pop_into q slot then begin
+              let id = Event_queue.slot_payload slot in
+              (match expected_id with
+              | Some e -> if id <> e then ok := false
+              | None -> ok := false);
+              alive := List.filter (fun (i, _) -> i <> id) !alive
+            end
+            else begin
+              if !alive <> [] then ok := false;
+              (* failed pop must not scribble on the caller's slot *)
+              if Event_queue.slot_payload slot <> before then ok := false
+            end);
+          if Event_queue.length q <> List.length !alive then ok := false)
+        ops;
+      (* drain through the same aliased slot; (time, id) order must hold *)
+      let expected =
+        List.sort
+          (fun (i1, t1) (i2, t2) -> compare (t1, i1) (t2, i2))
+          (List.rev !alive)
+        |> List.map fst
+      in
+      let rec drain acc =
+        if Event_queue.pop_into q slot then
+          drain (Event_queue.slot_payload slot :: acc)
+        else List.rev acc
+      in
+      !ok && drain [] = expected && Event_queue.is_empty q)
+
+(* Cancelling via a stale handle after its event was popped and its entry
+   recycled by a fresh [add_] must be a no-op for the new occupant. *)
+let test_event_queue_stale_handle_after_recycle () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:(Vtime.ns 1) 1 in
+  (match Event_queue.pop q with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected the first event");
+  (* the popped entry returns to the pool; this add_ recycles it *)
+  Event_queue.add_ q ~time:(Vtime.ns 2) 2;
+  Event_queue.cancel h;
+  Alcotest.(check int) "recycled occupant survives stale cancel" 1
+    (Event_queue.length q);
+  match Event_queue.pop q with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "recycled event must still pop"
+
 let test_cost_model_orderings () =
   let c = Cost_model.default in
   Alcotest.(check bool) "ptrace stop is microseconds" true
@@ -263,8 +367,11 @@ let () =
           tc "compaction" test_event_queue_compaction;
           tc "cancel-after-pop vs compaction"
             test_event_queue_cancel_after_pop_compaction;
+          tc "stale handle after recycle"
+            test_event_queue_stale_handle_after_recycle;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
           QCheck_alcotest.to_alcotest prop_event_queue_model;
+          QCheck_alcotest.to_alcotest prop_event_queue_recycling;
         ] );
       ( "cost-model",
         [
