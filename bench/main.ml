@@ -31,6 +31,7 @@ let experiments =
     ("selfperf", fun ~quick ~domains () -> Selfperf.run ~quick ~domains ());
     ("ring", fun ~quick ~domains () -> Ring.run ~quick ~domains ());
     ("pdes", fun ~quick ~domains () -> Pdes.run ~quick ~domains ());
+    ("pdes-scale", fun ~quick ~domains () -> Pdes.run_scaling ~quick ~domains ());
   ]
 
 let () =
@@ -56,6 +57,19 @@ let () =
     | _ :: rest -> parse_trace rest
     | [] -> None
   in
+  let rec parse_connections = function
+    | "--connections" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some c when c >= 1 -> Some c
+      | _ ->
+        Printf.eprintf "--connections expects a positive integer, got %S\n" n;
+        exit 2)
+    | _ :: rest -> parse_connections rest
+    | [] -> None
+  in
+  (match parse_connections args with
+  | Some c -> Pdes.connections_override := Some c
+  | None -> ());
   (match parse_trace args with
   | Some dir ->
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
@@ -64,6 +78,7 @@ let () =
   let rec strip = function
     | "--domains" :: _ :: rest -> strip rest
     | "--trace" :: _ :: rest -> strip rest
+    | "--connections" :: _ :: rest -> strip rest
     | "quick" :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []

@@ -49,6 +49,24 @@ let test_event_queue =
          ignore (Remon_sim.Event_queue.add q ~time:!i ());
          ignore (Remon_sim.Event_queue.pop q)))
 
+(* Same add+pop cost, but against a heap holding a million live events —
+   pins the hot path the million-connection herd leans on (geometric pool
+   refill, no per-entry allocation once warm). A thunk, not a top-level
+   binding: the million-event prefill must not sit live under every other
+   experiment's heap measurements. *)
+let test_event_queue_1m () =
+  let q = Remon_sim.Event_queue.create () in
+  let n = 1_000_000 in
+  for j = 1 to n do
+    Remon_sim.Event_queue.add_ q ~time:j ()
+  done;
+  let i = ref n in
+  Test.make ~name:"event queue add+pop at 1M live"
+    (Staged.stage (fun () ->
+         incr i;
+         Remon_sim.Event_queue.add_ q ~time:!i ();
+         ignore (Remon_sim.Event_queue.pop q)))
+
 let benchmark tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -65,7 +83,7 @@ let run () =
   let results =
     benchmark
       [ test_rb_roundtrip; test_classification; test_deep_compare; test_token;
-        test_event_queue ]
+        test_event_queue; test_event_queue_1m () ]
   in
   let rows = ref [] in
   Hashtbl.iter

@@ -809,44 +809,95 @@ let pdes_cmd =
             "Re-run sequentially (shards=1) and fail unless digests and \
              recordings match byte-for-byte.")
   in
+  let connections_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Run the herd tier instead of the MVEE topology: N simulated \
+             connections spread over many echo cells (two hosts each). \
+             Scales to ~10^6.")
+  in
+  let fixed_arg =
+    Arg.(
+      value & flag
+      & info [ "fixed-lookahead" ]
+          ~doc:
+            "Use the single-latency (fixed) lookahead instead of adaptive \
+             per-pair bounds. Outcomes are byte-identical either way; only \
+             round counts and wall clock differ.")
+  in
+  let report_memory ~connections =
+    (* stderr only: stdout must stay byte-identical across shard counts,
+       and GC numbers never are *)
+    let heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+    Printf.eprintf "peak heap          : %d words (%d MiB)\n" heap_words
+      (heap_words * (Sys.word_size / 8) / (1024 * 1024));
+    if connections > 0 then
+      Printf.eprintf "bytes/connection   : %d (end-to-end peak)\n"
+        (heap_words * (Sys.word_size / 8) / connections);
+    Printf.eprintf "stream pair cost   : %d bytes (flat-state probe)\n%!"
+      (Topology.stream_pair_cost_bytes ())
+  in
   let run backend nreplicas shards hosts requests latency_us faults seed
-      verify =
-    let sc =
-      {
-        Topology.id = 0;
-        seed;
-        server_hosts = hosts;
-        nreplicas;
-        backend;
-        arch = Servers.Epoll_loop;
-        requests_per_server = requests;
-        concurrency = 4;
-        requests_per_conn = 4;
-        link_latency = Vtime.us latency_us;
-        faults;
-        record = true;
-      }
-    in
-    (* the shard count goes to stderr: stdout must be byte-identical for
-       every --shards value, so CI can diff it directly *)
-    Printf.printf "%s\n\n" (Topology.render sc);
-    Printf.eprintf "shards   : %d\n%!" shards;
-    let r = Topology.run ~shards sc in
-    print_string r.Topology.digest;
-    if verify then begin
-      let ref_r = Topology.run ~shards:1 sc in
-      let ok =
-        r.Topology.digest = ref_r.Topology.digest
-        && List.length r.Topology.recordings
-           = List.length ref_r.Topology.recordings
-        && List.for_all2
-             (fun (h1, a) (h2, b) ->
-               h1 = h2 && Recording.to_string a = Recording.to_string b)
-             r.Topology.recordings ref_r.Topology.recordings
+      verify connections fixed =
+    let mode = if fixed then World.Fixed else World.Adaptive in
+    if connections > 0 then begin
+      let herd = Topology.herd_of_connections ~seed connections in
+      Printf.eprintf "shards   : %d\n%!" shards;
+      let r = Topology.run_herd ~shards ~mode herd in
+      print_string r.Topology.hr_digest;
+      Printf.eprintf "rounds             : %d\n" r.Topology.hr_rounds;
+      Printf.eprintf "events             : %d\n" r.Topology.hr_events;
+      report_memory ~connections:r.Topology.hr_connections;
+      if verify then begin
+        let ref_r = Topology.run_herd ~shards:1 herd in
+        let ok = r.Topology.hr_digest = ref_r.Topology.hr_digest in
+        Printf.printf "\nverify vs shards=1: %s\n"
+          (if ok then "identical" else "DIVERGED");
+        if not ok then exit 1
+      end
+    end
+    else begin
+      let sc =
+        {
+          Topology.id = 0;
+          seed;
+          server_hosts = hosts;
+          nreplicas;
+          backend;
+          arch = Servers.Epoll_loop;
+          requests_per_server = requests;
+          concurrency = 4;
+          requests_per_conn = 4;
+          link_latency = Vtime.us latency_us;
+          faults;
+          record = true;
+        }
       in
-      Printf.printf "\nverify vs shards=1: %s\n"
-        (if ok then "identical" else "DIVERGED");
-      if not ok then exit 1
+      (* the shard count goes to stderr: stdout must be byte-identical for
+         every --shards value, so CI can diff it directly *)
+      Printf.printf "%s\n\n" (Topology.render sc);
+      Printf.eprintf "shards   : %d\n%!" shards;
+      let r = Topology.run ~shards ~mode sc in
+      print_string r.Topology.digest;
+      Printf.eprintf "rounds             : %d\n" r.Topology.rounds;
+      report_memory ~connections:0;
+      if verify then begin
+        let ref_r = Topology.run ~shards:1 sc in
+        let ok =
+          r.Topology.digest = ref_r.Topology.digest
+          && List.length r.Topology.recordings
+             = List.length ref_r.Topology.recordings
+          && List.for_all2
+               (fun (h1, a) (h2, b) ->
+                 h1 = h2 && Recording.to_string a = Recording.to_string b)
+               r.Topology.recordings ref_r.Topology.recordings
+        in
+        Printf.printf "\nverify vs shards=1: %s\n"
+          (if ok then "identical" else "DIVERGED");
+        if not ok then exit 1
+      end
     end
   in
   Cmd.v
@@ -857,7 +908,8 @@ let pdes_cmd =
           every shard count.")
     Term.(
       const run $ backend_arg $ replicas_arg $ shards_arg $ hosts_arg
-      $ requests_arg $ latency_arg $ pdes_faults_arg $ seed_arg $ verify_arg)
+      $ requests_arg $ latency_arg $ pdes_faults_arg $ seed_arg $ verify_arg
+      $ connections_arg $ fixed_arg)
 
 let policy_cmd =
   let run () =

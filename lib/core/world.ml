@@ -10,22 +10,69 @@
    into a coordinator round):
 
      1. E_i  = min(next local event time, earliest queued inbound message)
-     2. F    = the fixed point of  F_i = min(E_i, min over inbound links
-               j->i of F_j + latency_ji)  — "host i cannot act, and hence
-               cannot send, before F_i"
-     3. bound_i = min over inbound links j->i of F_j + latency_ji — no
-        message host i has not yet seen can arrive before bound_i
-     4. drain every inbound message with at < bound_i, in canonical
-        (at, src host, link seq) order, scheduling each as a local event
-        at its delivery time
-     5. every shard runs its hosts' events strictly below bound_i
+     2. compute per-host frontiers F_i ("host i cannot act, and hence
+        cannot send, before F_i") and execution bounds bound_i ("no
+        message host i has not yet seen can arrive before bound_i") —
+        see the two modes below
+     3. drain every inbound message with at < bound_i, in canonical
+        (at, src host, link seq) order, scheduling each as a pre-lane
+        local event at its delivery time
+     4. every shard runs its hosts' events strictly below bound_i
         ([Sched.run_before]); barrier; repeat until every E_i is infinite.
 
-   Safety: a message sent by host j during round r is stamped at its send
-   event's time t >= F_j (j only runs events below its own bound, but any
-   event it runs is >= its frontier at round start), so it is delivered at
-   t + latency >= F_j + latency >= bound_i — never inside the window a
-   concurrent shard is executing.
+   [Fixed] mode is the single-latency bound: F_i = min(E_i, min_j E_j + L)
+   and bound_i = min over j <> i of F_j + L, over all host pairs (the
+   closed form of the full-mesh fixed point — with one uniform latency the
+   relaxation converges in one pass, so it reduces to the global minimum
+   and second minimum of F). It is retained as the reference algorithm and
+   as the conservative-safety oracle for the property tests.
+
+   [Adaptive] mode (the default) extends the fixed point with per-pair
+   earliest-output guarantees so a bound can advance past a single link
+   latency when inbound links are provably idle. For each *active* ordered
+   host pair (j, i) — active pairs are tracked lazily, a superset of pairs
+   that may ever exchange a message — S_ji is a sound lower bound on the
+   next instant j may send a message towards i:
+
+     S_ji = F_j                      if j holds the capability to send to
+                                     i spontaneously (a remote route or a
+                                     live connection towards i —
+                                     [Hostnet.sends_to])
+     S_ji = min(peek(link i->j),     otherwise: j can only send to i as a
+                S_ij + L)            *reaction* to a message from i, and
+                                     the earliest such message arrives at
+                                     the earliest queued one or one
+                                     latency after i's own next send
+
+     F_i     = min(E_i, min over inbound pairs (S_ji + L))
+     bound_i = min over inbound pairs (S_ji + L)   (infinity if no pairs)
+
+   Initialized at infinity and relaxed monotonically downward to the
+   greatest fixed point (Bellman-Ford style; every pass only lowers
+   values, floored by the E's and queued-message peeks, so it
+   terminates).
+
+   Soundness sketch (the full argument is DESIGN.md §16): suppose for
+   contradiction some host j sends a message towards i at a virtual time
+   tau < S_ji, and take the earliest such violation in the round. Either
+   j held the send capability at round start — then S_ji = F_j, and F_j
+   <= tau because j cannot execute an event before its frontier — or j
+   acquired the capability during the round, which in this kernel happens
+   only by *reacting* to an inbound message from i (connection creation
+   via SYN arrival; routes are static and pre-run). That message arrived
+   at some sigma <= tau, and it was either already queued on link i->j at
+   bound time (sigma >= peek(i->j) >= S_ji) or sent by i during the round
+   (sigma >= S_ij + L >= S_ji, no earlier violation). Both contradict
+   tau < S_ji. The invariant making peek sufficient is that every message
+   drained in an earlier round has also been *executed* in that round
+   (drained messages satisfy at < bound, and shards run strictly to their
+   bound), so un-executed cross-host work lives only on links whenever
+   bounds are computed.
+
+   Every drained message is additionally checked against the destination
+   kernel's clock — a conservative violation raises immediately instead
+   of silently reordering, so the property tests (and every production
+   run) have teeth.
 
    Determinism across shard counts: rounds are identical whether shards
    run sequentially or on domains — bounds depend only on post-barrier
@@ -34,22 +81,42 @@
    its own deterministic event order, and hosts share no other state. The
    [shards = 1] path is the very same round loop with the domain barrier
    elided, so outcome digests, recordings and traces are byte-identical at
-   any shard count. *)
+   any shard count. Adaptive and fixed mode partition the same event
+   executions into different rounds; because drained messages are
+   delivered through the scheduler's pre-lane (ahead of any same-instant
+   local event, regardless of insertion round), the per-host event order —
+   and hence every observable outcome — is also identical across modes.
+
+   Scale: links and pair records are created lazily (first use), under a
+   world mutex — a million-connection world touches a few thousand host
+   pairs, not an eager n^2 mesh. *)
 
 open Remon_kernel
 open Remon_sim
 
-type host = {
-  idx : int;
-  kernel : Kernel.t;
-  hostnet : Hostnet.t;
-  inbound : (int * Link.t) list; (* (src host, link), sorted by src *)
+type mode = Fixed | Adaptive
+
+type host = { idx : int; kernel : Kernel.t; hostnet : Hostnet.t }
+
+(* One direction of an active host pair. [p_rev] is the opposite
+   direction; both are created together with their links. *)
+type pair = {
+  p_src : int;
+  p_dst : int;
+  p_link : Link.t; (* carries p_src -> p_dst *)
+  mutable p_s : Vtime.t; (* S_{src,dst} relaxation scratch *)
+  p_rev : pair;
 }
 
 type t = {
   hosts : host array;
+  link_latency : Vtime.t;
+  mu : Mutex.t; (* guards pairs/in_pairs mutation (lazy creation) *)
+  pairs : (int, pair) Hashtbl.t; (* src * n + dst -> pair *)
+  in_pairs : pair list array; (* inbound pairs per destination host *)
   frontier : Vtime.t array; (* F_i scratch *)
   bound : Vtime.t array; (* per-round execution bounds *)
+  mutable mode : mode;
   mutable rounds : int;
 }
 
@@ -57,68 +124,96 @@ type t = {
    wrap around. *)
 let ( +! ) a b = if Vtime.is_finite a then Vtime.add a b else Vtime.infinity
 
+let ensure_pair t ~src ~dst =
+  let n = Array.length t.hosts in
+  let key = (src * n) + dst in
+  Mutex.lock t.mu;
+  let p =
+    match Hashtbl.find_opt t.pairs key with
+    | Some p -> p
+    | None ->
+      let fwd = Link.create ~src ~dst ~latency:t.link_latency in
+      let bwd = Link.create ~src:dst ~dst:src ~latency:t.link_latency in
+      let rec pa =
+        { p_src = src; p_dst = dst; p_link = fwd; p_s = Vtime.infinity; p_rev = pb }
+      and pb =
+        { p_src = dst; p_dst = src; p_link = bwd; p_s = Vtime.infinity; p_rev = pa }
+      in
+      Hashtbl.replace t.pairs key pa;
+      Hashtbl.replace t.pairs ((dst * n) + src) pb;
+      t.in_pairs.(dst) <- pa :: t.in_pairs.(dst);
+      t.in_pairs.(src) <- pb :: t.in_pairs.(src);
+      pa
+  in
+  Mutex.unlock t.mu;
+  p
+
 let create ?(link_latency = Vtime.ns (Cost_model.link_latency Cost_model.default))
     ~n ~(mk : int -> Kernel.t) () =
   if n < 1 then invalid_arg "World.create: need at least one host";
   let kernels = Array.init n mk in
-  let hostnets =
-    Array.init n (fun i -> Hostnet.create ~host:i kernels.(i))
-  in
-  (* full mesh of links; [links.(i).(j)] carries i -> j *)
-  let links =
-    Array.init n (fun i ->
-        Array.init n (fun j ->
-            if i = j then None
-            else Some (Link.create ~src:i ~dst:j ~latency:link_latency)))
-  in
-  Array.iteri
-    (fun i hn ->
-      Array.iter
-        (function Some l when Link.src l = i -> Hostnet.add_link hn l | _ -> ())
-        links.(i))
-    hostnets;
+  let hostnets = Array.init n (fun i -> Hostnet.create ~host:i kernels.(i)) in
   let hosts =
-    Array.init n (fun j ->
-        let inbound =
-          List.filter_map
-            (fun i ->
-              match links.(i).(j) with Some l -> Some (i, l) | None -> None)
-            (List.init n Fun.id)
-        in
-        { idx = j; kernel = kernels.(j); hostnet = hostnets.(j); inbound })
+    Array.init n (fun i ->
+        { idx = i; kernel = kernels.(i); hostnet = hostnets.(i) })
   in
-  {
+  let t =
+    {
+      hosts;
+      link_latency;
+      mu = Mutex.create ();
+      pairs = Hashtbl.create 64;
+      in_pairs = Array.make n [];
+      frontier = Array.make n Vtime.infinity;
+      bound = Array.make n Vtime.infinity;
+      mode = Adaptive;
+      rounds = 0;
+    }
+  in
+  (* links come into existence on first use; the gateway asks us *)
+  Array.iter
+    (fun h ->
+      Hostnet.set_link_resolver h.hostnet (fun ~dst ->
+          (ensure_pair t ~src:h.idx ~dst).p_link))
     hosts;
-    frontier = Array.make n Vtime.infinity;
-    bound = Array.make n Vtime.infinity;
-    rounds = 0;
-  }
+  t
 
 let n_hosts t = Array.length t.hosts
 let kernel t i = t.hosts.(i).kernel
 let hostnet t i = t.hosts.(i).hostnet
 let rounds t = t.rounds
 
-(* Every host must know the static port map: the owning host falls through
-   to its local listener table, everyone else routes via the gateway. *)
-let route t ~port ~host =
-  Array.iter (fun h -> Hostnet.add_route h.hostnet ~port ~host) t.hosts
+(* Declare that [port] is served from [host]. [initiators] is the set of
+   hosts that may ever *connect* to it (defaults to every host); only
+   those get the route entry — the owning host falls through to its local
+   listener table either way — and only those become active pairs with the
+   owner. Narrowing the initiator set is what lets adaptive lookahead
+   decouple unrelated host groups. *)
+let route ?initiators t ~port ~host =
+  let inits =
+    match initiators with
+    | Some l -> l
+    | None -> List.init (Array.length t.hosts) Fun.id
+  in
+  List.iter
+    (fun i ->
+      Hostnet.add_route t.hosts.(i).hostnet ~port ~host;
+      if i <> host then ignore (ensure_pair t ~src:i ~dst:host : pair))
+    inits
 
 let link_stats t =
-  Array.to_list t.hosts
-  |> List.concat_map (fun h ->
-         List.map
-           (fun (src, l) ->
-             let sent, bytes = Link.stats l in
-             (src, h.idx, sent, bytes))
-           h.inbound)
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.pairs []
+  |> List.map (fun p ->
+         let sent, bytes = Link.stats p.p_link in
+         (p.p_src, p.p_dst, sent, bytes))
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* The synchronizer *)
 
-(* Computes E, F and the per-host bounds; returns [true] while there is
-   work left anywhere. *)
-let compute_bounds t =
+(* E_i: the earliest instant host i could possibly act — its next local
+   event or the earliest queued inbound message. *)
+let compute_horizons t =
   let n = Array.length t.hosts in
   let live = ref false in
   for i = 0 to n - 1 do
@@ -126,55 +221,110 @@ let compute_bounds t =
     let local = Sched.next_event_time (Kernel.sched h.kernel) in
     let e =
       List.fold_left
-        (fun acc (_, l) -> Vtime.min acc (Link.peek_at l))
-        local h.inbound
+        (fun acc p -> Vtime.min acc (Link.peek_at p.p_link))
+        local t.in_pairs.(i)
     in
     t.frontier.(i) <- e;
     if Vtime.is_finite e then live := true
   done;
-  if !live then begin
-    (* relax F to its fixed point; latencies are positive, so this
-       terminates (each pass only lowers values, floored by min E) *)
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      for i = 0 to n - 1 do
-        let f =
-          List.fold_left
-            (fun acc (src, l) ->
-              Vtime.min acc (t.frontier.(src) +! Link.latency l))
-            t.frontier.(i) t.hosts.(i).inbound
-        in
-        if Vtime.(f < t.frontier.(i)) then begin
-          t.frontier.(i) <- f;
-          changed := true
-        end
-      done
-    done;
-    for i = 0 to n - 1 do
-      t.bound.(i) <-
-        List.fold_left
-          (fun acc (src, l) ->
-            Vtime.min acc (t.frontier.(src) +! Link.latency l))
-          Vtime.infinity t.hosts.(i).inbound
-    done
-  end;
   !live
 
+(* Fixed (single-latency) bounds over all host pairs: the closed form of
+   the uniform-latency full-mesh fixed point. O(n). *)
+let fixed_bounds t =
+  let n = Array.length t.hosts in
+  let l = t.link_latency in
+  let gm = ref Vtime.infinity in
+  for i = 0 to n - 1 do
+    gm := Vtime.min !gm t.frontier.(i)
+  done;
+  (* F_i = min(E_i, gm + L); then bound_i needs min over j <> i of F_j,
+     i.e. the global minimum — or the second minimum at its unique
+     argmin. *)
+  let m1 = ref Vtime.infinity and m2 = ref Vtime.infinity and arg = ref (-1) in
+  for i = 0 to n - 1 do
+    let f = Vtime.min t.frontier.(i) (!gm +! l) in
+    t.frontier.(i) <- f;
+    if Vtime.(f < !m1) then begin
+      m2 := !m1;
+      m1 := f;
+      arg := i
+    end
+    else if Vtime.(f < !m2) then m2 := f
+  done;
+  if n = 1 then t.bound.(0) <- Vtime.infinity
+  else
+    for i = 0 to n - 1 do
+      t.bound.(i) <- (if i = !arg then !m2 else !m1) +! l
+    done
+
+(* Adaptive bounds: relax per-pair earliest-output guarantees S and the
+   frontiers F downward to their (greatest) fixed point. Touches only
+   active pairs, so the cost is O(pairs * passes), and hosts with no
+   active pairs get an infinite bound — they are provably isolated and
+   run to completion in one round. *)
+let adaptive_bounds t =
+  let n = Array.length t.hosts in
+  let l = t.link_latency in
+  Hashtbl.iter (fun _ p -> p.p_s <- Vtime.infinity) t.pairs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      (* S for each inbound pair (j -> i), then F_i from them *)
+      let f = ref t.frontier.(i) in
+      List.iter
+        (fun p ->
+          let j = p.p_src in
+          let sv =
+            if Hostnet.sends_to t.hosts.(j).hostnet i then t.frontier.(j)
+            else
+              Vtime.min (Link.peek_at p.p_rev.p_link) (p.p_rev.p_s +! l)
+          in
+          if Vtime.compare sv p.p_s < 0 then begin
+            p.p_s <- sv;
+            changed := true
+          end;
+          f := Vtime.min !f (p.p_s +! l))
+        t.in_pairs.(i);
+      if Vtime.(!f < t.frontier.(i)) then begin
+        t.frontier.(i) <- !f;
+        changed := true
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    t.bound.(i) <-
+      List.fold_left
+        (fun acc p -> Vtime.min acc (p.p_s +! l))
+        Vtime.infinity t.in_pairs.(i)
+  done
+
+(* Computes E, F and the per-host bounds; returns [true] while there is
+   work left anywhere. *)
+let compute_bounds t =
+  let live = compute_horizons t in
+  (if live then
+     match t.mode with
+     | Fixed -> fixed_bounds t
+     | Adaptive -> adaptive_bounds t);
+  live
+
 (* Drain every inbound message below the host's bound and schedule it as a
-   local event at its delivery time. Canonical (at, src, seq) order makes
-   the event queue's insertion-order tie-break deterministic regardless of
-   which link delivered first. *)
+   pre-lane local event at its delivery time. Canonical (at, src, seq)
+   order plus the pre-lane make delivery order a pure function of the
+   message timestamps — independent of which link delivered first and of
+   which round performed the drain. *)
 let drain_round t =
-  Array.iter
-    (fun h ->
+  Array.iteri
+    (fun i h ->
       let msgs =
         List.concat_map
-          (fun (src, l) ->
+          (fun p ->
             List.map
-              (fun m -> (src, m))
-              (Link.drain_before l ~bound:t.bound.(h.idx)))
-          h.inbound
+              (fun m -> (p.p_src, m))
+              (Link.drain_before p.p_link ~bound:t.bound.(i)))
+          t.in_pairs.(i)
       in
       let msgs =
         List.sort
@@ -187,9 +337,21 @@ let drain_round t =
             | c -> c)
           msgs
       in
+      let sched = Kernel.sched h.kernel in
+      let now = Sched.now sched in
       List.iter
         (fun (src, (m : Link.msg)) ->
-          Sched.schedule (Kernel.sched h.kernel) ~time:m.Link.at (fun () ->
+          (* the conservative contract, checked on every delivery: a
+             message must never arrive behind the destination's clock *)
+          if Vtime.(m.Link.at < now) then
+            failwith
+              (Printf.sprintf
+                 "World: conservative violation: message from host %d at \
+                  %dns is behind host %d's clock %dns"
+                 src
+                 (Vtime.to_int_ns m.Link.at)
+                 i (Vtime.to_int_ns now));
+          Sched.schedule_pre sched ~time:m.Link.at (fun () ->
               Hostnet.apply h.hostnet ~src m))
         msgs)
     t.hosts
@@ -212,8 +374,9 @@ let run_seq t =
    determinism contract must hold on a 1-CPU box too), and a spinning
    coordinator would stall the very workers it waits for. The monitor
    gives the happens-before edges both ways — the coordinator's drain
-   writes are visible to workers, worker event processing is visible to
-   the next bound computation. Static host -> shard assignment
+   writes are visible to workers, worker event processing (and lazy pair
+   creation, which is additionally guarded by the world mutex) is visible
+   to the next bound computation. Static host -> shard assignment
    ([idx mod shards]) keeps placement deterministic, though determinism
    does not depend on it: hosts only interact through the links. *)
 let run_par t ~shards =
@@ -283,7 +446,8 @@ let run_par t ~shards =
      raise e);
   release_and_join ()
 
-let run ?(shards = 1) t =
+let run ?(shards = 1) ?(mode = Adaptive) t =
   if shards < 1 then invalid_arg "World.run: shards must be >= 1";
+  t.mode <- mode;
   let shards = min shards (Array.length t.hosts) in
   if shards = 1 then run_seq t else run_par t ~shards

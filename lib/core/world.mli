@@ -5,35 +5,51 @@
     [run] drives all hosts in barrier-synchronous conservative rounds —
     sequentially with [shards = 1], on OCaml 5 domains otherwise — and the
     round structure is identical either way, so every observable outcome
-    (digests, recordings, traces) is byte-identical at any shard count. *)
+    (digests, recordings, traces) is byte-identical at any shard count,
+    and identical between the two lookahead modes. *)
 
 open Remon_kernel
 open Remon_sim
 
 type t
 
+type mode =
+  | Fixed
+      (** single-latency lookahead over all host pairs — the reference
+          algorithm and the conservative-safety oracle *)
+  | Adaptive
+      (** per-pair earliest-output guarantees: bounds advance past a
+          single link latency when inbound links are provably idle
+          (default) *)
+
 val create :
   ?link_latency:Vtime.t -> n:int -> mk:(int -> Kernel.t) -> unit -> t
-(** [create ~n ~mk ()] builds [n] hosts with a full mesh of links; host
-    [i]'s kernel is [mk i]. [link_latency] defaults to the cost model's
-    inter-host latency ({!Cost_model.link_latency} of the default model)
-    and must be positive — it is the conservative lookahead. *)
+(** [create ~n ~mk ()] builds [n] hosts; host [i]'s kernel is [mk i].
+    Links are created lazily on first use (no eager n^2 mesh).
+    [link_latency] defaults to the cost model's inter-host latency
+    ({!Cost_model.link_latency} of the default model) and must be
+    positive — it is the conservative lookahead. *)
 
 val n_hosts : t -> int
 val kernel : t -> int -> Kernel.t
 val hostnet : t -> int -> Hostnet.t
 
-val route : t -> port:int -> host:int -> unit
+val route : ?initiators:int list -> t -> port:int -> host:int -> unit
 (** Statically declare that [port] is served from [host]; connects from
-    every other host are carried over the links. Routing must be set up
-    before [run]. *)
+    initiator hosts are carried over the links. [initiators] is the set of
+    hosts that may ever connect to the port (default: every host) —
+    narrowing it is what lets adaptive lookahead decouple unrelated host
+    groups. Routing must be set up before [run]. *)
 
-val run : ?shards:int -> t -> unit
+val run : ?shards:int -> ?mode:mode -> t -> unit
 (** Runs every host to completion. [shards] is clamped to the host count;
-    [shards = 1] (default) is the sequential reference execution. *)
+    [shards = 1] (default) is the sequential reference execution. [mode]
+    defaults to [Adaptive]; outcomes are byte-identical in either mode,
+    only the round partitioning differs. *)
 
 val rounds : t -> int
 (** Conservative rounds executed so far (a parallelism diagnostic). *)
 
 val link_stats : t -> (int * int * int * int) list
-(** Per-link [(src, dst, messages, data_bytes)] tallies. *)
+(** Per-link [(src, dst, messages, data_bytes)] tallies for every link
+    created so far, sorted by [(src, dst)]. *)

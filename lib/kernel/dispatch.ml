@@ -71,10 +71,10 @@ let timer_fires (tf : Proc.timerfd_state) now =
 let timer_available tf now = max 0 (timer_fires tf now - tf.Proc.expirations)
 
 let stream_eof (s : Net.stream) =
-  Bytestream.length s.incoming = 0
-  && s.in_flight = 0
-  && (Net.peer_gone s || s.rd_shut
-     || match s.peer with Some p -> p.wr_shut | None -> true)
+  Net.incoming_length s = 0
+  && Net.in_flight s = 0
+  && (Net.peer_gone s || Net.rd_shut s
+     || match Net.peer s with Some p -> Net.wr_shut p | None -> true)
 
 let poll_desc k (d : Proc.desc) : Syscall.poll_events =
   let now = K.now k in
@@ -98,11 +98,11 @@ let poll_desc k (d : Proc.desc) : Syscall.poll_events =
   | Proc.Stream s ->
     {
       Syscall.ev_none with
-      pollin = Bytestream.length s.incoming > 0 || stream_eof s;
+      pollin = Net.incoming_length s > 0 || stream_eof s;
       pollout =
-        s.Net.connected
+        Net.connected s
         && (not (Net.peer_gone s))
-        && (not s.wr_shut)
+        && (not (Net.wr_shut s))
         && Net.send_space s > 0;
       pollhup = Net.peer_gone s;
     }
@@ -200,7 +200,7 @@ let release_desc k (p : Proc.process) (d : Proc.desc) =
     | Proc.Stream s ->
       Net.close_stream s;
       (* a cross-host endpoint: let the gateway flush and send FIN *)
-      if s.Net.remote then K.gw_poke k s
+      if Net.is_remote s then K.gw_poke k s
     | Proc.Listener l -> Net.close_listener k.K.net l
     | Proc.Epoll_fd _ | Proc.Timer_fd _ | Proc.Event_fd _ | Proc.Regular _
     | Proc.Directory _ | Proc.Dev_null | Proc.Proc_maps _
@@ -330,10 +330,10 @@ let rec do_read k (th : Proc.thread) (d : Proc.desc) ~count ~(ret : Syscall.resu
     | Proc.Pipe_write _ -> ret (err Errno.EBADF)
     | Proc.Stream s ->
       let attempt () =
-        if Bytestream.length s.incoming > 0 then begin
+        if Net.incoming_length s > 0 then begin
           let data = Net.recv s count in
           (* cross-host streams return the freed space as link credit *)
-          if s.Net.remote then K.gw_drained k s (String.length data);
+          if Net.is_remote s then K.gw_drained k s (String.length data);
           (* draining frees receive-buffer space: wake blocked senders *)
           Sched.kick k.K.sched;
           Some data
@@ -441,17 +441,17 @@ and do_write k (th : Proc.thread) (d : Proc.desc) ~data ~(ret : Syscall.result -
            Cross-host endpoints pay the NIC/wire cost here, but the hop to
            the local gateway is near-free: the propagation delay lives on
            the inter-host link behind it. *)
-        if s.Net.remote || not s.Net.local then
+        if Net.is_remote s || not (Net.is_local s) then
           charge th (Cost_model.wire_ns k.K.cost ~bytes)
         else charge th (Cost_model.local_copy_ns k.K.cost ~bytes);
         let latency =
-          if s.Net.local then Vtime.us 2 else k.K.net.Net.latency
+          if Net.is_local s then Vtime.us 2 else k.K.net.Net.latency
         in
         let arrival = Vtime.add (Vtime.max th.clock (K.now k)) latency in
         Sched.schedule k.K.sched ~time:arrival (fun () ->
             Net.commit peer chunk;
             (* the peer of a cross-host app endpoint is gateway-held *)
-            if peer.Net.remote then K.gw_poke k peer;
+            if Net.is_remote peer then K.gw_poke k peer;
             Sched.kick k.K.sched)
       in
       (* Everything before [offset] has been accepted already, so an error
@@ -473,7 +473,7 @@ and do_write k (th : Proc.thread) (d : Proc.desc) ~data ~(ret : Syscall.result -
             else
               block k th ~what:"write(socket)"
                 ~poll:(fun () ->
-                  if Net.peer_gone s || s.Net.wr_shut then Some ()
+                  if Net.peer_gone s || Net.wr_shut s then Some ()
                   else if Net.send_space s > 0 then Some ()
                   else None)
                 ~on_ready:(fun () -> push offset)
@@ -650,7 +650,7 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
         | Syscall.Fionread -> (
           match d.kind with
           | Proc.Pipe_read pi -> ret (Syscall.Ok_int (Pipe.bytes_available pi))
-          | Proc.Stream s -> ret (Syscall.Ok_int (Bytestream.length s.incoming))
+          | Proc.Stream s -> ret (Syscall.Ok_int (Net.incoming_length s))
           | _ -> ret (Syscall.Ok_int 0))
         | Syscall.Fionbio v ->
           d.nonblock <- v;
@@ -974,10 +974,10 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     ret (Syscall.Ok_int (install_fd (Proc.make_desc (Proc.Stream s))))
   | Syscall.Socketpair (_, _) ->
     let a, b = Net.make_pair k.K.net ~client_port:0 ~server_port:0 in
-    a.connected <- true;
-    b.connected <- true;
-    a.local <- true;
-    b.local <- true;
+    Net.set_connected a;
+    Net.set_connected b;
+    Net.mark_local a;
+    Net.mark_local b;
     let fd1 = install_fd (Proc.make_desc (Proc.Stream a)) in
     let fd2 = install_fd (Proc.make_desc (Proc.Stream b)) in
     ret (Syscall.Ok_pair (fd1, fd2))
@@ -985,14 +985,14 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
     with_fd fd (fun d ->
         match d.kind with
         | Proc.Stream s ->
-          s.local_port <- port;
+          Net.set_local_port s port;
           ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))
   | Syscall.Listen (fd, backlog) ->
     with_fd fd (fun d ->
         match d.kind with
         | Proc.Stream s -> (
-          match Net.listen k.K.net ~port:s.local_port ~backlog with
+          match Net.listen k.K.net ~port:(Net.local_port s) ~backlog with
           | Ok l ->
             d.kind <- Proc.Listener l;
             ret (Syscall.Ok_int 0)
@@ -1012,11 +1012,11 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
             if Queue.is_empty l.pending then None else Some (Queue.pop l.pending)
           in
           let deliver (s : Net.stream) =
-            s.connected <- true;
+            Net.set_connected s;
             let desc = Proc.make_desc ~nonblock:nonblock_result (Proc.Stream s) in
             let conn_fd = install_fd desc in
             Sched.kick k.K.sched;
-            ret (Syscall.Ok_accept { conn_fd; peer_port = s.peer_port })
+            ret (Syscall.Ok_accept { conn_fd; peer_port = Net.peer_port s })
           in
           if d.nonblock then (
             match attempt () with
@@ -1039,7 +1039,8 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
                  listener exists there is resolved at SYN-arrival virtual
                  time (deterministically, like the local backlog check) *)
               let local_port =
-                if placeholder.local_port <> 0 then placeholder.local_port
+                if Net.local_port placeholder <> 0 then
+                  Net.local_port placeholder
                 else Net.ephemeral_port k.K.net
               in
               let client, progress = g.K.gw_connect ~local_port ~port in
@@ -1068,13 +1069,14 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
                 ())
           | Some l ->
             let client_port =
-              if placeholder.local_port <> 0 then placeholder.local_port
+              if Net.local_port placeholder <> 0 then
+                Net.local_port placeholder
               else Net.ephemeral_port k.K.net
             in
             let client, server =
               Net.make_pair k.K.net ~client_port ~server_port:port
             in
-            client.connected <- true;
+            Net.set_connected client;
             d.kind <- Proc.Stream client;
             let latency = k.K.net.Net.latency in
             (* Backlog enforcement happens at SYN arrival: a full pending
@@ -1107,22 +1109,22 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
   | Syscall.Getsockname fd ->
     with_fd fd (fun d ->
         match d.kind with
-        | Proc.Stream s -> ret (Syscall.Ok_int s.local_port)
+        | Proc.Stream s -> ret (Syscall.Ok_int (Net.local_port s))
         | Proc.Listener l -> ret (Syscall.Ok_int l.port)
         | _ -> ret (err Errno.ENOTSOCK))
   | Syscall.Getpeername fd ->
     with_fd fd (fun d ->
         match d.kind with
         | Proc.Stream s ->
-          if s.connected then ret (Syscall.Ok_int s.peer_port)
+          if Net.connected s then ret (Syscall.Ok_int (Net.peer_port s))
           else ret (err Errno.ENOTCONN)
         | _ -> ret (err Errno.ENOTSOCK))
   | Syscall.Getsockopt (fd, opt) ->
     with_fd fd (fun d ->
         match d.kind with
         | Proc.Stream s ->
-          if opt = Net.so_sndbuf then ret (Syscall.Ok_int s.Net.sndbuf)
-          else if opt = Net.so_rcvbuf then ret (Syscall.Ok_int s.Net.rcvbuf)
+          if opt = Net.so_sndbuf then ret (Syscall.Ok_int (Net.sndbuf s))
+          else if opt = Net.so_rcvbuf then ret (Syscall.Ok_int (Net.rcvbuf s))
           else ret (Syscall.Ok_int 0)
         | Proc.Listener _ -> ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))
@@ -1144,12 +1146,12 @@ let exec k (th : Proc.thread) (call : Syscall.call) ~(ret : Syscall.result -> un
         match d.kind with
         | Proc.Stream s ->
           (match how with
-          | Syscall.Shut_rd -> s.rd_shut <- true
-          | Syscall.Shut_wr -> s.wr_shut <- true
+          | Syscall.Shut_rd -> Net.shutdown_rd s
+          | Syscall.Shut_wr -> Net.shutdown_wr s
           | Syscall.Shut_rdwr ->
-            s.rd_shut <- true;
-            s.wr_shut <- true);
-          if s.Net.remote then K.gw_poke k s;
+            Net.shutdown_rd s;
+            Net.shutdown_wr s);
+          if Net.is_remote s then K.gw_poke k s;
           Sched.kick k.K.sched;
           ret (Syscall.Ok_int 0)
         | _ -> ret (err Errno.ENOTSOCK))

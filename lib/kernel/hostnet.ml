@@ -25,9 +25,26 @@
    host (a commit event, a syscall retry, or a link-message application
    event), so send timestamps and per-link sequence numbers are pure
    functions of virtual time. Connection ids are globally unique without
-   coordination: initiator host index * 2^24 + a per-host counter. *)
+   coordination: initiator host index * 2^24 + a per-host counter.
+
+   Scale: links are created lazily by the shard runner, so the gateway
+   holds a resolver closure instead of an outbound-link table; connection
+   lookup by stream rides the stream's [tag] field instead of a side
+   table; and the gateway-side endpoint of a torn-down connection is
+   recycled through [Net]'s stream pool once no scheduled commit can still
+   reference it (its in-flight count is zero). The per-destination
+   [targets] counts feed the adaptive-lookahead synchronizer: a host that
+   neither routes to nor holds a connection towards host [d] provably
+   cannot send to it. *)
 
 module K = Kstate
+
+(* fin_sent / fin_rcvd / rst_sent, packed so an idle connection record is
+   8 words; a million-connection herd holds one live conn per endpoint
+   host. *)
+let c_fin_sent = 1
+let c_fin_rcvd = 2
+let c_rst_sent = 4
 
 type conn = {
   cid : int;
@@ -37,18 +54,19 @@ type conn = {
   mutable credits : int; (* bytes the remote app buffer can still absorb *)
   mutable progress : K.gw_progress ref option;
       (* Some on the initiating side until SYN_OK/SYN_REFUSED resolves *)
-  mutable fin_sent : bool;
-  mutable fin_rcvd : bool;
-  mutable rst_sent : bool;
+  mutable cflags : int;
 }
 
 type t = {
   host : int;
   k : K.t;
   routes : (int, int) Hashtbl.t; (* port -> owning host index *)
-  out : (int, Link.t) Hashtbl.t; (* destination host -> outbound link *)
+  mutable resolve : (dst:int -> Link.t) option;
+      (* outbound links, provided by the shard runner (lazily created) *)
   conns : (int, conn) Hashtbl.t; (* conn id -> connection *)
-  by_sid : (int, conn) Hashtbl.t; (* app/gw stream sid -> connection *)
+  targets : (int, int) Hashtbl.t;
+      (* destination host -> count of reasons we may send there
+         (remote routes + live connections); see [sends_to] *)
   mutable next_conn : int;
   (* lifetime tallies *)
   mutable opened : int;
@@ -60,12 +78,33 @@ let conn_id_stride = 0x1_000_000
 
 let host t = t.host
 
-let add_route t ~port ~host = Hashtbl.replace t.routes port host
+let incr_target t dst =
+  Hashtbl.replace t.targets dst
+    (match Hashtbl.find_opt t.targets dst with Some n -> n + 1 | None -> 1)
 
-let add_link t link =
-  if Link.src link <> t.host then
-    invalid_arg "Hostnet.add_link: link does not originate here";
-  Hashtbl.replace t.out (Link.dst link) link
+let decr_target t dst =
+  match Hashtbl.find_opt t.targets dst with
+  | Some n when n > 1 -> Hashtbl.replace t.targets dst (n - 1)
+  | Some _ -> Hashtbl.remove t.targets dst
+  | None -> ()
+
+let add_route t ~port ~host =
+  (match Hashtbl.find_opt t.routes port with
+  | Some h when h = host -> ()
+  | Some h ->
+    if h <> t.host then decr_target t h;
+    if host <> t.host then incr_target t host
+  | None -> if host <> t.host then incr_target t host);
+  Hashtbl.replace t.routes port host
+
+let set_link_resolver t f = t.resolve <- Some f
+
+let link_to t dst =
+  match t.resolve with
+  | Some f -> f ~dst
+  | None -> invalid_arg "Hostnet: no link resolver installed"
+
+let sends_to t dst = Hashtbl.mem t.targets dst
 
 let active_conns t = Hashtbl.length t.conns
 
@@ -77,20 +116,33 @@ let stats t = (t.opened, t.refused, t.resets)
 let mark_remote (a : Net.stream) (b : Net.stream) =
   (* local: the pair is an intra-host hop (cheap, ~2us); remote: the
      dispatcher charges wire cost and calls the gateway hooks *)
-  a.Net.local <- true;
-  b.Net.local <- true;
-  a.Net.remote <- true;
-  b.Net.remote <- true
+  Net.mark_local a;
+  Net.mark_local b;
+  Net.mark_remote a;
+  Net.mark_remote b
 
 let register t c =
   Hashtbl.replace t.conns c.cid c;
-  Hashtbl.replace t.by_sid c.app.Net.sid c;
-  Hashtbl.replace t.by_sid c.gw.Net.sid c
+  Net.set_tag c.app c.cid;
+  Net.set_tag c.gw c.cid;
+  incr_target t (Link.dst c.link)
 
+(* The gateway endpoint is private to this module: no fd maps to it, no
+   thread parks on it, and once its in-flight count is zero no scheduled
+   commit event references it either — so it can be recycled immediately.
+   (A nonzero in-flight count means an app-side write's commit is still
+   scheduled; that stream is simply left to the GC.) The app endpoint is
+   owned by a process fd and is never recycled here. *)
 let unregister t c =
   Hashtbl.remove t.conns c.cid;
-  Hashtbl.remove t.by_sid c.app.Net.sid;
-  Hashtbl.remove t.by_sid c.gw.Net.sid
+  Net.set_tag c.app (-1);
+  Net.set_tag c.gw (-1);
+  decr_target t (Link.dst c.link);
+  if Net.in_flight c.gw = 0 then Net.release_stream t.k.K.net c.gw
+
+let conn_of_stream t s =
+  let tag = Net.tag s in
+  if tag < 0 then None else Hashtbl.find_opt t.conns tag
 
 let established c =
   match c.progress with None -> true | Some p -> !p = K.Gw_connected
@@ -98,7 +150,8 @@ let established c =
 (* Both directions torn down: release everything. Closing is idempotent
    and never drops committed-but-unread data (EOF is after-drain). *)
 let maybe_gc t c =
-  if c.fin_sent && c.fin_rcvd then begin
+  if c.cflags land (c_fin_sent lor c_fin_rcvd) = c_fin_sent lor c_fin_rcvd
+  then begin
     Net.close_stream c.gw;
     Net.close_stream c.app;
     unregister t c
@@ -109,9 +162,9 @@ let maybe_gc t c =
    Safe to call from any hook: it does nothing when there is nothing to
    do. *)
 let pump t c =
-  if established c && not c.fin_sent then begin
+  if established c && c.cflags land c_fin_sent = 0 then begin
     let now = Sched.now t.k.K.sched in
-    let avail = Bytestream.length c.gw.Net.incoming in
+    let avail = Net.incoming_length c.gw in
     let n = min avail c.credits in
     if n > 0 then begin
       let data = Net.recv c.gw n in
@@ -120,16 +173,14 @@ let pump t c =
       (* freed gateway buffer space: a blocked local writer may resume *)
       Sched.kick t.k.K.sched
     end;
-    let flushed =
-      Bytestream.length c.gw.Net.incoming = 0 && c.gw.Net.in_flight = 0
-    in
-    let write_done = Net.peer_gone c.gw || c.app.Net.wr_shut in
+    let flushed = Net.incoming_length c.gw = 0 && Net.in_flight c.gw = 0 in
+    let write_done = Net.peer_gone c.gw || Net.wr_shut c.app in
     (* FIN only once flushed: the peer's own FIN says it stopped writing,
        not reading — a half-closed peer still wants our residue. Unflushable
        residue (receiver application gone, credit exhausted) is torn down by
        the RST path instead. *)
     if write_done && flushed then begin
-      c.fin_sent <- true;
+      c.cflags <- c.cflags lor c_fin_sent;
       Link.send c.link ~now (Link.Fin { conn = c.cid });
       maybe_gc t c
     end
@@ -149,11 +200,7 @@ let gw_connect t ~local_port ~port =
     | Some h when h <> t.host -> h
     | _ -> invalid_arg "Hostnet.gw_connect: port is not remotely routed"
   in
-  let link =
-    match Hashtbl.find_opt t.out dst with
-    | Some l -> l
-    | None -> invalid_arg "Hostnet.gw_connect: no link to destination host"
-  in
+  let link = link_to t dst in
   let app, gw =
     Net.make_pair t.k.K.net ~client_port:local_port ~server_port:port
   in
@@ -163,17 +210,7 @@ let gw_connect t ~local_port ~port =
   t.opened <- t.opened + 1;
   let progress = ref K.Gw_connecting in
   let c =
-    {
-      cid;
-      app;
-      gw;
-      link;
-      credits = 0;
-      progress = Some progress;
-      fin_sent = false;
-      fin_rcvd = false;
-      rst_sent = false;
-    }
+    { cid; app; gw; link; credits = 0; progress = Some progress; cflags = 0 }
   in
   register t c;
   Link.send link
@@ -183,19 +220,17 @@ let gw_connect t ~local_port ~port =
          conn = cid;
          src_port = local_port;
          dst_port = port;
-         window = app.Net.rcvbuf;
+         window = Net.rcvbuf app;
        });
   (app, progress)
 
 let gw_poke t s =
-  match Hashtbl.find_opt t.by_sid s.Net.sid with
-  | Some c -> pump t c
-  | None -> ()
+  match conn_of_stream t s with Some c -> pump t c | None -> ()
 
 let gw_drained t s n =
   if n > 0 then
-    match Hashtbl.find_opt t.by_sid s.Net.sid with
-    | Some c when not c.fin_sent ->
+    match conn_of_stream t s with
+    | Some c when c.cflags land c_fin_sent = 0 ->
       Link.send c.link
         ~now:(Sched.now t.k.K.sched)
         (Link.Window { conn = c.cid; bytes = n })
@@ -212,11 +247,7 @@ let gw_drained t s n =
 let apply t ~src (m : Link.msg) =
   let k = t.k in
   let now = Sched.now k.K.sched in
-  let reply payload =
-    match Hashtbl.find_opt t.out src with
-    | Some l -> Link.send l ~now payload
-    | None -> ()
-  in
+  let reply payload = Link.send (link_to t src) ~now payload in
   match m.Link.payload with
   | Link.Syn { conn; src_port; dst_port; window } -> (
     match Net.find_listener k.K.net ~port:dst_port with
@@ -234,28 +265,25 @@ let apply t ~src (m : Link.msg) =
             cid = conn;
             app;
             gw;
-            link =
-              (match Hashtbl.find_opt t.out src with
-              | Some l -> l
-              | None ->
-                invalid_arg "Hostnet.apply: SYN from an unlinked host");
+            link = link_to t src;
             credits = window;
             progress = None;
-            fin_sent = false;
-            fin_rcvd = false;
-            rst_sent = false;
+            cflags = 0;
           }
         in
         register t c;
         t.opened <- t.opened + 1;
-        reply (Link.Syn_ok { conn; window = app.Net.rcvbuf });
+        reply (Link.Syn_ok { conn; window = Net.rcvbuf app });
         Sched.kick k.K.sched
       end
       else begin
-        (* backlog full at SYN arrival, like the local enqueue check *)
+        (* backlog full at SYN arrival, like the local enqueue check; the
+           pair was never exposed to any process, so both halves recycle *)
         t.refused <- t.refused + 1;
         Net.close_stream gw;
         Net.close_stream app;
+        Net.release_stream k.K.net gw;
+        Net.release_stream k.K.net app;
         reply (Link.Syn_refused { conn })
       end)
   | Link.Syn_ok { conn; window } -> (
@@ -263,7 +291,7 @@ let apply t ~src (m : Link.msg) =
     | None -> ()
     | Some c ->
       c.credits <- window;
-      c.app.Net.connected <- true;
+      Net.set_connected c.app;
       (match c.progress with Some p -> p := K.Gw_connected | None -> ());
       pump t c;
       Sched.kick k.K.sched)
@@ -283,8 +311,8 @@ let apply t ~src (m : Link.msg) =
       if Net.peer_gone c.gw then begin
         (* the receiving application closed: a real stack answers
            data-after-close with RST *)
-        if not c.rst_sent then begin
-          c.rst_sent <- true;
+        if c.cflags land c_rst_sent = 0 then begin
+          c.cflags <- c.cflags lor c_rst_sent;
           t.resets <- t.resets + 1;
           Link.send c.link ~now (Link.Rst { conn = c.cid })
         end
@@ -303,10 +331,10 @@ let apply t ~src (m : Link.msg) =
     match Hashtbl.find_opt t.conns conn with
     | None -> ()
     | Some c ->
-      c.fin_rcvd <- true;
+      c.cflags <- c.cflags lor c_fin_rcvd;
       (* half-close: the application observes EOF once it has drained,
          but may keep writing (its own close/SHUT_WR sends our FIN) *)
-      c.gw.Net.wr_shut <- true;
+      Net.shutdown_wr c.gw;
       pump t c;
       maybe_gc t c;
       Sched.kick k.K.sched)
@@ -328,9 +356,9 @@ let create ~host k =
       host;
       k;
       routes = Hashtbl.create 16;
-      out = Hashtbl.create 8;
+      resolve = None;
       conns = Hashtbl.create 32;
-      by_sid = Hashtbl.create 64;
+      targets = Hashtbl.create 8;
       next_conn = 0;
       opened = 0;
       refused = 0;

@@ -19,8 +19,17 @@ val add_route : t -> port:int -> host:int -> unit
     port routed to another host go through the gateway; whether a listener
     actually exists there is resolved at SYN-arrival virtual time. *)
 
-val add_link : t -> Link.t -> unit
-(** Register an outbound link (must originate at this host). *)
+val set_link_resolver : t -> (dst:int -> Link.t) -> unit
+(** Install the outbound-link resolver. The shard runner provides it so
+    links can be created lazily on first use instead of as an eager
+    all-pairs mesh. *)
+
+val sends_to : t -> int -> bool
+(** [sends_to t d] — may this host ever send a link message to host [d]
+    before it next reacts to an inbound message? True iff a remote route
+    points at [d] or a live connection's outbound link targets [d]. The
+    adaptive-lookahead synchronizer uses the negation as a proof of
+    idleness. *)
 
 val apply : t -> src:int -> Link.msg -> unit
 (** Apply one drained inbound message from host [src]. The shard runner

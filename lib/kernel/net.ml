@@ -9,7 +9,19 @@
    plus bytes still in flight towards it) never exceeds its [rcvbuf] cap.
    [send_start] accepts at most the remaining space, so senders experience
    real backpressure (partial writes, EAGAIN, blocking) exactly where a
-   Linux socket would. *)
+   Linux socket would.
+
+   Memory layout: million-connection worlds mean millions of stream
+   endpoints, most of them idle at any instant, so the stream record is
+   kept flat — seven fields (an 8-word block, 64 bytes on 64-bit) with the
+   boolean flags and both ports packed into one int, the buffer caps into a
+   second, and the in-flight/high-water counters into a third. The receive
+   queue is allocated lazily on the first byte committed: an endpoint that
+   never receives (or has not received yet) carries no [Bytestream.t].
+   Streams whose lifetime is provably private to the kernel (gateway-side
+   endpoints, refused-connection pairs) are recycled through a
+   geometrically-grown pool, the same idiom as [Event_queue]'s entry
+   pool. *)
 
 (* Default per-direction buffer capacity; mirrors Linux's default
    net.core.{r,w}mem_default of 212992 bytes. *)
@@ -23,24 +35,35 @@ let so_rcvbuf = 8
    whose smallest message cannot fit the buffer. *)
 let min_bufcap = 256
 
+(* Field packing.
+
+   flags: bit 0 rd_shut | bit 1 wr_shut | bit 2 connected | bit 3 local
+          | bit 4 remote | bits 5-30 local_port | bits 31-56 peer_port
+   bufs:  bits 0-30 sndbuf | bits 31-61 rcvbuf
+   counts: bits 0-30 in_flight | bits 31-61 buffered high-water mark
+
+   Ports get 26 bits (67M — the ephemeral counter of a single host never
+   approaches this), byte counts 31 bits each; everything fits a 63-bit
+   OCaml int. *)
+
+let f_rd_shut = 1
+let f_wr_shut = 2
+let f_connected = 4
+let f_local = 8
+let f_remote = 16
+let port_mask = 0x3FF_FFFF (* 26 bits *)
+let lport_shift = 5
+let pport_shift = 31
+let mask31 = 0x7FFF_FFFF
+
 type stream = {
-  sid : int;
-  mutable local_port : int;
-  mutable peer_port : int;
-  incoming : Bytestream.t; (* committed, readable data *)
+  mutable sid : int;
+  mutable flags : int;
+  mutable bufs : int;
+  mutable counts : int;
+  mutable incoming : Bytestream.t option; (* committed, readable data; lazy *)
   mutable peer : stream option; (* None once the peer endpoint is closed *)
-  mutable rd_shut : bool;
-  mutable wr_shut : bool;
-  mutable in_flight : int; (* bytes sent but not yet committed *)
-  mutable connected : bool;
-  mutable local : bool; (* same-host pair (socketpair): no link latency *)
-  mutable remote : bool;
-      (* application endpoint of a cross-host connection: the local "pair"
-         only models the host's socket buffer, the real latency lives on
-         the inter-host link behind the gateway *)
-  mutable sndbuf : int; (* max bytes one send may accept (SO_SNDBUF) *)
-  mutable rcvbuf : int; (* cap on incoming + in_flight (SO_RCVBUF) *)
-  mutable buffered_hwm : int; (* high-water mark of incoming + in_flight *)
+  mutable tag : int; (* gateway connection id, -1 when unset *)
 }
 
 type listener = {
@@ -57,39 +80,126 @@ type t = {
   listeners : (int, listener) Hashtbl.t;
   mutable next_sid : int;
   mutable next_ephemeral : int;
+  (* recycled stream endpoints (kernel-private lifetimes only) *)
+  mutable spool : stream array;
+  mutable spooled : int;
 }
 
 let create ?(latency = Remon_sim.Vtime.us 50) ?(bufcap = default_bufcap) () =
   {
     latency;
-    bufcap = max min_bufcap bufcap;
+    bufcap = min mask31 (max min_bufcap bufcap);
     listeners = Hashtbl.create 8;
     next_sid = 1;
     next_ephemeral = 32_768;
+    spool = [||];
+    spooled = 0;
   }
 
 let set_latency t l = t.latency <- l
-let set_bufcap t cap = t.bufcap <- max min_bufcap cap
+let set_bufcap t cap = t.bufcap <- min mask31 (max min_bufcap cap)
+
+(* ------------------------------------------------------------------ *)
+(* Packed-field accessors *)
+
+let sid s = s.sid
+let rd_shut s = s.flags land f_rd_shut <> 0
+let wr_shut s = s.flags land f_wr_shut <> 0
+let shutdown_rd s = s.flags <- s.flags lor f_rd_shut
+let shutdown_wr s = s.flags <- s.flags lor f_wr_shut
+let connected s = s.flags land f_connected <> 0
+let set_connected s = s.flags <- s.flags lor f_connected
+let is_local s = s.flags land f_local <> 0
+let is_remote s = s.flags land f_remote <> 0
+let mark_local s = s.flags <- s.flags lor f_local
+let mark_remote s = s.flags <- s.flags lor f_remote
+let local_port s = (s.flags lsr lport_shift) land port_mask
+let peer_port s = (s.flags lsr pport_shift) land port_mask
+
+let set_local_port s p =
+  s.flags <-
+    s.flags land lnot (port_mask lsl lport_shift)
+    lor ((p land port_mask) lsl lport_shift)
+
+let set_peer_port s p =
+  s.flags <-
+    s.flags land lnot (port_mask lsl pport_shift)
+    lor ((p land port_mask) lsl pport_shift)
+
+let sndbuf s = s.bufs land mask31
+let rcvbuf s = s.bufs lsr pport_shift land mask31
+let pack_bufs ~sndbuf ~rcvbuf = (sndbuf land mask31) lor (rcvbuf lsl 31)
+let in_flight s = s.counts land mask31
+let buffered_hwm s = s.counts lsr 31
+
+let set_in_flight s v =
+  s.counts <- s.counts land lnot mask31 lor (v land mask31)
+
+let set_hwm s v = s.counts <- s.counts land mask31 lor (v lsl 31)
+let tag s = s.tag
+let set_tag s v = s.tag <- v
+
+let incoming_length s =
+  match s.incoming with None -> 0 | Some b -> Bytestream.length b
+
+(* The receive queue is materialized on first use; idle endpoints carry
+   [None]. *)
+let get_incoming s =
+  match s.incoming with
+  | Some b -> b
+  | None ->
+    let b = Bytestream.create () in
+    s.incoming <- Some b;
+    b
+
+(* ------------------------------------------------------------------ *)
+(* Stream lifecycle *)
 
 let fresh_stream t =
   let sid = t.next_sid in
   t.next_sid <- t.next_sid + 1;
-  {
-    sid;
-    local_port = 0;
-    peer_port = 0;
-    incoming = Bytestream.create ();
-    peer = None;
-    rd_shut = false;
-    wr_shut = false;
-    in_flight = 0;
-    connected = false;
-    local = false;
-    remote = false;
-    sndbuf = t.bufcap;
-    rcvbuf = t.bufcap;
-    buffered_hwm = 0;
-  }
+  let bufs = pack_bufs ~sndbuf:t.bufcap ~rcvbuf:t.bufcap in
+  if t.spooled > 0 then begin
+    t.spooled <- t.spooled - 1;
+    let s = t.spool.(t.spooled) in
+    s.sid <- sid;
+    s.flags <- 0;
+    s.bufs <- bufs;
+    s.counts <- 0;
+    (* s.incoming was left as None or an empty, reusable Bytestream *)
+    s.peer <- None;
+    s.tag <- -1;
+    s
+  end
+  else
+    { sid; flags = 0; bufs; counts = 0; incoming = None; peer = None; tag = -1 }
+
+(* Return an endpoint to the pool. Callers must guarantee no live reference
+   remains (no fd, no parked thread, no pending commit event): the gateway
+   recycles its private endpoints once their in-flight count is zero, and
+   the dispatcher recycles both halves of a pair refused at SYN arrival
+   (never exposed to any process). An empty receive queue is kept for
+   reuse; a non-empty one is dropped so stale bytes cannot leak into the
+   next connection. *)
+let release_stream t s =
+  (match s.incoming with
+  | Some b when Bytestream.length b > 0 -> s.incoming <- None
+  | _ -> ());
+  s.peer <- None;
+  s.flags <- 0;
+  s.counts <- 0;
+  s.tag <- -1;
+  s.sid <- 0;
+  let cap = Array.length t.spool in
+  if t.spooled >= cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) s in
+    Array.blit t.spool 0 bigger 0 t.spooled;
+    t.spool <- bigger
+  end;
+  t.spool.(t.spooled) <- s;
+  t.spooled <- t.spooled + 1
+
+let pooled_streams t = t.spooled
 
 let listen t ~port ~backlog =
   if Hashtbl.mem t.listeners port then Error Errno.EADDRINUSE
@@ -134,10 +244,10 @@ let make_pair t ~client_port ~server_port =
   let server = fresh_stream t in
   client.peer <- Some server;
   server.peer <- Some client;
-  client.local_port <- client_port;
-  client.peer_port <- server_port;
-  server.local_port <- server_port;
-  server.peer_port <- client_port;
+  set_local_port client client_port;
+  set_peer_port client server_port;
+  set_local_port server server_port;
+  set_peer_port server client_port;
   (client, server)
 
 let ephemeral_port t =
@@ -147,22 +257,25 @@ let ephemeral_port t =
 
 (* Bytes a stream is holding: committed plus still-in-flight. This is the
    quantity capped by [rcvbuf]. *)
-let buffered stream = Bytestream.length stream.incoming + stream.in_flight
+let buffered stream = incoming_length stream + in_flight stream
 
-let buffered_hwm stream = stream.buffered_hwm
-let stream_cap stream = stream.rcvbuf
+let stream_cap stream = rcvbuf stream
 
-let set_sndbuf stream v = stream.sndbuf <- max min_bufcap v
+let set_sndbuf stream v =
+  stream.bufs <-
+    pack_bufs ~sndbuf:(min mask31 (max min_bufcap v)) ~rcvbuf:(rcvbuf stream)
 
 (* Shrinking below what is already buffered only takes effect as the peer
    drains; already-accepted bytes are never dropped. *)
-let set_rcvbuf stream v = stream.rcvbuf <- max min_bufcap v
+let set_rcvbuf stream v =
+  stream.bufs <-
+    pack_bufs ~sndbuf:(sndbuf stream) ~rcvbuf:(min mask31 (max min_bufcap v))
 
 (* Room the sender may still fill towards [stream]'s peer. *)
 let send_space stream =
   match stream.peer with
   | None -> 0
-  | Some peer -> max 0 (peer.rcvbuf - buffered peer)
+  | Some peer -> max 0 (rcvbuf peer - buffered peer)
 
 (* Sender side: reserve space in the peer's receive buffer and account the
    in-flight bytes; the kernel commits them later. Returns how many bytes
@@ -172,47 +285,51 @@ let send_space stream =
 let send_start stream data =
   match stream.peer with
   | None -> Error Errno.EPIPE
-  | Some _ when stream.wr_shut -> Error Errno.EPIPE
+  | Some _ when wr_shut stream -> Error Errno.EPIPE
   | Some peer ->
-    let space = max 0 (peer.rcvbuf - buffered peer) in
-    let accepted = min (String.length data) (min space stream.sndbuf) in
-    peer.in_flight <- peer.in_flight + accepted;
+    let space = max 0 (rcvbuf peer - buffered peer) in
+    let accepted = min (String.length data) (min space (sndbuf stream)) in
+    set_in_flight peer (in_flight peer + accepted);
     let b = buffered peer in
-    if b > peer.buffered_hwm then peer.buffered_hwm <- b;
+    if b > buffered_hwm peer then set_hwm peer b;
     Ok (accepted, peer)
 
 (* Receiver side: invoked by the scheduled delivery event. The space was
    reserved at [send_start], so this only moves in-flight bytes into the
    committed queue — the cap cannot be exceeded here. *)
 let commit stream data =
-  stream.in_flight <- stream.in_flight - String.length data;
-  Bytestream.push stream.incoming data
+  set_in_flight stream (in_flight stream - String.length data);
+  Bytestream.push (get_incoming stream) data
 
 let peer_gone stream = stream.peer = None
 
 let readable stream =
-  Bytestream.length stream.incoming > 0 || stream.rd_shut || peer_gone stream
+  incoming_length stream > 0 || rd_shut stream || peer_gone stream
 
 let at_eof stream =
-  Bytestream.length stream.incoming = 0
-  && stream.in_flight = 0
-  && (peer_gone stream || stream.rd_shut)
+  incoming_length stream = 0
+  && in_flight stream = 0
+  && (peer_gone stream || rd_shut stream)
 
 (* Draining the committed queue frees receive-buffer space; the dispatcher
    kicks the scheduler afterwards so blocked senders retry. *)
-let recv stream count = Bytestream.pull stream.incoming count
+let recv stream count =
+  match stream.incoming with
+  | None -> ""
+  | Some b -> Bytestream.pull b count
 
 (* Receiver side of a cross-host link: the per-connection credit window
    reserved the space end-to-end, so arriving bytes go straight into the
    committed queue (there is no local in-flight phase). *)
 let commit_inbound stream data =
-  Bytestream.push stream.incoming data;
+  Bytestream.push (get_incoming stream) data;
   let b = buffered stream in
-  if b > stream.buffered_hwm then stream.buffered_hwm <- b
+  if b > buffered_hwm stream then set_hwm stream b
+
+let peer stream = stream.peer
 
 (* Endpoint close: detach from peer so the peer observes EOF / EPIPE. *)
 let close_stream stream =
   (match stream.peer with Some p -> p.peer <- None | None -> ());
   stream.peer <- None;
-  stream.rd_shut <- true;
-  stream.wr_shut <- true
+  stream.flags <- stream.flags lor f_rd_shut lor f_wr_shut

@@ -6,7 +6,12 @@
     Both directions are bounded: a stream never holds more than its
     [rcvbuf] cap (committed plus in-flight bytes), so senders experience
     backpressure — partial writes, EAGAIN, or blocking — at the same
-    boundary a Linux socket would. *)
+    boundary a Linux socket would.
+
+    The stream type is abstract and memory-flat: seven fields (one 8-word
+    block, 64 bytes) with flags and ports packed into ints and the receive
+    queue allocated lazily, so a million idle connections cost tens of
+    bytes each rather than a pointer-rich record apiece. *)
 
 val default_bufcap : int
 (** Default per-direction buffer cap (Linux's 212992-byte default). *)
@@ -20,43 +25,86 @@ val so_rcvbuf : int
 val min_bufcap : int
 (** Floor applied to configured caps so tiny values cannot deadlock. *)
 
-type stream = {
-  sid : int;
-  mutable local_port : int;
-  mutable peer_port : int;
-  incoming : Bytestream.t;
-  mutable peer : stream option; (** [None] once the peer closed *)
-  mutable rd_shut : bool;
-  mutable wr_shut : bool;
-  mutable in_flight : int;
-  mutable connected : bool;
-  mutable local : bool; (** same-host pair: memcpy cost, ~no latency *)
-  mutable remote : bool; (** gateway endpoint of a cross-host connection *)
-  mutable sndbuf : int; (** max bytes a single send may accept *)
-  mutable rcvbuf : int; (** cap on [incoming] + [in_flight] *)
-  mutable buffered_hwm : int; (** high-water mark of buffered bytes *)
-}
+type stream
+(** One endpoint of a connection. Packed representation; use the accessors
+    below. *)
 
 type listener = {
   port : int;
   mutable backlog : int;
   pending : stream Queue.t;
   mutable closed : bool;
-  mutable refused : int; (** connections refused by a full backlog *)
+  mutable refused : int;  (** connections refused by a full backlog *)
 }
 
 type t = {
-  mutable latency : Remon_sim.Vtime.t; (** one-way propagation delay *)
-  mutable bufcap : int; (** default snd/rcv cap for fresh streams *)
+  mutable latency : Remon_sim.Vtime.t;  (** one-way propagation delay *)
+  mutable bufcap : int;  (** default snd/rcv cap for fresh streams *)
   listeners : (int, listener) Hashtbl.t;
   mutable next_sid : int;
   mutable next_ephemeral : int;
+  mutable spool : stream array;  (** recycled endpoints (kernel-private) *)
+  mutable spooled : int;
 }
 
 val create : ?latency:Remon_sim.Vtime.t -> ?bufcap:int -> unit -> t
 val set_latency : t -> Remon_sim.Vtime.t -> unit
 val set_bufcap : t -> int -> unit
 val fresh_stream : t -> stream
+
+val release_stream : t -> stream -> unit
+(** Return an endpoint to the recycle pool. The caller must guarantee no
+    live reference remains: no fd maps to it, no thread is parked on it,
+    and no scheduled commit event captures it. Used by the gateway for its
+    private endpoints (once in-flight is zero) and for pairs refused at SYN
+    arrival. *)
+
+val pooled_streams : t -> int
+(** Endpoints currently waiting in the recycle pool (observability). *)
+
+(** {1 Stream accessors} *)
+
+val sid : stream -> int
+val local_port : stream -> int
+val set_local_port : stream -> int -> unit
+val peer_port : stream -> int
+val set_peer_port : stream -> int -> unit
+
+val peer : stream -> stream option
+(** [None] once the peer endpoint closed. *)
+
+val rd_shut : stream -> bool
+val wr_shut : stream -> bool
+val shutdown_rd : stream -> unit
+val shutdown_wr : stream -> unit
+val connected : stream -> bool
+val set_connected : stream -> unit
+
+val is_local : stream -> bool
+(** Same-host pair (socketpair / loopback): memcpy cost, ~no latency. *)
+
+val is_remote : stream -> bool
+(** Endpoint of a cross-host connection: the local pair only models the
+    host's socket buffer; the real latency lives on the inter-host link
+    behind the gateway. *)
+
+val mark_local : stream -> unit
+val mark_remote : stream -> unit
+
+val in_flight : stream -> int
+(** Bytes sent towards this stream but not yet committed. *)
+
+val incoming_length : stream -> int
+(** Committed, readable bytes. O(1); does not materialize the lazy queue. *)
+
+val sndbuf : stream -> int
+val rcvbuf : stream -> int
+
+val tag : stream -> int
+(** Scratch int for the owning subsystem — the cross-host gateway stores
+    its connection id here ([-1] when unset), replacing a side table. *)
+
+val set_tag : stream -> int -> unit
 val listen : t -> port:int -> backlog:int -> (listener, Errno.t) result
 val find_listener : t -> port:int -> listener option
 val close_listener : t -> listener -> unit
@@ -94,9 +142,10 @@ val send_start : stream -> string -> (int * stream, Errno.t) result
 val commit : stream -> string -> unit
 
 val commit_inbound : stream -> string -> unit
-(** Push bytes straight into [incoming] with no in-flight accounting — the
-    cross-host gateway's entry point, where flow control is the link-level
-    credit window rather than [in_flight]. Maintains [buffered_hwm]. *)
+(** Push bytes straight into the committed queue with no in-flight
+    accounting — the cross-host gateway's entry point, where flow control
+    is the link-level credit window rather than in-flight bytes. Maintains
+    [buffered_hwm]. *)
 
 val peer_gone : stream -> bool
 val readable : stream -> bool

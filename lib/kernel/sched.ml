@@ -94,6 +94,14 @@ let schedule_at t ~time thunk =
 let schedule t ~time thunk =
   Event_queue.add_ t.events ~time:(Vtime.max time t.now) thunk
 
+(* Pre-lane scheduling: at a time tie the thunk runs before every normally
+   scheduled event. The shard coordinator delivers cross-host messages
+   through this lane so that delivery order relative to locally-scheduled
+   events at the same instant is a property of the message timestamps, not
+   of which synchronization round happened to drain the link. *)
+let schedule_pre t ~time thunk =
+  Event_queue.add_pre_ t.events ~time:(Vtime.max time t.now) thunk
+
 (* ------------------------------------------------------------------ *)
 (* Thread bodies *)
 

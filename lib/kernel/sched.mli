@@ -37,6 +37,11 @@ val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> Event_queue.handle
 
 val schedule : t -> time:Vtime.t -> (unit -> unit) -> unit
 
+val schedule_pre : t -> time:Vtime.t -> (unit -> unit) -> unit
+(** Like [schedule] but lands in the event queue's pre-lane: at a time tie
+    the thunk runs before every normally scheduled event, independent of
+    insertion round. Used for cross-host message delivery. *)
+
 val park : t -> Proc.thread -> what:string -> retry:(unit -> bool) -> Proc.blocked
 (** Park a thread; its [retry] runs on every kick and returns true once the
     thread has rescheduled itself. *)

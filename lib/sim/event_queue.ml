@@ -32,6 +32,13 @@ type 'a t = {
   mutable size : int; (* physical entries, live + dead *)
   mutable lives : int; (* live (non-cancelled, non-popped) entries *)
   mutable next_seq : int;
+  (* pre-lane sequence counter: starts at [min_int] and counts up, so every
+     pre-lane event compares before every normally-added event at the same
+     time while pre-lane insertions keep their own relative order. The shard
+     coordinator uses this to deliver cross-host messages ahead of any
+     locally-scheduled event at the same instant, making pop order at a tie
+     independent of which synchronization round performed the insertion. *)
+  mutable next_pre_seq : int;
   (* recycled entries: popped/compacted-away records come back here so the
      steady state allocates no entry per event *)
   mutable pool : 'a entry array;
@@ -73,6 +80,7 @@ let create () =
     size = 0;
     lives = 0;
     next_seq = 0;
+    next_pre_seq = min_int;
     pool = [||];
     pooled = 0;
     adds = 0;
@@ -166,20 +174,34 @@ let compact (t : _ t) =
     sift_down t i
   done
 
-let insert t ~time payload =
-  let entry =
-    if t.pooled > 0 then begin
-      t.pooled <- t.pooled - 1;
-      let e = t.pool.(t.pooled) in
-      e.time <- time;
-      e.seq <- t.next_seq;
-      e.payload <- payload;
-      e.live <- true;
-      e
-    end
-    else { time; seq = t.next_seq; payload; live = true }
-  in
-  t.next_seq <- t.next_seq + 1;
+(* Burst arrival refill: when an insert finds the pool dry, allocate a
+   geometric batch of spare entries (proportional to the live heap size,
+   capped) instead of one record per insert. A connection storm that
+   schedules 10^6 events then allocates O(log n) batches rather than 10^6
+   individual records, and the GC sees large young blocks instead of a
+   stream of 5-word ones. *)
+let refill_pool t payload =
+  let n = max 15 (min 1023 t.size) in
+  let cap = Array.length t.pool in
+  if n > cap then begin
+    let dummy = { time = Vtime.zero; seq = 0; payload; live = false } in
+    let bigger = Array.make (max 16 (max n (2 * cap))) dummy in
+    Array.blit t.pool 0 bigger 0 t.pooled;
+    t.pool <- bigger
+  end;
+  for i = t.pooled to t.pooled + n - 1 do
+    t.pool.(i) <- { time = Vtime.zero; seq = 0; payload; live = false }
+  done;
+  t.pooled <- t.pooled + n
+
+let insert t ~seq ~time payload =
+  if t.pooled = 0 then refill_pool t payload;
+  t.pooled <- t.pooled - 1;
+  let entry = t.pool.(t.pooled) in
+  entry.time <- time;
+  entry.seq <- seq;
+  entry.payload <- payload;
+  entry.live <- true;
   if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   grow t;
   t.heap.(t.size) <- entry;
@@ -191,11 +213,22 @@ let insert t ~time payload =
   if i > 0 && before entry t.heap.((i - 1) / 2) then sift_up t i;
   entry
 
+let take_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let add t ~time payload =
-  let entry = insert t ~time payload in
+  let entry = insert t ~seq:(take_seq t) ~time payload in
   H (t, entry, entry.seq)
 
-let add_ t ~time payload = ignore (insert t ~time payload : _ entry)
+let add_ t ~time payload =
+  ignore (insert t ~seq:(take_seq t) ~time payload : _ entry)
+
+let add_pre_ t ~time payload =
+  let s = t.next_pre_seq in
+  t.next_pre_seq <- s + 1;
+  ignore (insert t ~seq:s ~time payload : _ entry)
 
 let cancel (H (t, entry, seq)) =
   if entry.live && entry.seq = seq then begin

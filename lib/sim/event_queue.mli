@@ -42,6 +42,14 @@ val add_ : 'a t -> time:Vtime.t -> 'a -> unit
 (** [add] without the handle: allocation-free in steady state (the entry
     comes from the recycle pool). For events that are never cancelled. *)
 
+val add_pre_ : 'a t -> time:Vtime.t -> 'a -> unit
+(** Like [add_], but the event lands in the pre-lane: among events at the
+    same time, every pre-lane event pops before every normally-added
+    event, while pre-lane events keep their own relative insertion order.
+    The shard coordinator delivers cross-host messages through this lane
+    so that pop order at a time tie does not depend on which
+    synchronization round performed the insertion. *)
+
 val cancel : handle -> unit
 (** Marks an event dead; it will be skipped on pop. Idempotent, and a
     no-op once the event was popped (even if its entry was recycled). *)

@@ -108,7 +108,8 @@ let digest_outcome buf (r : server_report) =
     | Some rec_ -> Recording.stream_digest rec_
     | None -> "-")
 
-let run ?(shards = 1) ?(with_obs = false) (sc : scenario) : result =
+let run ?(shards = 1) ?(mode = World.Adaptive) ?(with_obs = false)
+    (sc : scenario) : result =
   let n = sc.server_hosts + 1 in
   let client_host = sc.server_hosts in
   let world =
@@ -128,7 +129,10 @@ let run ?(shards = 1) ?(with_obs = false) (sc : scenario) : result =
   let specs = List.init sc.server_hosts (spec_for sc) in
   List.iteri
     (fun i (spec : Servers.spec) ->
-      World.route world ~port:spec.Servers.port ~host:i)
+      (* only the client host ever initiates connects; declaring that lets
+         adaptive lookahead decouple server hosts from each other *)
+      World.route world ~port:spec.Servers.port ~host:i
+        ~initiators:[ client_host ])
     specs;
   let faults =
     match Fault.of_string sc.faults with
@@ -173,7 +177,7 @@ let run ?(shards = 1) ?(with_obs = false) (sc : scenario) : result =
         Clients.launch (World.kernel world client_host) spec client_spec)
       specs
   in
-  World.run ~shards world;
+  World.run ~shards ~mode world;
   let reports =
     List.map
       (fun (i, (spec : Servers.spec), (stats : Servers.stats), h) ->
@@ -217,7 +221,8 @@ let run ?(shards = 1) ?(with_obs = false) (sc : scenario) : result =
       Printf.bprintf buf "gw%d opened=%d refused=%d resets=%d\n" i opened
         refused resets)
     (Array.to_list (Array.make n ()));
-  Printf.bprintf buf "rounds=%d\n" (World.rounds world);
+  (* the round count is a synchronizer diagnostic, not an observable: it
+     depends on the lookahead mode, so it must stay out of the digest *)
   {
     digest = Buffer.contents buf;
     recordings =
@@ -294,3 +299,289 @@ let corpus ~n =
         faults;
         record = true;
       })
+
+(* ------------------------------------------------------------------ *)
+(* The herd tier: many tiny echo cells for memory/scaling runs.
+
+   A herd is [cells] independent (server host, client host) pairs; the
+   client opens [conns_per_cell] connections in one non-blocking burst,
+   then drives [rounds_per_conn] closed-loop echo rounds over all of
+   them. The bodies are deliberately epoll-free single fibers with
+   blocking round-robin I/O: a parked thread's retry is O(1), so the
+   whole herd costs O(events) regardless of connection count — the shape
+   that lets the shard runner reach ~10^6 simulated connections.
+
+   Cells never talk to each other, and [World.route ~initiators] tells
+   the synchronizer so: under adaptive lookahead each cell advances at
+   its own pace instead of lock-stepping the whole world one link
+   latency at a time. The digest is a counter rendering plus a per-cell
+   hash — O(1) size at any scale, and mode/shard invariant (no round
+   counts, no wall clock, no iteration order). *)
+
+type herd = {
+  h_seed : int;
+  cells : int;
+  conns_per_cell : int;
+  rounds_per_conn : int;
+  payload : int;
+  think_ns : int; (* whole-cell idle time between echo rounds *)
+  stagger_ns : int; (* per-cell start offset: cells are phase-shifted *)
+  h_link_latency : Vtime.t;
+}
+
+type cell_stats = {
+  mutable accepted : int;
+  mutable served : int;
+  mutable closed : int;
+  mutable responses : int;
+  mutable connect_errors : int;
+  mutable transport_errors : int;
+}
+
+type herd_result = {
+  hr_digest : string;
+  hr_connections : int;
+  hr_responses : int;
+  hr_served : int;
+  hr_errors : int;
+  hr_rounds : int;
+  hr_events : int;
+}
+
+let herd_port cell = 10_000 + cell
+
+let render_herd (h : herd) =
+  Printf.sprintf
+    "herd: seed=%d cells=%d conns/cell=%d rounds=%d payload=%d think=%s \
+     stagger=%s lat=%s"
+    h.h_seed h.cells h.conns_per_cell h.rounds_per_conn h.payload
+    (Vtime.to_string (Vtime.ns h.think_ns))
+    (Vtime.to_string (Vtime.ns h.stagger_ns))
+    (Vtime.to_string h.h_link_latency)
+
+let send_all fd data =
+  let len = String.length data in
+  let rec go off =
+    if off < len then begin
+      let n = Api.send fd (String.sub data off (len - off)) in
+      if n <= 0 then raise (Api.Sys_error (Errno.EPIPE, "send"))
+      else go (off + n)
+    end
+  in
+  go 0
+
+(* Single-fiber iterative echo server: accept everything, then serve the
+   rounds in connection order. The blocking round-robin order is safe
+   because the client is closed-loop in the same order, and it keeps every
+   park O(1) to retry. *)
+let herd_server ~(h : herd) ~port ~(st : cell_stats) () =
+  let lfd = Api.socket () in
+  Api.bind lfd port;
+  Api.listen lfd h.conns_per_cell;
+  let fds =
+    Array.init h.conns_per_cell (fun _ ->
+        let a = Api.accept lfd in
+        st.accepted <- st.accepted + 1;
+        a.Syscall.conn_fd)
+  in
+  for _round = 1 to h.rounds_per_conn do
+    Array.iter
+      (fun fd ->
+        try
+          let req = Api.recv_exactly fd h.payload in
+          if String.length req = h.payload then begin
+            send_all fd req;
+            st.served <- st.served + 1
+          end
+        with Api.Sys_error _ ->
+          st.transport_errors <- st.transport_errors + 1)
+      fds
+  done;
+  Array.iter
+    (fun fd ->
+      (try if Api.recv fd 1 = "" then st.closed <- st.closed + 1
+       with Api.Sys_error _ -> st.transport_errors <- st.transport_errors + 1);
+      Api.close fd)
+    fds;
+  Api.close lfd;
+  Api.exit_group 0
+
+(* The client opens its whole burst with non-blocking connects; every SYN
+   is answered (accepted into the backlog or refused) exactly two link
+   latencies after it was sent, so one sleep resolves them all without a
+   single poll — no O(interest-list) scans during the storm. *)
+let herd_client ~(h : herd) ~cell ~port ~(st : cell_stats) () =
+  Api.nanosleep ((cell + 1) * h.stagger_ns);
+  let fds =
+    Array.init h.conns_per_cell (fun _ ->
+        let fd = Api.socket () in
+        Api.set_nonblocking fd true;
+        (match Api.retrying "connect" (Syscall.Connect (fd, port)) with
+        | Syscall.Ok_int _ | Syscall.Ok_unit -> ()
+        | Syscall.Error Errno.EINPROGRESS -> ()
+        | _ -> st.connect_errors <- st.connect_errors + 1);
+        fd)
+  in
+  Api.nanosleep (3 * Vtime.to_int_ns h.h_link_latency);
+  Array.iter (fun fd -> Api.set_nonblocking fd false) fds;
+  let req = String.make h.payload 'q' in
+  for _round = 1 to h.rounds_per_conn do
+    Array.iter
+      (fun fd ->
+        try send_all fd req
+        with Api.Sys_error _ ->
+          st.transport_errors <- st.transport_errors + 1)
+      fds;
+    Array.iter
+      (fun fd ->
+        try
+          if String.length (Api.recv_exactly fd h.payload) = h.payload then
+            st.responses <- st.responses + 1
+          else st.transport_errors <- st.transport_errors + 1
+        with Api.Sys_error _ ->
+          st.transport_errors <- st.transport_errors + 1)
+      fds;
+    Api.nanosleep h.think_ns
+  done;
+  Array.iter (fun fd -> try Api.close fd with Api.Sys_error _ -> ()) fds;
+  Api.exit_group 0
+
+(* 63-bit FNV-style fold over the per-cell counters: catches any per-cell
+   divergence while keeping the digest O(1) at a million connections. *)
+let cell_hash stats =
+  let mix h v = (h * 0x100000001B3) + v + 1 in
+  Array.fold_left
+    (fun h st ->
+      let h = mix h st.accepted in
+      let h = mix h st.served in
+      let h = mix h st.closed in
+      let h = mix h st.responses in
+      let h = mix h st.connect_errors in
+      mix h st.transport_errors)
+    0x1099511628211 stats
+  land max_int
+
+let run_herd ?(shards = 1) ?(mode = World.Adaptive) (h : herd) : herd_result =
+  if h.cells <= 0 then invalid_arg "Topology.run_herd: cells must be positive";
+  let n = 2 * h.cells in
+  let world =
+    World.create ~link_latency:h.h_link_latency ~n
+      ~mk:(fun i -> Kernel.create ~seed:(h.h_seed + (i * 101)) ())
+      ()
+  in
+  let stats =
+    Array.init h.cells (fun _ ->
+        {
+          accepted = 0;
+          served = 0;
+          closed = 0;
+          responses = 0;
+          connect_errors = 0;
+          transport_errors = 0;
+        })
+  in
+  for c = 0 to h.cells - 1 do
+    let server_host = 2 * c and client_host = (2 * c) + 1 in
+    let port = herd_port c in
+    World.route world ~port ~host:server_host ~initiators:[ client_host ];
+    let st = stats.(c) in
+    ignore
+      (Kernel.spawn_process
+         (World.kernel world server_host)
+         ~name:(Printf.sprintf "herd-srv%d" c)
+         ~vm_seed:(h.h_seed + (c * 13))
+         (herd_server ~h ~port ~st)
+        : Proc.process);
+    ignore
+      (Kernel.spawn_process
+         (World.kernel world client_host)
+         ~name:(Printf.sprintf "herd-cli%d" c)
+         ~vm_seed:(h.h_seed + (c * 13) + 7)
+         (herd_client ~h ~cell:c ~port ~st)
+        : Proc.process)
+  done;
+  World.run ~shards ~mode world;
+  let total f = Array.fold_left (fun a st -> a + f st) 0 stats in
+  let opened = ref 0 and refused = ref 0 and resets = ref 0 in
+  for i = 0 to n - 1 do
+    let o, rf, rs = Hostnet.stats (World.hostnet world i) in
+    opened := !opened + o;
+    refused := !refused + rf;
+    resets := !resets + rs
+  done;
+  let link_msgs = ref 0 and link_bytes = ref 0 in
+  List.iter
+    (fun (_, _, msgs, bytes) ->
+      link_msgs := !link_msgs + msgs;
+      link_bytes := !link_bytes + bytes)
+    (World.link_stats world);
+  let events = ref 0 in
+  for i = 0 to n - 1 do
+    events :=
+      !events + (Kernel.sched (World.kernel world i)).Sched.events_processed
+  done;
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%s\n" (render_herd h);
+  Printf.bprintf buf
+    "connections=%d accepted=%d served=%d responses=%d closed=%d \
+     conn_errors=%d transport_errors=%d\n"
+    (h.cells * h.conns_per_cell)
+    (total (fun st -> st.accepted))
+    (total (fun st -> st.served))
+    (total (fun st -> st.responses))
+    (total (fun st -> st.closed))
+    (total (fun st -> st.connect_errors))
+    (total (fun st -> st.transport_errors))
+  ;
+  Printf.bprintf buf "gw opened=%d refused=%d resets=%d\n" !opened !refused
+    !resets;
+  Printf.bprintf buf "links msgs=%d bytes=%d\n" !link_msgs !link_bytes;
+  Printf.bprintf buf "cellhash=%016x\n" (cell_hash stats);
+  {
+    hr_digest = Buffer.contents buf;
+    hr_connections = h.cells * h.conns_per_cell;
+    hr_responses = total (fun st -> st.responses);
+    hr_served = total (fun st -> st.served);
+    hr_errors =
+      total (fun st -> st.connect_errors + st.transport_errors);
+    hr_rounds = World.rounds world;
+    hr_events = !events;
+  }
+
+(* Shapes a total connection budget into (cells, conns_per_cell): cells
+   grow first (more hosts exercises the synchronizer), then connections
+   per cell grow once the host count would get silly. *)
+let herd_of_connections ?(think_ns = 5_000_000) ?(rounds_per_conn = 1)
+    ~seed connections =
+  if connections <= 0 then
+    invalid_arg "Topology.herd_of_connections: connections must be positive";
+  let cells = max 1 (min 1000 (connections / 40)) in
+  let conns_per_cell = max 1 ((connections + cells - 1) / cells) in
+  {
+    h_seed = seed;
+    cells;
+    conns_per_cell;
+    rounds_per_conn;
+    payload = 64;
+    think_ns;
+    stagger_ns = 500_000;
+    h_link_latency = Vtime.us 200;
+  }
+
+(* Structural memory probe for the flat connection state: bytes of live
+   heap per connected stream pair in a fresh kernel. Reported to stderr /
+   bench JSON only — wall-clock and GC numbers must never reach a digest
+   or stdout. *)
+let stream_pair_cost_bytes ?(n = 10_000) () =
+  let k = Kernel.create ~seed:1 () in
+  let net = Kernel.net k in
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let keep =
+    Array.init n (fun i ->
+        Net.make_pair net ~client_port:(40_000 + i) ~server_port:80)
+  in
+  Gc.full_major ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  ignore (Sys.opaque_identity keep);
+  (live1 - live0) * (Sys.word_size / 8) / n

@@ -49,13 +49,61 @@ type result = {
 val render : scenario -> string
 (** One-line human description of a scenario. *)
 
-val run : ?shards:int -> ?with_obs:bool -> scenario -> result
-(** Builds the world, runs it with [shards] (default 1), and collects the
-    digest and artifacts. [with_obs] attaches a trace collector to every
-    host and fills {!result.traces}; the digest itself never depends on
+val run :
+  ?shards:int -> ?mode:World.mode -> ?with_obs:bool -> scenario -> result
+(** Builds the world, runs it with [shards] (default 1) and the given
+    lookahead [mode] (default {!World.Adaptive}), and collects the digest
+    and artifacts. The digest is byte-identical across shard counts and
+    lookahead modes. [with_obs] attaches a trace collector to every host
+    and fills {!result.traces}; the digest itself never depends on
     [with_obs]. *)
 
 val corpus : n:int -> scenario list
 (** [n] seeded scenarios spanning backends, server architectures, replica
     counts, link latencies, keep-alive vs one-shot clients and fault
     chaos. Stable across runs (seeded from {!Remon_util.Rng.stable_seed}). *)
+
+(** {1 The herd tier}
+
+    Many tiny echo cells — a (server host, client host) pair per cell —
+    for memory and scaling runs up to ~10^6 simulated connections. Cells
+    never talk to each other, which is what lets adaptive lookahead run
+    each cell at its own pace. *)
+
+type herd = {
+  h_seed : int;
+  cells : int;  (** independent (server host, client host) pairs *)
+  conns_per_cell : int;
+  rounds_per_conn : int;  (** closed-loop echo rounds per connection *)
+  payload : int;  (** request/echo size in bytes *)
+  think_ns : int;  (** whole-cell idle time between echo rounds *)
+  stagger_ns : int;  (** per-cell start offset *)
+  h_link_latency : Vtime.t;
+}
+
+type herd_result = {
+  hr_digest : string;
+      (** counters + per-cell hash; O(1) size, shard- and mode-invariant *)
+  hr_connections : int;
+  hr_responses : int;
+  hr_served : int;
+  hr_errors : int;
+  hr_rounds : int;  (** synchronizer rounds (diagnostic, mode-dependent) *)
+  hr_events : int;  (** total scheduler events across all hosts *)
+}
+
+val render_herd : herd -> string
+
+val run_herd : ?shards:int -> ?mode:World.mode -> herd -> herd_result
+(** Runs the herd to completion; {!herd_result.hr_digest} must be
+    byte-identical at any shard count and in either lookahead mode. *)
+
+val herd_of_connections :
+  ?think_ns:int -> ?rounds_per_conn:int -> seed:int -> int -> herd
+(** Shapes a total connection budget into a herd: cells grow first (up to
+    1000, i.e. 2000 hosts), then connections per cell. *)
+
+val stream_pair_cost_bytes : ?n:int -> unit -> int
+(** Live-heap bytes per connected stream pair, measured with a GC probe
+    over [n] pairs in a fresh kernel. Diagnostic only — never part of a
+    digest or of shard-invariant stdout. *)

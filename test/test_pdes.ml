@@ -294,6 +294,92 @@ let test_oversubscribed_shards () =
   compare_results "oversubscribed" r1 r9
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive lookahead: conservative safety and mode invariance.
+
+   The fixed (single-latency) mode is the reference CMB algorithm, so it
+   doubles as the conservative-safety oracle: if the adaptive bounds ever
+   let a cross-host message act earlier than the single-latency bound
+   would allow, some delivery interleaving changes and the digest
+   diverges. On top of that, World.drain_round fail-stops outright if a
+   drained message's delivery time is already in a shard's past — the
+   direct "never delivered early" check, always on, in every run below. *)
+
+let test_mode_invariance_corpus () =
+  List.iter
+    (fun sc ->
+      let label = Printf.sprintf "scenario %d" sc.Topology.id in
+      let ad = Topology.run ~shards:1 sc in
+      let fx1 = Topology.run ~shards:1 ~mode:World.Fixed sc in
+      compare_results (label ^ " adaptive v fixed") ad fx1;
+      let fx2 = Topology.run ~shards:2 ~mode:World.Fixed sc in
+      compare_results (label ^ " adaptive v fixed s2") ad fx2)
+    (Topology.corpus ~n:2)
+
+let test_herd_invariance () =
+  let herd =
+    {
+      Topology.h_seed = 7;
+      cells = 3;
+      conns_per_cell = 5;
+      rounds_per_conn = 2;
+      payload = 32;
+      think_ns = 1_000_000;
+      stagger_ns = 200_000;
+      h_link_latency = Vtime.us 150;
+    }
+  in
+  let r1 = Topology.run_herd ~shards:1 herd in
+  check_int "every request served" (3 * 5 * 2) r1.Topology.hr_served;
+  check_int "every response arrived" (3 * 5 * 2) r1.Topology.hr_responses;
+  check_int "no errors" 0 r1.Topology.hr_errors;
+  check_bool "multiple rounds" true (r1.Topology.hr_rounds > 1);
+  let r2 = Topology.run_herd ~shards:2 herd in
+  let rn = Topology.run_herd ~shards:6 herd in
+  let fx = Topology.run_herd ~shards:2 ~mode:World.Fixed herd in
+  check_string "herd digest 1v2" r1.Topology.hr_digest r2.Topology.hr_digest;
+  check_string "herd digest 1vN" r1.Topology.hr_digest rn.Topology.hr_digest;
+  check_string "herd digest adaptive v fixed" r1.Topology.hr_digest
+    fx.Topology.hr_digest;
+  check_bool "adaptive needs no more rounds than fixed" true
+    (r1.Topology.hr_rounds <= fx.Topology.hr_rounds)
+
+let gen_herd =
+  QCheck2.Gen.(
+    map
+      (fun ((cells, conns, rounds), (payload, think_us, stagger_us), lat_us, seed) ->
+        {
+          Topology.h_seed = seed;
+          cells;
+          conns_per_cell = conns;
+          rounds_per_conn = rounds;
+          payload;
+          think_ns = think_us * 1_000;
+          stagger_ns = stagger_us * 1_000;
+          h_link_latency = Vtime.us lat_us;
+        })
+      (quad
+         (triple (int_range 1 4) (int_range 1 6) (int_range 1 3))
+         (triple (int_range 1 96) (int_range 0 1500) (int_range 10 800))
+         (int_range 50 400) (int_range 0 10_000)))
+
+let prop_adaptive_conservative =
+  QCheck2.Test.make
+    ~name:"adaptive lookahead never beats the single-latency oracle" ~count:25
+    gen_herd
+    (fun herd ->
+      (* sharded adaptive vs sequential fixed: one digest check covers
+         both axes at once, and each run re-verifies the in-kernel
+         delivered-in-the-past fail-stop *)
+      let ad = Topology.run_herd ~shards:2 herd in
+      let fx = Topology.run_herd ~shards:1 ~mode:World.Fixed herd in
+      if ad.Topology.hr_digest <> fx.Topology.hr_digest then
+        QCheck2.Test.fail_reportf
+          "digest diverged for %s:\nadaptive(s2): %s\nfixed(s1):    %s"
+          (Topology.render_herd herd) ad.Topology.hr_digest
+          fx.Topology.hr_digest;
+      true)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "pdes"
@@ -322,5 +408,13 @@ let () =
             test_digest_independent_of_obs;
           Alcotest.test_case "shards clamp to host count" `Quick
             test_oversubscribed_shards;
+        ] );
+      ( "adaptive lookahead",
+        [
+          Alcotest.test_case "corpus: adaptive = fixed" `Slow
+            test_mode_invariance_corpus;
+          Alcotest.test_case "herd: shards and modes agree" `Quick
+            test_herd_invariance;
+          QCheck_alcotest.to_alcotest prop_adaptive_conservative;
         ] );
     ]
